@@ -1,0 +1,288 @@
+// Package distmwis hosts the repository-level benchmark harness: one
+// testing.B benchmark per reproduction table E1–E16 (DESIGN.md §2), each
+// exercising the experiment's central measurement and reporting the
+// domain metrics (CONGEST rounds, set weight) alongside wall-clock time.
+//
+// Regenerate the full tables with:  go run ./cmd/experiments
+package distmwis
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"distmwis/internal/coloring"
+	"distmwis/internal/exact"
+	"distmwis/internal/experiments"
+	"distmwis/internal/graph"
+	"distmwis/internal/graph/gen"
+	"distmwis/internal/localapprox"
+	"distmwis/internal/lowerbound"
+	"distmwis/internal/maxis"
+	"distmwis/internal/mis"
+)
+
+// BenchmarkE1GoodNodes measures the Theorem 8 O(Δ)-approximation.
+func BenchmarkE1GoodNodes(b *testing.B) {
+	g := gen.Weighted(gen.GNP(2048, 12.0/2048, 1), gen.PolyWeights(2), 1)
+	bound := float64(g.TotalWeight()) / (4 * float64(g.MaxDegree()+1))
+	rounds := 0
+	for i := 0; i < b.N; i++ {
+		res, err := maxis.GoodNodes(g, maxis.Config{Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if float64(res.Weight) < bound {
+			b.Fatalf("Theorem 8 guarantee violated: %d < %.1f", res.Weight, bound)
+		}
+		rounds = res.Metrics.Rounds
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// BenchmarkE2Sparsify measures the Section 4.2 sampling protocol.
+func BenchmarkE2Sparsify(b *testing.B) {
+	g := gen.Weighted(gen.Clique(512), gen.UniformWeights(1<<16), 2)
+	maxDH := 0
+	for i := 0; i < b.N; i++ {
+		inH, err := maxis.SampleSparsifier(g, maxis.Config{Seed: uint64(i + 1)}, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sub := g.Induce(inH)
+		if d := sub.G.MaxDegree(); d > maxDH {
+			maxDH = d
+		}
+	}
+	b.ReportMetric(float64(maxDH), "maxΔH")
+}
+
+// BenchmarkE3Theorem1 measures the boosted deterministic-capable pipeline.
+func BenchmarkE3Theorem1(b *testing.B) {
+	g := gen.Weighted(gen.GNP(512, 0.03, 3), gen.UniformWeights(1000), 3)
+	rounds := 0
+	for i := 0; i < b.N; i++ {
+		res, err := maxis.Theorem1(g, 0.5, maxis.Config{Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = res.Metrics.Rounds
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// BenchmarkE4Theorem2 measures the randomized sparsified pipeline at
+// W = n².
+func BenchmarkE4Theorem2(b *testing.B) {
+	g := gen.Weighted(gen.GNP(1024, 24.0/1024, 4), gen.PolyWeights(2), 4)
+	rounds := 0
+	for i := 0; i < b.N; i++ {
+		res, err := maxis.Theorem2(g, 1, maxis.Config{Seed: uint64(i + 1), MIS: mis.Ghaffari{}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = res.Metrics.Rounds
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// BenchmarkE5BaselineLogW measures the [8] baseline at large W.
+func BenchmarkE5BaselineLogW(b *testing.B) {
+	g := gen.Weighted(gen.GNP(512, 0.06, 5), gen.UniformWeights(1<<24), 5)
+	rounds := 0
+	for i := 0; i < b.N; i++ {
+		res, err := maxis.BarYehuda(g, maxis.Config{Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = res.Metrics.Rounds
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// BenchmarkE6Boost measures one full boosting run including the stack
+// property verification.
+func BenchmarkE6Boost(b *testing.B) {
+	g := gen.Weighted(gen.GNP(400, 0.03, 6), gen.ExponentialSpreadWeights(24), 6)
+	for i := 0; i < b.N; i++ {
+		res, err := maxis.Theorem1(g, 0.5, maxis.Config{Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Weight < res.StackValue {
+			b.Fatal("stack property violated")
+		}
+	}
+}
+
+// BenchmarkE7Arboricity measures Theorem 3 on a bounded-arboricity graph.
+func BenchmarkE7Arboricity(b *testing.B) {
+	g := gen.Weighted(gen.UnionOfForests(600, 3, 7), gen.UniformWeights(256), 7)
+	rounds := 0
+	for i := 0; i < b.N; i++ {
+		res, err := maxis.Theorem3(g, 3, 0.5, maxis.Config{Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = res.Metrics.Rounds
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// BenchmarkE8Ranking measures the Theorem 11 ranking algorithm with its
+// size guarantee.
+func BenchmarkE8Ranking(b *testing.B) {
+	g := gen.Cycle(4096)
+	want := g.N() / (8 * (g.MaxDegree() + 1))
+	for i := 0; i < b.N; i++ {
+		res, err := maxis.Ranking(g, 2, maxis.Config{Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if graph.SetSize(res.Set) < want {
+			b.Fatalf("Theorem 11 size guarantee violated")
+		}
+	}
+}
+
+// BenchmarkE9SeqEquiv measures the sequential view of the ranking
+// algorithm (Proposition 3 / Algorithm 3).
+func BenchmarkE9SeqEquiv(b *testing.B) {
+	g := gen.GNP(2048, 4.0/2048, 9)
+	rng := rand.New(rand.NewPCG(9, 9))
+	for i := 0; i < b.N; i++ {
+		set, _ := maxis.SeqBoppanna(g, rng)
+		if !g.IsIndependentSet(set) {
+			b.Fatal("dependent set")
+		}
+	}
+}
+
+// BenchmarkE10Theorem5 measures the O(1/ε) low-degree pipeline.
+func BenchmarkE10Theorem5(b *testing.B) {
+	g := gen.Torus(48, 48)
+	rounds := 0
+	for i := 0; i < b.N; i++ {
+		res, err := maxis.Theorem5(g, 0.5, maxis.Config{Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = res.Metrics.Rounds
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// BenchmarkE11OneRound measures the expectation-only [17] baseline on the
+// high-variance instance.
+func BenchmarkE11OneRound(b *testing.B) {
+	g := gen.StarOfCliques(40, 400, 1_000_000)
+	for i := 0; i < b.N; i++ {
+		if _, err := maxis.OneRound(g, maxis.Config{Seed: uint64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE12LowerBound measures the Section 7 RandMIS reduction.
+func BenchmarkE12LowerBound(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := lowerbound.RandMIS(128, 16, lowerbound.RankingAlgorithm(2), uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.MaxGap > 128/2 {
+			b.Fatalf("unexpectedly long gap %d", res.MaxGap)
+		}
+	}
+}
+
+// BenchmarkE13Headline measures the MIS-vs-approximation round comparison.
+func BenchmarkE13Headline(b *testing.B) {
+	g := gen.GNP(4096, 12.0/4096, 13)
+	misRounds, apxRounds := 0, 0
+	for i := 0; i < b.N; i++ {
+		m, err := mis.Compute(mis.Luby{}, g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a, err := maxis.Theorem5(g, 0.5, maxis.Config{Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		misRounds = m.Exec.Rounds
+		apxRounds = a.Metrics.Rounds
+	}
+	b.ReportMetric(float64(misRounds), "mis-rounds")
+	b.ReportMetric(float64(apxRounds), "approx-rounds")
+}
+
+// BenchmarkE14ColorClass measures the Section 8 colour-class pipeline on a
+// grid (the Ω(D) barrier of Open Question 2).
+func BenchmarkE14ColorClass(b *testing.B) {
+	g := gen.Weighted(gen.Grid(20, 20), gen.UniformWeights(100), 14)
+	rounds := 0
+	for i := 0; i < b.N; i++ {
+		set, r, _, err := coloring.ColorClassApprox(g, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !g.IsIndependentSet(set) {
+			b.Fatal("dependent set")
+		}
+		rounds = r
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// BenchmarkE15ColeVishkin measures the deterministic O(log* n) ring MIS.
+func BenchmarkE15ColeVishkin(b *testing.B) {
+	g := gen.Cycle(1 << 14)
+	ports := coloring.CanonicalRingSuccessorPorts(g.N())
+	rounds := 0
+	for i := 0; i < b.N; i++ {
+		set, r, _, err := coloring.RingMIS(g, ports)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !g.IsMaximalIS(set) {
+			b.Fatal("not an MIS")
+		}
+		rounds = r
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// BenchmarkE16LocalApprox measures the LOCAL (1+ε)-approximation via
+// low-diameter decomposition.
+func BenchmarkE16LocalApprox(b *testing.B) {
+	g := gen.Weighted(gen.RandomTree(2000, 16), gen.UniformWeights(1000), 16)
+	rounds := 0
+	for i := 0; i < b.N; i++ {
+		res, err := localapprox.Approximate(g, localapprox.Options{Epsilon: 0.5, Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = res.Rounds
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// BenchmarkExactMWIS measures the exact branch-and-bound solver used to
+// certify approximation ratios.
+func BenchmarkExactMWIS(b *testing.B) {
+	g := gen.Weighted(gen.GNP(48, 0.2, 14), gen.UniformWeights(1000), 14)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := exact.MWIS(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableE3 regenerates the complete E3 table in quick mode — the
+// end-to-end harness path used by cmd/experiments.
+func BenchmarkTableE3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run("E3", experiments.Options{Quick: true, Seed: uint64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

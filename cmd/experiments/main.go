@@ -1,0 +1,74 @@
+// Command experiments regenerates the reproduction tables E1–E13 (see
+// DESIGN.md §2 and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	experiments [-run E4,E5] [-quick] [-seed N] [-format markdown|csv] [-o FILE]
+//
+// With no -run flag every experiment runs in ID order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"distmwis/internal/experiments"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		runList = fs.String("run", "", "comma-separated experiment IDs (default: all)")
+		quick   = fs.Bool("quick", false, "smaller sweeps and trial counts")
+		seed    = fs.Uint64("seed", 1, "root random seed")
+		format  = fs.String("format", "markdown", "output format: markdown or csv")
+		outPath = fs.String("o", "", "output file (default: stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	ids := experiments.IDs()
+	if *runList != "" {
+		ids = strings.Split(*runList, ",")
+		for i := range ids {
+			ids[i] = strings.TrimSpace(ids[i])
+		}
+	}
+
+	var out io.Writer = stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "experiments: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		out = f
+	}
+
+	opts := experiments.Options{Seed: *seed, Quick: *quick}
+	for _, id := range ids {
+		fmt.Fprintf(stderr, "running %s — %s ...\n", id, experiments.Title(id))
+		table, err := experiments.Run(id, opts)
+		if err != nil {
+			fmt.Fprintf(stderr, "experiments: %v\n", err)
+			return 1
+		}
+		switch *format {
+		case "csv":
+			fmt.Fprintf(out, "# %s — %s\n%s\n", table.ID, table.Title, table.CSV())
+		default:
+			fmt.Fprint(out, table.Markdown())
+		}
+	}
+	return 0
+}

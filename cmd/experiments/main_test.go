@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExperimentsCLIMarkdown(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-quick", "-run", "E3"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	s := out.String()
+	for _, want := range []string{"### E3", "Claim (paper)", "| graph |"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("markdown missing %q", want)
+		}
+	}
+	if !strings.Contains(errBuf.String(), "running E3") {
+		t.Error("progress log missing")
+	}
+}
+
+func TestExperimentsCLICSV(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-quick", "-run", "E3", "-format", "csv"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "# E3 —") || !strings.Contains(out.String(), "graph,") {
+		t.Errorf("csv output malformed:\n%s", out.String())
+	}
+}
+
+func TestExperimentsCLIErrors(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-run", "E99"}, &out, &errBuf); code == 0 {
+		t.Error("expected failure for unknown experiment")
+	}
+	if code := run([]string{"-bogus"}, &out, &errBuf); code == 0 {
+		t.Error("expected failure for unknown flag")
+	}
+	if code := run([]string{"-o", "/nonexistent-dir/x.md", "-run", "E3", "-quick"}, &out, &errBuf); code == 0 {
+		t.Error("expected failure for unwritable output path")
+	}
+}

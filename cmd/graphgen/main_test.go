@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestGraphgenEmitsValidJSON(t *testing.T) {
+	tests := []struct {
+		name  string
+		args  []string
+		wantN int
+		wantM int
+	}{
+		{name: "cycle", args: []string{"-graph", "cycle", "-n", "12"}, wantN: 12, wantM: 12},
+		{name: "coc", args: []string{"-graph", "coc", "-n", "6", "-k", "3"}, wantN: 18, wantM: 6*3 + 6*9},
+		{name: "weighted", args: []string{"-graph", "star", "-n", "9", "-weights", "uniform", "-maxw", "7"}, wantN: 9, wantM: 8},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var out, errBuf bytes.Buffer
+			if code := run(tt.args, &out, &errBuf); code != 0 {
+				t.Fatalf("exit %d: %s", code, errBuf.String())
+			}
+			var doc struct {
+				Stats struct {
+					N, M int
+				} `json:"stats"`
+				Edges [][2]int32 `json:"edges"`
+				W     []int64    `json:"weights"`
+			}
+			if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+				t.Fatalf("invalid JSON: %v", err)
+			}
+			if doc.Stats.N != tt.wantN || doc.Stats.M != tt.wantM {
+				t.Errorf("stats n=%d m=%d, want %d, %d", doc.Stats.N, doc.Stats.M, tt.wantN, tt.wantM)
+			}
+			if len(doc.Edges) != doc.Stats.M {
+				t.Errorf("edge list has %d entries for m=%d", len(doc.Edges), doc.Stats.M)
+			}
+		})
+	}
+}
+
+func TestGraphgenErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-graph", "bogus"},
+		{"-weights", "bogus"},
+		{"-undefined-flag"},
+	} {
+		var out, errBuf bytes.Buffer
+		if code := run(args, &out, &errBuf); code == 0 {
+			t.Errorf("args %v: expected nonzero exit", args)
+		}
+	}
+}

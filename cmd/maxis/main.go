@@ -1,0 +1,208 @@
+// Command maxis runs one distributed MaxIS approximation algorithm on one
+// generated graph and reports the outcome: set weight, certified bounds,
+// and CONGEST metrics (rounds, messages, bits, max message size).
+//
+// Usage examples:
+//
+//	maxis -graph gnp -n 1000 -p 0.05 -weights poly2 -alg theorem2 -eps 0.5
+//	maxis -graph apollonian -n 500 -alg theorem3 -alpha 3 -eps 1
+//	maxis -graph cycle -n 4096 -alg theorem5 -eps 0.25
+//	maxis -graph clique -n 200 -weights uniform -maxw 1000 -alg baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"distmwis/internal/exact"
+	"distmwis/internal/graph"
+	"distmwis/internal/graph/gen"
+	"distmwis/internal/maxis"
+	"distmwis/internal/mis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("maxis", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		graphKind = fs.String("graph", "gnp", "cycle|path|clique|star|grid|torus|gnp|tree|forests|apollonian|caterpillar|coc")
+		n         = fs.Int("n", 1000, "number of nodes (or per-dimension size)")
+		p         = fs.Float64("p", 0.05, "edge probability for gnp")
+		k         = fs.Int("k", 2, "forest count for -graph forests / legs for caterpillar / n1 for coc")
+		weights   = fs.String("weights", "unit", "unit|uniform|poly2|poly3|expspread|skewed")
+		maxW      = fs.Int64("maxw", 1000, "max weight for -weights uniform")
+		algName   = fs.String("alg", "theorem2", "goodnodes|sparsified|theorem1|theorem2|theorem3|theorem5|ranking|oneround|baseline")
+		eps       = fs.Float64("eps", 0.5, "epsilon for boosted algorithms")
+		alpha     = fs.Int("alpha", 0, "arboricity bound for theorem3 (0 = degeneracy)")
+		seed      = fs.Uint64("seed", 1, "random seed")
+		misName   = fs.String("mis", "luby", "MIS black box: luby|ghaffari|rank")
+		local     = fs.Bool("local", false, "LOCAL model (no bandwidth bound)")
+		showOpt   = fs.Bool("opt", false, "also compute exact OPT (small graphs only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	g, err := buildGraph(*graphKind, *n, *p, *k, *seed)
+	if err != nil {
+		fmt.Fprintf(stderr, "maxis: %v\n", err)
+		return 1
+	}
+	g, err = applyWeights(g, *weights, *maxW, *seed)
+	if err != nil {
+		fmt.Fprintf(stderr, "maxis: %v\n", err)
+		return 1
+	}
+
+	var misAlg mis.Algorithm
+	switch *misName {
+	case "luby":
+		misAlg = mis.Luby{}
+	case "ghaffari":
+		misAlg = mis.Ghaffari{}
+	case "rank":
+		misAlg = mis.Rank{}
+	default:
+		fmt.Fprintf(stderr, "maxis: unknown MIS algorithm %q\n", *misName)
+		return 1
+	}
+	cfg := maxis.Config{Seed: *seed, MIS: misAlg, Local: *local}
+
+	fmt.Fprintf(stdout, "graph: %s  n=%d m=%d Δ=%d W=%d w(V)=%d\n",
+		*graphKind, g.N(), g.M(), g.MaxDegree(), g.MaxWeight(), g.TotalWeight())
+
+	res, guarantee, err := runAlgorithm(*algName, g, *eps, *alpha, cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "maxis: %v\n", err)
+		return 1
+	}
+
+	fmt.Fprintf(stdout, "algorithm: %s (mis=%s, eps=%g)\n", *algName, *misName, *eps)
+	fmt.Fprintf(stdout, "independent set: size=%d weight=%d\n", graph.SetSize(res.Set), res.Weight)
+	if guarantee != "" {
+		fmt.Fprintf(stdout, "guarantee: %s\n", guarantee)
+	}
+	fmt.Fprintf(stdout, "rounds=%d messages=%d bits=%d maxMsgBits=%d phases=%d\n",
+		res.Metrics.Rounds, res.Metrics.Messages, res.Metrics.Bits,
+		res.Metrics.MaxMessageBits, res.Metrics.Phases)
+	for key, v := range res.Extra {
+		fmt.Fprintf(stdout, "  %s=%.2f\n", key, v)
+	}
+	if *showOpt {
+		opt, _, err := exact.MWIS(g)
+		if err != nil {
+			fmt.Fprintf(stderr, "maxis: exact: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "OPT=%d ratio=%.3f\n", opt, float64(opt)/float64(res.Weight))
+	} else {
+		fmt.Fprintf(stdout, "certified OPT upper bound (clique cover)=%d\n", exact.CliqueCoverUpperBound(g))
+	}
+	return 0
+}
+
+func buildGraph(kind string, n int, p float64, k int, seed uint64) (*graph.Graph, error) {
+	switch kind {
+	case "cycle":
+		return gen.Cycle(n), nil
+	case "path":
+		return gen.Path(n), nil
+	case "clique":
+		return gen.Clique(n), nil
+	case "star":
+		return gen.Star(n), nil
+	case "grid":
+		return gen.Grid(n, n), nil
+	case "torus":
+		return gen.Torus(n, n), nil
+	case "gnp":
+		return gen.GNP(n, p, seed), nil
+	case "tree":
+		return gen.RandomTree(n, seed), nil
+	case "forests":
+		return gen.UnionOfForests(n, k, seed), nil
+	case "apollonian":
+		return gen.Apollonian(n, seed), nil
+	case "caterpillar":
+		return gen.Caterpillar(n, k), nil
+	case "coc":
+		return gen.CycleOfCliques(n, k), nil
+	default:
+		return nil, fmt.Errorf("unknown graph kind %q", kind)
+	}
+}
+
+func applyWeights(g *graph.Graph, kind string, maxW int64, seed uint64) (*graph.Graph, error) {
+	switch kind {
+	case "unit":
+		return g, nil
+	case "uniform":
+		return gen.Weighted(g, gen.UniformWeights(maxW), seed), nil
+	case "poly2":
+		return gen.Weighted(g, gen.PolyWeights(2), seed), nil
+	case "poly3":
+		return gen.Weighted(g, gen.PolyWeights(3), seed), nil
+	case "expspread":
+		return gen.Weighted(g, gen.ExponentialSpreadWeights(24), seed), nil
+	case "skewed":
+		return gen.Weighted(g, gen.SkewedWeights(0.05, maxW), seed), nil
+	default:
+		return nil, fmt.Errorf("unknown weight kind %q", kind)
+	}
+}
+
+func runAlgorithm(name string, g *graph.Graph, eps float64, alpha int, cfg maxis.Config) (*maxis.Result, string, error) {
+	switch name {
+	case "goodnodes":
+		res, err := maxis.GoodNodes(g, cfg)
+		return res, fmt.Sprintf("w(I) ≥ w(V)/(4(Δ+1)) = %.1f",
+			float64(g.TotalWeight())/(4*float64(g.MaxDegree()+1))), err
+	case "sparsified":
+		res, err := maxis.Sparsified(g, cfg)
+		return res, "w(I) = Ω(w(V)/Δ) w.h.p.", err
+	case "theorem1":
+		res, err := maxis.Theorem1(g, eps, cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		return &res.Result, fmt.Sprintf("(1+ε)Δ-approximation = %.1f", maxis.GuaranteeDelta(g.MaxDegree(), eps)), nil
+	case "theorem2":
+		res, err := maxis.Theorem2(g, eps, cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		return &res.Result, fmt.Sprintf("(1+ε)Δ-approximation = %.1f w.h.p.", maxis.GuaranteeDelta(g.MaxDegree(), eps)), nil
+	case "theorem3":
+		res, err := maxis.Theorem3(g, alpha, eps, cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		return &res.Result, fmt.Sprintf("8(1+ε)α-approximation = %.1f w.h.p.", res.Extra["guarantee"]), nil
+	case "theorem5":
+		res, err := maxis.Theorem5(g, eps, cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		return &res.Result, fmt.Sprintf("|I| ≥ n/((1+ε)(Δ+1)) = %.1f w.h.p.",
+			float64(g.N())/((1+eps)*float64(g.MaxDegree()+1))), nil
+	case "ranking":
+		res, err := maxis.Ranking(g, 2, cfg)
+		return res, fmt.Sprintf("|I| ≥ n/(8(Δ+1)) = %.1f w.h.p.",
+			float64(g.N())/(8*float64(g.MaxDegree()+1))), err
+	case "oneround":
+		res, err := maxis.OneRound(g, cfg)
+		return res, fmt.Sprintf("E[w(I)] ≥ w(V)/(Δ+1) = %.1f (expectation only)",
+			float64(g.TotalWeight())/float64(g.MaxDegree()+1)), err
+	case "baseline":
+		res, err := maxis.BarYehuda(g, cfg)
+		return res, fmt.Sprintf("Δ-approximation = %d ([8] baseline)", g.MaxDegree()), err
+	default:
+		return nil, "", fmt.Errorf("unknown algorithm %q", name)
+	}
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code = run(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestCLIAlgorithms(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want []string
+	}{
+		{
+			name: "theorem2-default",
+			args: []string{"-graph", "gnp", "-n", "120", "-weights", "uniform", "-alg", "theorem2"},
+			want: []string{"algorithm: theorem2", "independent set:", "rounds="},
+		},
+		{
+			name: "theorem1-with-opt",
+			args: []string{"-graph", "gnp", "-n", "40", "-p", "0.15", "-weights", "uniform", "-alg", "theorem1", "-opt"},
+			want: []string{"OPT=", "ratio="},
+		},
+		{
+			name: "theorem3-apollonian",
+			args: []string{"-graph", "apollonian", "-n", "200", "-weights", "poly2", "-alg", "theorem3", "-alpha", "3"},
+			want: []string{"8(1+ε)α-approximation"},
+		},
+		{
+			name: "theorem5-cycle",
+			args: []string{"-graph", "cycle", "-n", "256", "-alg", "theorem5"},
+			want: []string{"|I| ≥ n/((1+ε)(Δ+1))"},
+		},
+		{
+			name: "baseline",
+			args: []string{"-graph", "gnp", "-n", "100", "-weights", "uniform", "-alg", "baseline"},
+			want: []string{"Δ-approximation"},
+		},
+		{
+			name: "ranking-ghaffari-box",
+			args: []string{"-graph", "torus", "-n", "12", "-alg", "goodnodes", "-mis", "ghaffari"},
+			want: []string{"algorithm: goodnodes (mis=ghaffari"},
+		},
+		{
+			name: "local-model",
+			args: []string{"-graph", "star", "-n", "50", "-alg", "oneround", "-local"},
+			want: []string{"expectation only"},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			code, out, errOut := runCLI(t, tt.args...)
+			if code != 0 {
+				t.Fatalf("exit %d, stderr: %s", code, errOut)
+			}
+			for _, w := range tt.want {
+				if !strings.Contains(out, w) {
+					t.Errorf("output missing %q:\n%s", w, out)
+				}
+			}
+		})
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{name: "bad-flag", args: []string{"-nope"}},
+		{name: "bad-graph", args: []string{"-graph", "moebius"}},
+		{name: "bad-weights", args: []string{"-weights", "golden"}},
+		{name: "bad-alg", args: []string{"-alg", "magic"}},
+		{name: "bad-mis", args: []string{"-mis", "oracle"}},
+		{name: "theorem5-weighted", args: []string{"-graph", "cycle", "-n", "30", "-weights", "uniform", "-alg", "theorem5"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			code, _, _ := runCLI(t, tt.args...)
+			if code == 0 {
+				t.Error("expected nonzero exit")
+			}
+		})
+	}
+}

@@ -1,0 +1,56 @@
+// Lowerbound: a walking tour of the Section 7 reduction.
+//
+// Theorem 4 says finding an Ω(n/Δ)-size independent set with success
+// probability ≥ 1 − 1/log n needs Ω(log* n) rounds. The proof converts any
+// fast approximate-MaxIS algorithm A into an MIS algorithm for the cycle —
+// contradicting Naor's Ω(log* n) bound — by running A on a cycle of
+// cliques C₁ and filling the gaps. This example runs every step of that
+// conversion and prints what the proof predicts at each one, then shows
+// the plain-cycle failure mode that forces the clique blow-up.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"distmwis/internal/graph/gen"
+	"distmwis/internal/lowerbound"
+	"distmwis/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "lowerbound: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const n0, n1 = 96, 24
+	fmt.Printf("C = cycle on n0=%d nodes;  C1 = cycle of %d cliques of size n1=%d (n=%d, log* n = %d)\n\n",
+		n0, n0, n1, n0*n1, stats.LogStar(float64(n0*n1)))
+
+	res, err := lowerbound.RandMIS(n0, n1, lowerbound.RankingAlgorithm(2), 7)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("step 1: ranking algorithm on C1 found |I1| = %d in %d rounds\n", res.I1Size, res.SimRounds)
+	fmt.Printf("step 2: mapped to C: max gap between consecutive members = %d (Prop. 9: stays O(T))\n", res.MaxGap)
+	fmt.Printf("step 3: sequential gap filling cost = %d rounds (largest component of C \\ N+[I])\n", res.FillRounds)
+	valid := gen.Cycle(n0).IsMaximalIS(res.MIS)
+	fmt.Printf("result: maximal independent set of C valid = %v, total ≈ %d rounds = O(T(n0·n1))\n\n",
+		valid, res.SimRounds+res.FillRounds)
+
+	fmt.Println("contrast: the same idea WITHOUT the clique blow-up (truncated whp algorithm on the plain cycle):")
+	for _, tr := range []int{3, 6, 9} {
+		set, _, err := lowerbound.TruncatedLuby(tr)(gen.Cycle(8192), 7)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  Luby cut off after %d rounds on C_8192: max gap = %d  (≫ T — the failure Prop. 8 fixes)\n",
+			tr, lowerbound.MaxGapOnCycle(set))
+	}
+	fmt.Println("\nthe clique blow-up amplifies per-region success probability, keeping every gap O(T);")
+	fmt.Println("that is why a o(log* n)-round approximate-MaxIS algorithm would violate Naor's bound.")
+	return nil
+}

@@ -1,0 +1,59 @@
+// Planar: the Theorem 3 arboricity algorithm on planar graphs.
+//
+// Planar graphs have arboricity at most 3 while their maximum degree can be
+// arbitrarily large — exactly the α < Δ/(8(1+ε)) regime where the paper's
+// 8(1+ε)α-approximation (Theorem 3) beats every Δ-based guarantee. The
+// example runs both pipelines on a random Apollonian network (a maximal
+// planar graph) and prints the guarantees and achieved weights side by
+// side.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"distmwis/internal/exact"
+	"distmwis/internal/graph/gen"
+	"distmwis/internal/maxis"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "planar: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const (
+		n     = 800
+		eps   = 0.5
+		alpha = 3 // planar graphs decompose into ≤ 3 forests
+	)
+	g := gen.Weighted(gen.Apollonian(n, 11), gen.UniformWeights(10_000), 11)
+	fmt.Printf("Apollonian network: n=%d m=%d Δ=%d (planar ⇒ α ≤ 3; degeneracy=%d)\n",
+		g.N(), g.M(), g.MaxDegree(), g.ArboricityUpperBound())
+	fmt.Printf("total weight=%d, clique-cover OPT upper bound=%d\n\n",
+		g.TotalWeight(), exact.CliqueCoverUpperBound(g))
+
+	cfg := maxis.Config{Seed: 5}
+
+	arb, err := maxis.Theorem3(g, alpha, eps, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Theorem 3 (arboricity):  weight=%8d  guarantee OPT/%.1f  phases=%d rounds=%d\n",
+		arb.Weight, maxis.Guarantee8Alpha(alpha, eps), arb.Phases, arb.Metrics.Rounds)
+
+	deg, err := maxis.Theorem2(g, eps, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Theorem 2 (degree):      weight=%8d  guarantee OPT/%.1f  phases=%d rounds=%d\n",
+		deg.Weight, maxis.GuaranteeDelta(g.MaxDegree(), eps), deg.Phases, deg.Metrics.Rounds)
+
+	fmt.Printf("\nguarantee improvement: %.1fx (8(1+ε)α = %.1f vs (1+ε)Δ = %.1f)\n",
+		maxis.GuaranteeDelta(g.MaxDegree(), eps)/maxis.Guarantee8Alpha(alpha, eps),
+		maxis.Guarantee8Alpha(alpha, eps), maxis.GuaranteeDelta(g.MaxDegree(), eps))
+	return nil
+}

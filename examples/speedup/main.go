@@ -1,0 +1,54 @@
+// Speedup: the paper's headline — approximating MaxIS is exponentially
+// easier than computing an MIS.
+//
+// The example sweeps n on sparse unweighted graphs and prints measured
+// CONGEST rounds for (a) a full MIS via Luby and Ghaffari, and (b) the
+// Theorem 5 O(1/ε)-round (1+ε)(Δ+1)-approximation. The MIS columns grow
+// with n; the approximation column does not — the measured face of the
+// Ω(√(log n / log log n)) MIS lower bound [31] that the approximation
+// escapes.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"distmwis/internal/graph"
+	"distmwis/internal/graph/gen"
+	"distmwis/internal/maxis"
+	"distmwis/internal/mis"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "speedup: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const eps = 0.5
+	fmt.Printf("%8s %4s | %10s %13s | %14s %9s %9s\n",
+		"n", "Δ", "Luby MIS", "Ghaffari MIS", "Thm5 rounds", "|I|", "bound")
+	for _, n := range []int{1 << 9, 1 << 11, 1 << 13, 1 << 15} {
+		g := gen.GNP(n, 10/float64(n), 3)
+		luby, err := mis.Compute(mis.Luby{}, g)
+		if err != nil {
+			return err
+		}
+		ghaf, err := mis.Compute(mis.Ghaffari{}, g)
+		if err != nil {
+			return err
+		}
+		apx, err := maxis.Theorem5(g, eps, maxis.Config{Seed: 3})
+		if err != nil {
+			return err
+		}
+		bound := float64(g.N()) / ((1 + eps) * float64(g.MaxDegree()+1))
+		fmt.Printf("%8d %4d | %10d %13d | %14d %9d %9.0f\n",
+			n, g.MaxDegree(), luby.Exec.Rounds, ghaf.Exec.Rounds,
+			apx.Metrics.Rounds, graph.SetSize(apx.Set), bound)
+	}
+	fmt.Println("\nMIS rounds grow with n; the (1+ε)(Δ+1)-approximation stays flat (Theorems 2/5).")
+	return nil
+}

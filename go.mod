@@ -1,0 +1,3 @@
+module distmwis
+
+go 1.23

@@ -1,0 +1,498 @@
+// Package congest simulates the synchronous CONGEST and LOCAL models of
+// distributed computing (Peleg 2000; Linial 1992), the models all results in
+// the paper are stated in.
+//
+// A protocol is a per-node Process. In every synchronous round each live
+// node receives at most one message per incident edge (port-numbered), runs
+// its local computation, and emits at most one message per port. In the
+// CONGEST model every message is limited to B = c·⌈log₂ n⌉ bits — enforced
+// here against the bit-exact sizes produced by package wire. The LOCAL model
+// lifts the bandwidth bound.
+//
+// Faithfulness to the paper's assumptions (its Section 3):
+//   - nodes know only their own identifier, weight, degree, and a polynomial
+//     upper bound on n (NUpper); they do not know n or Δ;
+//   - randomness is private per node (independent deterministic PCG streams);
+//   - ports are anonymous: a node cannot see its neighbours' identifiers
+//     until they are sent in messages.
+//
+// Two engines produce identical executions: a sequential engine and a
+// worker-pool engine that runs node steps on parallel goroutines (per-node
+// state is confined to its goroutine within a round; rounds are barriers).
+package congest
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"math/rand/v2"
+	"runtime"
+	"sort"
+	"sync"
+
+	"distmwis/internal/graph"
+	"distmwis/internal/wire"
+)
+
+// Model selects the communication model.
+type Model int
+
+const (
+	// ModelCongest bounds every message to Bandwidth bits per round per edge.
+	ModelCongest Model = iota + 1
+	// ModelLocal allows unbounded messages.
+	ModelLocal
+)
+
+// ErrRoundLimit is returned when a protocol fails to terminate within the
+// configured maximum number of rounds (and truncation was not requested).
+var ErrRoundLimit = errors.New("congest: protocol exceeded round limit")
+
+// Message is an immutable bit-accounted payload travelling over one edge in
+// one round.
+type Message struct {
+	data []byte
+	bitN int
+}
+
+// NewMessage freezes the contents of w into a Message. The writer can be
+// reused afterwards.
+func NewMessage(w *wire.Writer) *Message {
+	data := make([]byte, len(w.Bytes()))
+	copy(data, w.Bytes())
+	return &Message{data: data, bitN: w.Len()}
+}
+
+// Bits returns the exact payload size in bits.
+func (m *Message) Bits() int { return m.bitN }
+
+// Reader returns a fresh reader over the payload.
+func (m *Message) Reader() *wire.Reader { return wire.NewReader(m.data, m.bitN) }
+
+// NodeInfo is everything a node knows before round 1.
+type NodeInfo struct {
+	// Index is the simulator's internal node index. It exists so processes
+	// can return outputs; protocol logic must not treat it as knowledge
+	// (use ID, which is the paper's O(log n)-bit identifier).
+	Index int
+	// ID is the node's unique identifier.
+	ID uint64
+	// Degree is the number of incident edges (ports 0..Degree-1).
+	Degree int
+	// Weight is the node's weight w(v).
+	Weight int64
+	// NUpper is a polynomial upper bound on the network size, the only
+	// global knowledge the paper grants (Section 3, "Assumptions").
+	NUpper int
+	// MaxID is an upper bound on identifier values, implied by NUpper
+	// (identifiers are O(log n) bits). Used to size wire fields.
+	MaxID uint64
+	// MaxWeight is an upper bound on node weights (W ≤ poly(n)), used to
+	// size wire fields for weight exchange.
+	MaxWeight int64
+	// Bandwidth is B, the per-message bit budget (0 means unbounded/LOCAL).
+	Bandwidth int
+	// Rand is the node's private randomness stream.
+	Rand *rand.Rand
+}
+
+// Process is one node's state machine.
+type Process interface {
+	// Init is called once before the first round.
+	Init(info NodeInfo)
+	// Round runs one synchronous round. recv[p] is the message received on
+	// port p this round (nil if none). The returned slice assigns outgoing
+	// messages to ports: send[p] goes to port p (nil sends nothing; a short
+	// or nil slice sends nothing on the remaining ports). Returning done
+	// halts the node after its outgoing messages are delivered.
+	Round(round int, recv []*Message) (send []*Message, done bool)
+	// Output returns the node's final (or current, if truncated) output.
+	Output() any
+}
+
+// Result summarises a protocol execution.
+type Result struct {
+	// Rounds is the number of synchronous rounds executed.
+	Rounds int
+	// Outputs holds each node's Output(), indexed by node.
+	Outputs []any
+	// Messages counts all messages delivered.
+	Messages int64
+	// Bits counts the total payload bits of all messages.
+	Bits int64
+	// MaxMessageBits is the largest single message observed.
+	MaxMessageBits int
+	// Truncated reports that the run was stopped by WithHardStop before all
+	// nodes halted.
+	Truncated bool
+	// Bandwidth echoes the enforced per-message bit budget (0 = unbounded).
+	Bandwidth int
+}
+
+// Engine selects how node steps are executed. All engines produce
+// identical results (per-node randomness is pre-seeded and state is
+// confined), differing only in scheduling.
+type Engine int
+
+const (
+	// EngineAuto picks Pool for large graphs and Sequential for small ones.
+	EngineAuto Engine = iota
+	// EngineSequential runs node steps in index order on one goroutine.
+	EngineSequential
+	// EnginePool fans node steps out over a worker pool each round.
+	EnginePool
+	// EngineActors runs one long-lived goroutine per node — the literal
+	// "goroutine as network node" mapping — with channel barriers between
+	// rounds.
+	EngineActors
+)
+
+type config struct {
+	model           Model
+	bandwidthFactor int
+	seed            uint64
+	maxRounds       int
+	hardStop        int
+	nUpper          int
+	workers         int
+	maxWeight       int64
+	engine          Engine
+}
+
+// Option configures Run.
+type Option func(*config)
+
+// WithModel selects CONGEST (default) or LOCAL.
+func WithModel(m Model) Option { return func(c *config) { c.model = m } }
+
+// WithBandwidthFactor sets c in B = c·⌈log₂ NUpper⌉ bits (default 8).
+func WithBandwidthFactor(factor int) Option {
+	return func(c *config) { c.bandwidthFactor = factor }
+}
+
+// WithSeed sets the root seed from which per-node streams derive
+// (default 1).
+func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
+
+// WithMaxRounds overrides the safety round limit (default 1<<20).
+func WithMaxRounds(r int) Option { return func(c *config) { c.maxRounds = r } }
+
+// WithHardStop truncates the execution after exactly r rounds, collecting
+// whatever outputs nodes currently have. Used by the Section 7 lower-bound
+// experiments, which study algorithms cut off before completion.
+func WithHardStop(r int) Option { return func(c *config) { c.hardStop = r } }
+
+// WithNUpper sets the polynomial upper bound on n that nodes are told
+// (default: the true n, the most charitable choice). It must be >= n.
+func WithNUpper(n int) Option { return func(c *config) { c.nUpper = n } }
+
+// WithWorkers sets the parallel engine's worker count; 1 selects the
+// sequential engine (default: GOMAXPROCS).
+func WithWorkers(w int) Option { return func(c *config) { c.workers = w } }
+
+// WithEngine selects the execution engine explicitly (default EngineAuto).
+func WithEngine(e Engine) Option { return func(c *config) { c.engine = e } }
+
+// Bandwidth computes B for a given upper bound on n and factor.
+func Bandwidth(nUpper, factor int) int {
+	if nUpper < 2 {
+		nUpper = 2
+	}
+	return factor * bits.Len(uint(nUpper-1))
+}
+
+// Run executes one protocol instance per node of g until every node halts.
+func Run(g *graph.Graph, newProcess func() Process, opts ...Option) (*Result, error) {
+	cfg := config{
+		model:           ModelCongest,
+		bandwidthFactor: 8,
+		seed:            1,
+		maxRounds:       1 << 20,
+		workers:         runtime.GOMAXPROCS(0),
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	n := g.N()
+	if cfg.nUpper == 0 {
+		cfg.nUpper = n
+	}
+	if cfg.nUpper < n {
+		return nil, fmt.Errorf("congest: NUpper %d below n %d", cfg.nUpper, n)
+	}
+	bandwidth := 0
+	if cfg.model == ModelCongest {
+		bandwidth = Bandwidth(cfg.nUpper, cfg.bandwidthFactor)
+	}
+	maxWeight := cfg.maxWeight
+	if maxWeight == 0 {
+		for v := 0; v < n; v++ {
+			w := g.Weight(v)
+			if w < 0 {
+				w = -w
+			}
+			if w > maxWeight {
+				maxWeight = w
+			}
+		}
+		if maxWeight == 0 {
+			maxWeight = 1
+		}
+	}
+	maxID := g.MaxID()
+	if maxID == 0 {
+		maxID = 1
+	}
+
+	sim := &simulator{g: g, cfg: cfg, bandwidth: bandwidth}
+	sim.procs = make([]Process, n)
+	sim.done = make([]bool, n)
+	sim.inbox = make([][]*Message, n)
+	sim.nextInbox = make([][]*Message, n)
+	sim.reversePort = buildReversePorts(g)
+	for v := 0; v < n; v++ {
+		deg := g.Degree(v)
+		sim.inbox[v] = make([]*Message, deg)
+		sim.nextInbox[v] = make([]*Message, deg)
+		sim.procs[v] = newProcess()
+		sim.procs[v].Init(NodeInfo{
+			Index:     v,
+			ID:        g.ID(v),
+			Degree:    deg,
+			Weight:    g.Weight(v),
+			NUpper:    cfg.nUpper,
+			MaxID:     maxID,
+			MaxWeight: maxWeight,
+			Bandwidth: bandwidth,
+			Rand:      rand.New(rand.NewPCG(cfg.seed, 0x6a09e667f3bcc908^uint64(v))),
+		})
+	}
+	return sim.run()
+}
+
+// simulator holds one execution's state.
+type simulator struct {
+	g           *graph.Graph
+	cfg         config
+	bandwidth   int
+	procs       []Process
+	done        []bool
+	inbox       [][]*Message
+	nextInbox   [][]*Message
+	reversePort [][]int32
+	res         Result
+}
+
+func buildReversePorts(g *graph.Graph) [][]int32 {
+	n := g.N()
+	rev := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		nbrs := g.Neighbors(v)
+		rev[v] = make([]int32, len(nbrs))
+		for p, u := range nbrs {
+			// Port q at u such that u's q-th neighbour is v.
+			un := g.Neighbors(int(u))
+			q := sort.Search(len(un), func(i int) bool { return un[i] >= int32(v) })
+			rev[v][p] = int32(q)
+		}
+	}
+	return rev
+}
+
+func (s *simulator) run() (*Result, error) {
+	n := s.g.N()
+	live := n
+	s.res.Bandwidth = s.bandwidth
+	outboxes := make([][]*Message, n)
+	doneNow := make([]bool, n)
+	errs := make([]error, n)
+
+	step := func(v, round int) {
+		if s.done[v] {
+			return
+		}
+		send, fin := s.procs[v].Round(round, s.inbox[v])
+		if len(send) > s.g.Degree(v) {
+			errs[v] = fmt.Errorf("congest: node %d sent on %d ports but has degree %d", v, len(send), s.g.Degree(v))
+			return
+		}
+		if s.bandwidth > 0 {
+			for p, m := range send {
+				if m != nil && m.bitN > s.bandwidth {
+					errs[v] = fmt.Errorf("congest: node %d port %d message of %d bits exceeds bandwidth %d", v, p, m.bitN, s.bandwidth)
+					return
+				}
+			}
+		}
+		outboxes[v] = send
+		doneNow[v] = fin
+	}
+
+	engine := s.cfg.engine
+	if engine == EngineAuto {
+		if s.cfg.workers <= 1 || n < 64 {
+			engine = EngineSequential
+		} else {
+			engine = EnginePool
+		}
+	}
+	var actors *actorPool
+	if engine == EngineActors && n > 0 {
+		actors = newActorPool(n, step)
+		defer actors.shutdown()
+	}
+
+	for round := 1; live > 0; round++ {
+		if s.cfg.hardStop > 0 && round > s.cfg.hardStop {
+			s.res.Truncated = true
+			break
+		}
+		if round > s.cfg.maxRounds {
+			return nil, fmt.Errorf("%w: %d rounds", ErrRoundLimit, s.cfg.maxRounds)
+		}
+		s.res.Rounds = round
+
+		switch engine {
+		case EngineSequential:
+			for v := 0; v < n; v++ {
+				step(v, round)
+			}
+		case EngineActors:
+			actors.runRound(round)
+		default:
+			parallelFor(n, s.cfg.workers, func(v int) { step(v, round) })
+		}
+		for v := 0; v < n; v++ {
+			if errs[v] != nil {
+				return nil, errs[v]
+			}
+		}
+
+		// Delivery phase: clear next inboxes, move messages.
+		for v := 0; v < n; v++ {
+			next := s.nextInbox[v]
+			for i := range next {
+				next[i] = nil
+			}
+		}
+		for v := 0; v < n; v++ {
+			if s.done[v] {
+				continue
+			}
+			for p, m := range outboxes[v] {
+				if m == nil {
+					continue
+				}
+				u := s.g.Neighbors(v)[p]
+				s.nextInbox[u][s.reversePort[v][p]] = m
+				s.res.Messages++
+				s.res.Bits += int64(m.bitN)
+				if m.bitN > s.res.MaxMessageBits {
+					s.res.MaxMessageBits = m.bitN
+				}
+			}
+			outboxes[v] = nil
+			if doneNow[v] {
+				s.done[v] = true
+				doneNow[v] = false
+				live--
+			}
+		}
+		s.inbox, s.nextInbox = s.nextInbox, s.inbox
+	}
+
+	s.res.Outputs = make([]any, n)
+	for v := 0; v < n; v++ {
+		s.res.Outputs[v] = s.procs[v].Output()
+	}
+	out := s.res
+	return &out, nil
+}
+
+// actorPool runs one long-lived goroutine per node, released round by
+// round through per-node channels and joined through a shared completion
+// channel. It realizes the "one goroutine = one network node" execution
+// model; results are identical to the other engines because node state
+// never leaves its goroutine within a round.
+type actorPool struct {
+	start []chan int
+	done  chan struct{}
+	wg    sync.WaitGroup
+}
+
+func newActorPool(n int, step func(v, round int)) *actorPool {
+	p := &actorPool{
+		start: make([]chan int, n),
+		done:  make(chan struct{}, 1),
+	}
+	for v := 0; v < n; v++ {
+		p.start[v] = make(chan int, 1)
+		p.wg.Add(1)
+		go func(v int) {
+			defer p.wg.Done()
+			for round := range p.start[v] {
+				step(v, round)
+				p.done <- struct{}{}
+			}
+		}(v)
+	}
+	return p
+}
+
+// runRound releases every actor for one round and waits for all of them.
+func (p *actorPool) runRound(round int) {
+	for _, ch := range p.start {
+		ch <- round
+	}
+	for range p.start {
+		<-p.done
+	}
+}
+
+// shutdown terminates and joins all actors.
+func (p *actorPool) shutdown() {
+	for _, ch := range p.start {
+		close(ch)
+	}
+	p.wg.Wait()
+}
+
+// parallelFor runs fn(i) for i in [0, n) on up to workers goroutines and
+// waits for completion.
+func parallelFor(n, workers int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// BoolOutputs converts a Result's outputs to a []bool membership vector;
+// nodes whose output is not a bool are treated as false.
+func BoolOutputs(res *Result) []bool {
+	out := make([]bool, len(res.Outputs))
+	for i, o := range res.Outputs {
+		if b, ok := o.(bool); ok {
+			out[i] = b
+		}
+	}
+	return out
+}

@@ -1,0 +1,431 @@
+package congest
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"distmwis/internal/graph"
+	"distmwis/internal/graph/gen"
+	"distmwis/internal/wire"
+)
+
+// idExchange broadcasts the node's ID in round 1 and records the IDs heard
+// in round 2.
+type idExchange struct {
+	info  NodeInfo
+	heard []uint64
+}
+
+func (p *idExchange) Init(info NodeInfo) { p.info = info }
+
+func (p *idExchange) Round(round int, recv []*Message) ([]*Message, bool) {
+	switch round {
+	case 1:
+		var w wire.Writer
+		w.WriteUint(p.info.ID, p.info.MaxID)
+		m := NewMessage(&w)
+		out := make([]*Message, p.info.Degree)
+		for i := range out {
+			out[i] = m
+		}
+		return out, false
+	default:
+		for _, m := range recv {
+			if m == nil {
+				continue
+			}
+			id, err := m.Reader().ReadUint(p.info.MaxID)
+			if err != nil {
+				panic(err)
+			}
+			p.heard = append(p.heard, id)
+		}
+		return nil, true
+	}
+}
+
+func (p *idExchange) Output() any { return p.heard }
+
+func TestIDExchangeLearnsNeighbors(t *testing.T) {
+	g := gen.Cycle(8)
+	res, err := Run(g, func() Process { return &idExchange{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 2 {
+		t.Errorf("Rounds = %d, want 2", res.Rounds)
+	}
+	for v := 0; v < g.N(); v++ {
+		heard := res.Outputs[v].([]uint64)
+		want := map[uint64]bool{}
+		for _, u := range g.Neighbors(v) {
+			want[g.ID(int(u))] = true
+		}
+		if len(heard) != len(want) {
+			t.Fatalf("node %d heard %d ids, want %d", v, len(heard), len(want))
+		}
+		for _, id := range heard {
+			if !want[id] {
+				t.Errorf("node %d heard unexpected id %d", v, id)
+			}
+		}
+	}
+	if res.Messages != int64(2*g.M()) {
+		t.Errorf("Messages = %d, want %d", res.Messages, 2*g.M())
+	}
+	if res.MaxMessageBits == 0 || res.Bits == 0 {
+		t.Error("metrics not recorded")
+	}
+}
+
+// floodMax floods the maximum ID seen for a fixed number of rounds; on a
+// connected graph with enough rounds every node should know the global max.
+type floodMax struct {
+	info   NodeInfo
+	best   uint64
+	rounds int
+}
+
+func (p *floodMax) Init(info NodeInfo) { p.best = info.ID; p.info = info }
+
+func (p *floodMax) Round(round int, recv []*Message) ([]*Message, bool) {
+	for _, m := range recv {
+		if m == nil {
+			continue
+		}
+		id, err := m.Reader().ReadUint(p.info.MaxID)
+		if err != nil {
+			panic(err)
+		}
+		if id > p.best {
+			p.best = id
+		}
+	}
+	if round > p.rounds {
+		return nil, true
+	}
+	var w wire.Writer
+	w.WriteUint(p.best, p.info.MaxID)
+	m := NewMessage(&w)
+	out := make([]*Message, p.info.Degree)
+	for i := range out {
+		out[i] = m
+	}
+	return out, false
+}
+
+func (p *floodMax) Output() any { return p.best }
+
+func TestFloodMaxConverges(t *testing.T) {
+	const n = 20
+	g := gen.Path(n)
+	res, err := Run(g, func() Process { return &floodMax{rounds: n} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g.MaxID()
+	for v := 0; v < n; v++ {
+		if res.Outputs[v].(uint64) != want {
+			t.Errorf("node %d best = %d, want %d", v, res.Outputs[v], want)
+		}
+	}
+}
+
+func TestFloodMaxTruncated(t *testing.T) {
+	const n = 30
+	g := gen.Path(n)
+	// After 3 rounds, node 0 cannot know IDs further than distance ~3.
+	res, err := Run(g, func() Process { return &floodMax{rounds: n} }, WithHardStop(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Fatal("expected truncation")
+	}
+	if res.Rounds != 3 {
+		t.Errorf("Rounds = %d, want 3", res.Rounds)
+	}
+	// Node 0's knowledge horizon: IDs of nodes within distance 3 (IDs are
+	// v+1 on a path, so max visible is 4... node index 3 => ID 4).
+	if got := res.Outputs[0].(uint64); got > 4 {
+		t.Errorf("node 0 learned ID %d beyond its 3-round horizon", got)
+	}
+}
+
+// bigTalker violates the CONGEST bandwidth on purpose.
+type bigTalker struct{ info NodeInfo }
+
+func (p *bigTalker) Init(info NodeInfo) { p.info = info }
+
+func (p *bigTalker) Round(round int, recv []*Message) ([]*Message, bool) {
+	var w wire.Writer
+	for i := 0; i < 100; i++ {
+		w.WriteBits(0xFFFF, 16) // 1600 bits, far over any log-n budget here
+	}
+	out := make([]*Message, p.info.Degree)
+	m := NewMessage(&w)
+	for i := range out {
+		out[i] = m
+	}
+	return out, true
+}
+
+func (p *bigTalker) Output() any { return nil }
+
+func TestBandwidthEnforced(t *testing.T) {
+	g := gen.Cycle(16)
+	if _, err := Run(g, func() Process { return &bigTalker{} }); err == nil {
+		t.Fatal("expected bandwidth violation in CONGEST")
+	}
+	// The same protocol is legal in LOCAL.
+	if _, err := Run(g, func() Process { return &bigTalker{} }, WithModel(ModelLocal)); err != nil {
+		t.Fatalf("LOCAL run failed: %v", err)
+	}
+}
+
+func TestBandwidthValue(t *testing.T) {
+	tests := []struct {
+		nUpper, factor, want int
+	}{
+		{nUpper: 2, factor: 1, want: 1},
+		{nUpper: 1024, factor: 1, want: 10},
+		{nUpper: 1024, factor: 8, want: 80},
+		{nUpper: 1025, factor: 1, want: 11},
+	}
+	for _, tt := range tests {
+		if got := Bandwidth(tt.nUpper, tt.factor); got != tt.want {
+			t.Errorf("Bandwidth(%d,%d) = %d, want %d", tt.nUpper, tt.factor, got, tt.want)
+		}
+	}
+}
+
+func TestEnginesAgree(t *testing.T) {
+	g := gen.GNP(300, 0.03, 5)
+	seq, err := Run(g, func() Process { return &floodMax{rounds: 10} }, WithEngine(EngineSequential), WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		opts []Option
+	}{
+		{name: "pool", opts: []Option{WithEngine(EnginePool), WithWorkers(8)}},
+		{name: "actors", opts: []Option{WithEngine(EngineActors)}},
+		{name: "auto", opts: []Option{WithWorkers(8)}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Run(g, func() Process { return &floodMax{rounds: 10} }, append(tc.opts, WithSeed(9))...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(seq.Outputs, res.Outputs) {
+				t.Error("engine disagrees with sequential on outputs")
+			}
+			if seq.Rounds != res.Rounds || seq.Messages != res.Messages || seq.Bits != res.Bits {
+				t.Error("engine disagrees on metrics")
+			}
+		})
+	}
+}
+
+func TestActorEngineErrorsAndShutdown(t *testing.T) {
+	// Bandwidth violations must surface cleanly through the actor engine
+	// (and its goroutines must be joined — the -race run guards leaks).
+	g := gen.Cycle(80)
+	if _, err := Run(g, func() Process { return &bigTalker{} }, WithEngine(EngineActors)); err == nil {
+		t.Fatal("expected bandwidth violation through actor engine")
+	}
+	// And a full successful protocol, twice, to exercise pool reuse paths.
+	for seed := uint64(1); seed <= 2; seed++ {
+		res, err := Run(g, func() Process { return &floodMax{rounds: 5} }, WithEngine(EngineActors), WithSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rounds == 0 {
+			t.Fatal("no rounds executed")
+		}
+	}
+}
+
+func TestSeedChangesRandomness(t *testing.T) {
+	g := gen.Cycle(64)
+	run := func(seed uint64) []any {
+		res, err := Run(g, func() Process { return &coinFlipper{} }, WithSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Outputs
+	}
+	a, b := run(1), run(2)
+	if reflect.DeepEqual(a, b) {
+		t.Error("different seeds produced identical random outputs")
+	}
+	if !reflect.DeepEqual(a, run(1)) {
+		t.Error("same seed not reproducible")
+	}
+}
+
+type coinFlipper struct {
+	info NodeInfo
+	coin uint64
+}
+
+func (p *coinFlipper) Init(info NodeInfo) { p.info = info }
+
+func (p *coinFlipper) Round(int, []*Message) ([]*Message, bool) {
+	p.coin = p.info.Rand.Uint64()
+	return nil, true
+}
+
+func (p *coinFlipper) Output() any { return p.coin }
+
+func TestNUpperValidation(t *testing.T) {
+	g := gen.Cycle(10)
+	if _, err := Run(g, func() Process { return &coinFlipper{} }, WithNUpper(5)); err == nil {
+		t.Error("expected error for NUpper < n")
+	}
+}
+
+func TestRoundLimit(t *testing.T) {
+	g := gen.Cycle(4)
+	_, err := Run(g, func() Process { return &neverDone{} }, WithMaxRounds(10))
+	if !errors.Is(err, ErrRoundLimit) {
+		t.Errorf("err = %v, want ErrRoundLimit", err)
+	}
+}
+
+type neverDone struct{}
+
+func (p *neverDone) Init(NodeInfo)                            {}
+func (p *neverDone) Round(int, []*Message) ([]*Message, bool) { return nil, false }
+func (p *neverDone) Output() any                              { return nil }
+
+func TestTooManyPortsRejected(t *testing.T) {
+	g := gen.Path(3)
+	_, err := Run(g, func() Process { return &overSender{} })
+	if err == nil {
+		t.Error("expected error for sending on more ports than degree")
+	}
+}
+
+type overSender struct{ info NodeInfo }
+
+func (p *overSender) Init(info NodeInfo) { p.info = info }
+
+func (p *overSender) Round(int, []*Message) ([]*Message, bool) {
+	var w wire.Writer
+	w.WriteBool(true)
+	out := make([]*Message, p.info.Degree+1)
+	for i := range out {
+		out[i] = NewMessage(&w)
+	}
+	return out, true
+}
+
+func (p *overSender) Output() any { return nil }
+
+func TestMessagesToHaltedNodesDropped(t *testing.T) {
+	// Node 0 halts immediately; node 1 keeps sending to it for 3 rounds.
+	// The run must terminate cleanly with correct message accounting.
+	g := gen.Path(2)
+	res, err := Run(g, func() Process { return &stubbornSender{} }, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 4 {
+		t.Errorf("rounds = %d, want 4", res.Rounds)
+	}
+}
+
+// stubbornSender: the node with the smaller ID halts in round 1; the other
+// keeps sending until round 4.
+type stubbornSender struct{ info NodeInfo }
+
+func (p *stubbornSender) Init(info NodeInfo) { p.info = info }
+
+func (p *stubbornSender) Round(round int, recv []*Message) ([]*Message, bool) {
+	if p.info.ID == 1 {
+		return nil, true // halts immediately, will receive dropped messages
+	}
+	var w wire.Writer
+	w.WriteBool(true)
+	out := make([]*Message, p.info.Degree)
+	for i := range out {
+		out[i] = NewMessage(&w)
+	}
+	return out, round >= 4
+}
+
+func (p *stubbornSender) Output() any { return nil }
+
+func TestBoolOutputs(t *testing.T) {
+	res := &Result{Outputs: []any{true, false, nil, "x", true}}
+	got := BoolOutputs(res)
+	want := []bool{true, false, false, false, true}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("BoolOutputs = %v, want %v", got, want)
+	}
+}
+
+// portConsistency checks that messages are delivered on the correct reverse
+// ports: each node sends its ID tagged with the port it used, and the
+// receiver verifies the sender is exactly the neighbour on the receiving
+// port.
+type portConsistency struct {
+	info NodeInfo
+	g    *graph.Graph
+	ok   bool
+}
+
+func (p *portConsistency) Init(info NodeInfo) { p.info = info; p.ok = true }
+
+func (p *portConsistency) Round(round int, recv []*Message) ([]*Message, bool) {
+	if round == 1 {
+		out := make([]*Message, p.info.Degree)
+		for i := range out {
+			var w wire.Writer
+			w.WriteUint(p.info.ID, p.info.MaxID)
+			out[i] = NewMessage(&w)
+		}
+		return out, false
+	}
+	for port, m := range recv {
+		if m == nil {
+			p.ok = false
+			continue
+		}
+		id, _ := m.Reader().ReadUint(p.info.MaxID)
+		wantID := p.g.ID(int(p.g.Neighbors(p.info.Index)[port]))
+		if id != wantID {
+			p.ok = false
+		}
+	}
+	return nil, true
+}
+
+func (p *portConsistency) Output() any { return p.ok }
+
+func TestPortConsistency(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{name: "cycle", g: gen.Cycle(9)},
+		{name: "gnp", g: gen.GNP(120, 0.08, 3)},
+		{name: "clique", g: gen.Clique(15)},
+		{name: "tree", g: gen.RandomTree(80, 2)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Run(tc.g, func() Process { return &portConsistency{g: tc.g} })
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v, out := range res.Outputs {
+				if !out.(bool) {
+					t.Errorf("node %d saw misrouted message", v)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,91 @@
+// Package dist provides the phase-composition machinery the paper's
+// algorithms are built from.
+//
+// Algorithms 1 and 6 of the paper run a black-box protocol A repeatedly on
+// derived graphs (residual positive-weight subgraphs, bounded-degree
+// subgraphs) and account the total round complexity as the sum over phases.
+// Package dist mirrors that structure: an Accumulator sums the metrics of
+// successive congest runs plus the constant-round bookkeeping steps (flag
+// and weight exchanges between phases) that the distributed implementation
+// would perform, so reported round counts are honest end-to-end figures.
+package dist
+
+import (
+	"fmt"
+
+	"distmwis/internal/congest"
+	"distmwis/internal/graph"
+)
+
+// Accumulator aggregates execution metrics across protocol phases.
+type Accumulator struct {
+	// Rounds is the total synchronous rounds across all phases, including
+	// bookkeeping rounds added via AddRounds.
+	Rounds int
+	// Messages and Bits total the traffic of all phases.
+	Messages int64
+	Bits     int64
+	// MaxMessageBits is the largest message across phases.
+	MaxMessageBits int
+	// Phases counts congest runs absorbed.
+	Phases int
+}
+
+// Absorb adds one congest execution's metrics.
+func (a *Accumulator) Absorb(res *congest.Result) {
+	a.Rounds += res.Rounds
+	a.Messages += res.Messages
+	a.Bits += res.Bits
+	if res.MaxMessageBits > a.MaxMessageBits {
+		a.MaxMessageBits = res.MaxMessageBits
+	}
+	a.Phases++
+}
+
+// AddRounds accounts constant-round bookkeeping (e.g. a one-round exchange
+// of active flags between phases) that is performed host-side by the
+// orchestrator but would cost rounds in a real network.
+func (a *Accumulator) AddRounds(r int) { a.Rounds += r }
+
+// Add merges another accumulator (e.g. a nested algorithm's total).
+func (a *Accumulator) Add(b Accumulator) {
+	a.Rounds += b.Rounds
+	a.Messages += b.Messages
+	a.Bits += b.Bits
+	if b.MaxMessageBits > a.MaxMessageBits {
+		a.MaxMessageBits = b.MaxMessageBits
+	}
+	a.Phases += b.Phases
+}
+
+func (a Accumulator) String() string {
+	return fmt.Sprintf("rounds=%d msgs=%d bits=%d phases=%d", a.Rounds, a.Messages, a.Bits, a.Phases)
+}
+
+// RunPhase executes one protocol on g, absorbs its metrics into acc, and
+// returns the result.
+func RunPhase(g *graph.Graph, newProcess func() congest.Process, acc *Accumulator, opts ...congest.Option) (*congest.Result, error) {
+	res, err := congest.Run(g, newProcess, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("dist: phase %d: %w", acc.Phases+1, err)
+	}
+	acc.Absorb(res)
+	return res, nil
+}
+
+// RunOnInduced runs a protocol on the subgraph induced by active and lifts
+// the boolean outputs back to the parent index space. One bookkeeping round
+// is charged for the activity-flag exchange that lets every node learn which
+// of its neighbours participate in the phase.
+func RunOnInduced(g *graph.Graph, active []bool, newProcess func() congest.Process, acc *Accumulator, opts ...congest.Option) ([]bool, *graph.Subgraph, error) {
+	sub := g.Induce(active)
+	acc.AddRounds(1) // neighbours exchange active flags
+	if sub.G.N() == 0 {
+		return make([]bool, g.N()), sub, nil
+	}
+	res, err := RunPhase(sub.G, newProcess, acc, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sub.LiftSet(congest.BoolOutputs(res)), sub, nil
+}

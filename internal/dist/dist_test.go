@@ -1,0 +1,102 @@
+package dist
+
+import (
+	"errors"
+	"testing"
+
+	"distmwis/internal/congest"
+	"distmwis/internal/graph/gen"
+	"distmwis/internal/mis"
+)
+
+func TestAccumulatorAbsorbAndAdd(t *testing.T) {
+	var a Accumulator
+	a.Absorb(&congest.Result{Rounds: 5, Messages: 10, Bits: 100, MaxMessageBits: 12})
+	a.Absorb(&congest.Result{Rounds: 3, Messages: 2, Bits: 20, MaxMessageBits: 30})
+	a.AddRounds(2)
+	if a.Rounds != 10 || a.Messages != 12 || a.Bits != 120 || a.MaxMessageBits != 30 || a.Phases != 2 {
+		t.Errorf("accumulator wrong: %+v", a)
+	}
+	var b Accumulator
+	b.Add(a)
+	b.Add(a)
+	if b.Rounds != 20 || b.Phases != 4 || b.MaxMessageBits != 30 {
+		t.Errorf("Add wrong: %+v", b)
+	}
+	if b.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestRunPhase(t *testing.T) {
+	g := gen.Cycle(16)
+	var acc Accumulator
+	res, err := RunPhase(g, mis.Luby{}.NewProcess, &acc, congest.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Rounds != res.Rounds || acc.Phases != 1 {
+		t.Errorf("metrics not absorbed: %+v vs %d", acc, res.Rounds)
+	}
+}
+
+func TestRunPhaseErrorWrapped(t *testing.T) {
+	g := gen.Cycle(4)
+	var acc Accumulator
+	_, err := RunPhase(g, mis.Luby{}.NewProcess, &acc, congest.WithMaxRounds(1))
+	if err == nil || !errors.Is(err, congest.ErrRoundLimit) {
+		t.Errorf("expected wrapped ErrRoundLimit, got %v", err)
+	}
+}
+
+func TestRunOnInduced(t *testing.T) {
+	g := gen.Path(10)
+	active := make([]bool, 10)
+	for v := 2; v <= 7; v++ {
+		active[v] = true
+	}
+	var acc Accumulator
+	set, sub, err := RunOnInduced(g, active, mis.Luby{}.NewProcess, &acc, congest.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.G.N() != 6 {
+		t.Fatalf("induced size %d, want 6", sub.G.N())
+	}
+	// The lifted set must be inside the active region and an MIS of it.
+	for v, in := range set {
+		if in && !active[v] {
+			t.Errorf("node %d outside active region selected", v)
+		}
+	}
+	if err := mis.Verify(sub.G, func() []bool {
+		out := make([]bool, sub.G.N())
+		for i, pv := range sub.ToParent {
+			out[i] = set[pv]
+		}
+		return out
+	}()); err != nil {
+		t.Error(err)
+	}
+	// One bookkeeping round charged on top of the protocol.
+	if acc.Rounds < 2 {
+		t.Errorf("rounds %d too low", acc.Rounds)
+	}
+}
+
+func TestRunOnInducedEmptyActive(t *testing.T) {
+	g := gen.Cycle(8)
+	var acc Accumulator
+	set, _, err := RunOnInduced(g, make([]bool, 8), mis.Luby{}.NewProcess, &acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, in := range set {
+		if in {
+			t.Errorf("node %d selected from empty active set", v)
+		}
+	}
+	if acc.Rounds != 1 {
+		t.Errorf("empty phase should charge exactly the flag round, got %d", acc.Rounds)
+	}
+}

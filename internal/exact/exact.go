@@ -1,0 +1,413 @@
+// Package exact computes optimal maximum-weight independent sets and
+// certified bounds on them.
+//
+// The experiment suite measures true approximation ratios, which requires
+// OPT(G_w). Three routes are provided:
+//
+//   - MWIS: exact branch-and-bound with a greedy clique-cover upper bound,
+//     practical to roughly 60–80 general nodes;
+//   - ForestMWIS / CycleMWIS: linear-time dynamic programs for forests and
+//     cycles of any size;
+//   - CliqueCoverUpperBound / CaroWeiLowerBound: certified OPT bounds for
+//     graphs too large for exact search.
+package exact
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"distmwis/internal/graph"
+)
+
+// ErrTooLarge is returned by MWIS when the graph exceeds the node limit.
+var ErrTooLarge = errors.New("exact: graph too large for exact search")
+
+// DefaultMWISLimit is the node cap for MWIS.
+const DefaultMWISLimit = 96
+
+// bitset is a fixed-capacity set of node indices.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i>>6] |= 1 << uint(i&63) }
+func (b bitset) clear(i int)    { b[i>>6] &^= 1 << uint(i&63) }
+func (b bitset) has(i int) bool { return b[i>>6]&(1<<uint(i&63)) != 0 }
+func (b bitset) clone() bitset  { c := make(bitset, len(b)); copy(c, b); return c }
+func (b bitset) andNot(o bitset) {
+	for i := range b {
+		b[i] &^= o[i]
+	}
+}
+func (b bitset) empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (b bitset) count() int {
+	c := 0
+	for _, w := range b {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// firstSet returns the lowest set index, or -1.
+func (b bitset) firstSet() int {
+	for i, w := range b {
+		if w != 0 {
+			return i*64 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// solver carries the branch-and-bound state.
+type solver struct {
+	g      *graph.Graph
+	adj    []bitset
+	w      []int64
+	best   int64
+	bestIn bitset
+	cur    bitset
+}
+
+// MWIS returns the weight and membership vector of a maximum-weight
+// independent set of g. Nodes with non-positive weight are never selected
+// (consistent with the paper's convention that algorithms never pick
+// non-positive nodes). Returns ErrTooLarge above DefaultMWISLimit nodes.
+func MWIS(g *graph.Graph) (int64, []bool, error) {
+	return MWISLimit(g, DefaultMWISLimit)
+}
+
+// MWISLimit is MWIS with an explicit node cap.
+func MWISLimit(g *graph.Graph, limit int) (int64, []bool, error) {
+	n := g.N()
+	if n > limit {
+		return 0, nil, fmt.Errorf("%w: %d nodes > limit %d", ErrTooLarge, n, limit)
+	}
+	s := &solver{g: g, w: g.Weights()}
+	s.adj = make([]bitset, n)
+	for v := 0; v < n; v++ {
+		s.adj[v] = newBitset(n)
+		for _, u := range g.Neighbors(v) {
+			s.adj[v].set(int(u))
+		}
+	}
+	cand := newBitset(n)
+	for v := 0; v < n; v++ {
+		if s.w[v] > 0 {
+			cand.set(v)
+		}
+	}
+	s.cur = newBitset(n)
+	s.bestIn = newBitset(n)
+	s.branch(cand, 0)
+	out := make([]bool, n)
+	for v := 0; v < n; v++ {
+		out[v] = s.bestIn.has(v)
+	}
+	return s.best, out, nil
+}
+
+func (s *solver) branch(cand bitset, acc int64) {
+	if acc > s.best {
+		s.best = acc
+		s.bestIn = s.cur.clone()
+	}
+	if cand.empty() {
+		return
+	}
+	if acc+s.cliqueCoverBound(cand) <= s.best {
+		return
+	}
+	// Branch on the max-degree candidate (degree within cand).
+	v := s.pickVertex(cand)
+	// Include v.
+	with := cand.clone()
+	with.clear(v)
+	with.andNot(s.adj[v])
+	s.cur.set(v)
+	s.branch(with, acc+s.w[v])
+	s.cur.clear(v)
+	// Exclude v.
+	without := cand.clone()
+	without.clear(v)
+	s.branch(without, acc)
+}
+
+func (s *solver) pickVertex(cand bitset) int {
+	bestV, bestScore := -1, int64(-1)
+	for i, word := range cand {
+		for word != 0 {
+			v := i*64 + bits.TrailingZeros64(word)
+			word &= word - 1
+			// Degree within cand, weighted tie-break by weight.
+			deg := 0
+			for j := range cand {
+				deg += bits.OnesCount64(cand[j] & s.adj[v][j])
+			}
+			score := int64(deg)<<20 + s.w[v]
+			if score > bestScore {
+				bestScore = score
+				bestV = v
+			}
+		}
+	}
+	return bestV
+}
+
+// cliqueCoverBound greedily partitions cand into cliques and sums each
+// clique's maximum weight — a valid upper bound on the MWIS weight within
+// cand, since an independent set takes at most one node per clique.
+func (s *solver) cliqueCoverBound(cand bitset) int64 {
+	rest := cand.clone()
+	var bound int64
+	for {
+		v := rest.firstSet()
+		if v < 0 {
+			return bound
+		}
+		rest.clear(v)
+		cliqueMax := s.w[v]
+		// Grow a clique around v greedily: members must be adjacent to all
+		// current members; track the intersection of neighbourhoods.
+		inter := s.adj[v].clone()
+		for i := range inter {
+			inter[i] &= rest[i]
+		}
+		for {
+			u := inter.firstSet()
+			if u < 0 {
+				break
+			}
+			rest.clear(u)
+			inter.clear(u)
+			if s.w[u] > cliqueMax {
+				cliqueMax = s.w[u]
+			}
+			for i := range inter {
+				inter[i] &= s.adj[u][i]
+			}
+		}
+		bound += cliqueMax
+	}
+}
+
+// ForestMWIS solves MWIS exactly on a forest via tree dynamic programming.
+// Returns an error if g contains a cycle.
+func ForestMWIS(g *graph.Graph) (int64, []bool, error) {
+	n := g.N()
+	comp, count := g.Components()
+	compNodes := make([]int, count)
+	compEdges := make([]int, count)
+	for v := 0; v < n; v++ {
+		compNodes[comp[v]]++
+		for _, u := range g.Neighbors(v) {
+			if int(u) > v {
+				compEdges[comp[v]]++
+			}
+		}
+	}
+	for c := 0; c < count; c++ {
+		if compEdges[c] != compNodes[c]-1 {
+			return 0, nil, errors.New("exact: graph contains a cycle")
+		}
+	}
+
+	take := make([]int64, n) // best subtree weight with v taken
+	skip := make([]int64, n) // best subtree weight with v skipped
+	parent := make([]int32, n)
+	visited := make([]bool, n)
+	order := make([]int32, 0, n) // DFS pre-order: parents before children
+
+	for root := 0; root < n; root++ {
+		if visited[root] {
+			continue
+		}
+		parent[root] = -1
+		visited[root] = true
+		stack := []int32{int32(root)}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			order = append(order, v)
+			for _, u := range g.Neighbors(int(v)) {
+				if !visited[u] {
+					visited[u] = true
+					parent[u] = v
+					stack = append(stack, u)
+				}
+			}
+		}
+	}
+	// Leaves-first DP.
+	for i := n - 1; i >= 0; i-- {
+		v := order[i]
+		take[v] = g.Weight(int(v))
+		skip[v] = 0
+		for _, u := range g.Neighbors(int(v)) {
+			if parent[u] == v {
+				take[v] += skip[u]
+				skip[v] += maxI64(take[u], skip[u])
+			}
+		}
+	}
+	// Top-down reconstruction.
+	set := make([]bool, n)
+	var total int64
+	for _, v := range order {
+		if parent[v] == -1 {
+			total += maxI64(take[v], skip[v])
+			set[v] = take[v] > skip[v]
+			continue
+		}
+		if set[parent[v]] {
+			set[v] = false
+		} else {
+			set[v] = take[v] > skip[v]
+		}
+	}
+	return total, set, nil
+}
+
+// CycleMWIS solves MWIS exactly on the cycle graph 0-1-...-n-1-0 in O(n).
+// The graph must actually be that cycle (each node adjacent to (v±1) mod n).
+func CycleMWIS(g *graph.Graph) (int64, error) {
+	n := g.N()
+	if n < 3 {
+		return 0, errors.New("exact: cycle needs n >= 3")
+	}
+	for v := 0; v < n; v++ {
+		if g.Degree(v) != 2 || !g.HasEdge(v, (v+1)%n) {
+			return 0, errors.New("exact: graph is not the canonical cycle")
+		}
+	}
+	w := g.Weights()
+	// Case 1: node 0 excluded -> path 1..n-1. Case 2: node 0 included ->
+	// w[0] + path 2..n-2.
+	best := pathMWIS(w[1:])
+	if w[0] > 0 {
+		if n >= 4 {
+			if v := w[0] + pathMWIS(w[2:n-1]); v > best {
+				best = v
+			}
+		} else if w[0] > best {
+			best = w[0]
+		}
+	}
+	return best, nil
+}
+
+// pathMWIS is the classic house-robber DP over a path's weight sequence.
+func pathMWIS(w []int64) int64 {
+	var take, skip int64
+	for _, x := range w {
+		newTake := skip + maxI64(x, 0)
+		newSkip := maxI64(take, skip)
+		take, skip = newTake, newSkip
+	}
+	return maxI64(take, skip)
+}
+
+// CliqueCoverUpperBound returns a certified upper bound on OPT(G_w) by
+// greedy clique partitioning (any independent set takes at most one node
+// per clique).
+func CliqueCoverUpperBound(g *graph.Graph) int64 {
+	n := g.N()
+	covered := make([]bool, n)
+	// Process in descending-degree order for tighter cliques.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return g.Degree(order[i]) > g.Degree(order[j]) })
+	var bound int64
+	for _, v := range order {
+		if covered[v] {
+			continue
+		}
+		covered[v] = true
+		clique := []int{v}
+		cliqueMax := maxI64(g.Weight(v), 0)
+		for _, u := range g.Neighbors(v) {
+			if covered[u] {
+				continue
+			}
+			inClique := true
+			for _, c := range clique {
+				if c != int(u) && !g.HasEdge(c, int(u)) {
+					inClique = false
+					break
+				}
+			}
+			if inClique {
+				covered[u] = true
+				clique = append(clique, int(u))
+				if w := g.Weight(int(u)); w > cliqueMax {
+					cliqueMax = w
+				}
+			}
+		}
+		bound += cliqueMax
+	}
+	return bound
+}
+
+// CaroWeiLowerBound returns the weighted Caro–Wei bound Σ w(v)/(deg(v)+1),
+// a certified lower bound on OPT(G_w) (achieved in expectation by the
+// one-round ranking algorithm of Boppana–Halldórsson–Rawitz [17]).
+func CaroWeiLowerBound(g *graph.Graph) float64 {
+	var sum float64
+	for v := 0; v < g.N(); v++ {
+		if w := g.Weight(v); w > 0 {
+			sum += float64(w) / float64(g.Degree(v)+1)
+		}
+	}
+	return sum
+}
+
+// GreedyMWIS is the sequential max-weight-first greedy heuristic; its output
+// is a valid independent set whose weight lower-bounds OPT. Used to sanity-
+// check ratios on graphs too large for exact search.
+func GreedyMWIS(g *graph.Graph) (int64, []bool) {
+	n := g.N()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		wi, wj := g.Weight(order[i]), g.Weight(order[j])
+		if wi != wj {
+			return wi > wj
+		}
+		return order[i] < order[j]
+	})
+	set := make([]bool, n)
+	blocked := make([]bool, n)
+	var total int64
+	for _, v := range order {
+		if blocked[v] || g.Weight(v) <= 0 {
+			continue
+		}
+		set[v] = true
+		total += g.Weight(v)
+		for _, u := range g.Neighbors(v) {
+			blocked[u] = true
+		}
+	}
+	return total, set
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,262 @@
+package exact
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"distmwis/internal/graph"
+	"distmwis/internal/graph/gen"
+)
+
+// bruteForceMWIS enumerates all 2^n subsets; ground truth for tiny graphs.
+func bruteForceMWIS(g *graph.Graph) int64 {
+	n := g.N()
+	var best int64
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		var w int64
+		ok := true
+		for v := 0; v < n && ok; v++ {
+			if mask&(1<<uint(v)) == 0 {
+				continue
+			}
+			w += g.Weight(v)
+			for _, u := range g.Neighbors(v) {
+				if int(u) < v && mask&(1<<uint(u)) != 0 {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok && w > best {
+			best = w
+		}
+	}
+	return best
+}
+
+func randomWeightedGraph(n int, p float64, maxW int64, seed uint64) *graph.Graph {
+	r := rand.New(rand.NewPCG(seed, 99))
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		b.SetWeight(u, 1+r.Int64N(maxW))
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < p {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestMWISMatchesBruteForce(t *testing.T) {
+	for seed := uint64(1); seed <= 25; seed++ {
+		for _, p := range []float64{0.1, 0.3, 0.7} {
+			g := randomWeightedGraph(12, p, 50, seed)
+			want := bruteForceMWIS(g)
+			got, set, err := MWIS(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("seed %d p %.1f: MWIS = %d, want %d", seed, p, got, want)
+			}
+			if !g.IsIndependentSet(set) {
+				t.Fatal("MWIS returned dependent set")
+			}
+			if g.SetWeight(set) != got {
+				t.Fatalf("set weight %d != reported %d", g.SetWeight(set), got)
+			}
+		}
+	}
+}
+
+func TestMWISKnownValues(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+		want int64
+	}{
+		{name: "K5-unit", g: gen.Clique(5), want: 1},
+		{name: "C5-unit", g: gen.Cycle(5), want: 2},
+		{name: "P4-unit", g: gen.Path(4), want: 2},
+		{name: "empty", g: graph.NewBuilder(6).MustBuild(), want: 6},
+		{
+			name: "weighted-path",
+			g:    gen.Path(3).WithWeights([]int64{5, 9, 5}),
+			want: 10, // endpoints beat the heavy middle
+		},
+		{
+			name: "weighted-star",
+			g:    gen.Star(5).WithWeights([]int64{100, 1, 1, 1, 1}),
+			want: 100, // hub outweighs all leaves
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, _, err := MWIS(tt.g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tt.want {
+				t.Errorf("MWIS = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMWISIgnoresNonPositiveNodes(t *testing.T) {
+	g := gen.Path(3).WithWeights([]int64{0, -5, 7})
+	got, set, err := MWIS(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 {
+		t.Errorf("MWIS = %d, want 7", got)
+	}
+	if set[0] || set[1] {
+		t.Error("selected a non-positive-weight node")
+	}
+}
+
+func TestMWISTooLarge(t *testing.T) {
+	g := gen.Cycle(DefaultMWISLimit + 1)
+	if _, _, err := MWIS(g); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+	if _, _, err := MWISLimit(g, DefaultMWISLimit+1); err != nil {
+		t.Errorf("explicit limit run failed: %v", err)
+	}
+}
+
+func TestForestMWISMatchesExact(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		g := gen.Weighted(gen.RandomTree(14, seed), gen.UniformWeights(30), seed)
+		want, _, err := MWIS(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, set, err := ForestMWIS(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("seed %d: ForestMWIS = %d, want %d", seed, got, want)
+		}
+		if !g.IsIndependentSet(set) || g.SetWeight(set) != got {
+			t.Fatal("reconstruction inconsistent")
+		}
+	}
+}
+
+func TestForestMWISOnDisconnectedForest(t *testing.T) {
+	// Two paths P3 with weights; optimum = 10+7.
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	b.SetWeights([]int64{5, 9, 5, 3, 7, 3})
+	g := b.MustBuild()
+	got, _, err := ForestMWIS(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 17 {
+		t.Errorf("ForestMWIS = %d, want 17", got)
+	}
+}
+
+func TestForestMWISRejectsCycle(t *testing.T) {
+	if _, _, err := ForestMWIS(gen.Cycle(5)); err == nil {
+		t.Error("expected cycle rejection")
+	}
+	// Cycle + isolated vertex: still must be rejected.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	g := b.MustBuild()
+	if _, _, err := ForestMWIS(g); err == nil {
+		t.Error("expected cycle rejection with isolated vertex present")
+	}
+}
+
+func TestCycleMWIS(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		g := gen.Weighted(gen.Cycle(13), gen.UniformWeights(40), seed)
+		want, _, err := MWIS(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := CycleMWIS(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("seed %d: CycleMWIS = %d, want %d", seed, got, want)
+		}
+	}
+	if _, err := CycleMWIS(gen.Path(5)); err == nil {
+		t.Error("expected rejection of non-cycle")
+	}
+}
+
+func TestBoundsBracketOPT(t *testing.T) {
+	for seed := uint64(1); seed <= 15; seed++ {
+		g := randomWeightedGraph(20, 0.25, 100, seed)
+		opt, _, err := MWIS(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ub := CliqueCoverUpperBound(g); ub < opt {
+			t.Errorf("seed %d: clique cover %d < OPT %d", seed, ub, opt)
+		}
+		if lb := CaroWeiLowerBound(g); lb > float64(opt)+1e-9 {
+			t.Errorf("seed %d: Caro-Wei %.2f > OPT %d", seed, lb, opt)
+		}
+		gw, set := GreedyMWIS(g)
+		if gw > opt {
+			t.Errorf("seed %d: greedy %d > OPT %d", seed, gw, opt)
+		}
+		if !g.IsIndependentSet(set) {
+			t.Error("greedy returned dependent set")
+		}
+	}
+}
+
+func TestGreedyMWISSkipsNonPositive(t *testing.T) {
+	g := gen.Path(2).WithWeights([]int64{0, 3})
+	w, set := GreedyMWIS(g)
+	if w != 3 || set[0] {
+		t.Errorf("greedy picked zero-weight node: w=%d set=%v", w, set)
+	}
+}
+
+// TestQuickMWISUpperLowerSandwich: on random graphs, CaroWei <= greedy or
+// OPT <= cliquecover always holds.
+func TestQuickMWISUpperLowerSandwich(t *testing.T) {
+	f := func(seed uint64, pByte uint8) bool {
+		p := 0.05 + float64(pByte%80)/100
+		g := randomWeightedGraph(16, p, 64, seed)
+		opt, _, err := MWIS(g)
+		if err != nil {
+			return false
+		}
+		return CaroWeiLowerBound(g) <= float64(opt)+1e-9 && CliqueCoverUpperBound(g) >= opt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMWIS40(b *testing.B) {
+	g := randomWeightedGraph(40, 0.2, 1000, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := MWIS(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

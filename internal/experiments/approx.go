@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"fmt"
+
+	"distmwis/internal/exact"
+	"distmwis/internal/graph"
+	"distmwis/internal/graph/gen"
+	"distmwis/internal/maxis"
+)
+
+// namedGraph pairs a workload with its label for table rows.
+type namedGraph struct {
+	name string
+	g    *graph.Graph
+}
+
+// runE1 validates Theorem 8: the good-nodes algorithm returns weight at
+// least w(V)/(4(Δ+1)) in O(MIS(n,Δ)) rounds, on every workload family.
+func runE1(opts Options) (*Table, error) {
+	trials := opts.trials(5, 2)
+	sizes := []int{256, 1024, 4096}
+	if opts.Quick {
+		sizes = []int{256, 1024}
+	}
+	t := &Table{
+		ID:    "E1",
+		Title: "Good-nodes O(Δ)-approximation (Theorem 8)",
+		Claim: "w(I) ≥ w(V)/(4(Δ+1)) in O(MIS(n,Δ)) rounds",
+		Columns: []string{
+			"graph", "n", "Δ", "w(V)", "bound w(V)/4(Δ+1)",
+			"min w(I)", "mean w(I)", "rounds (mean)", "guarantee held",
+		},
+	}
+	for _, n := range sizes {
+		for _, wl := range []namedGraph{
+			{name: "gnp", g: gen.Weighted(gen.GNP(n, 8/float64(n), opts.seed()), gen.PolyWeights(2), opts.seed())},
+			{name: "powerlaw", g: gen.Weighted(gen.ChungLu(minInt(n, 2048), 2.5, 64, opts.seed()+uint64(n)), gen.UniformWeights(1<<16), opts.seed())},
+			{name: "torus", g: gen.Weighted(gen.Torus(intSqrt(n), intSqrt(n)), gen.ExponentialSpreadWeights(20), opts.seed())},
+		} {
+			g := wl.g
+			bound := float64(g.TotalWeight()) / (4 * float64(g.MaxDegree()+1))
+			var minW int64 = 1<<62 - 1
+			var sumW, sumRounds int64
+			held := true
+			for trial := 0; trial < trials; trial++ {
+				res, err := maxis.GoodNodes(g, maxis.Config{Seed: opts.seed() + uint64(trial)})
+				if err != nil {
+					return nil, err
+				}
+				if res.Weight < minW {
+					minW = res.Weight
+				}
+				sumW += res.Weight
+				sumRounds += int64(res.Metrics.Rounds)
+				if float64(res.Weight) < bound {
+					held = false
+				}
+			}
+			t.Rows = append(t.Rows, []string{
+				wl.name, fi(g.N()), fi(g.MaxDegree()), f64(g.TotalWeight()), ff(bound),
+				f64(minW), ff(float64(sumW) / float64(trials)),
+				ff(float64(sumRounds) / float64(trials)), fbool(held),
+			})
+		}
+	}
+	return t, nil
+}
+
+// runE3 validates Theorem 1: (1+ε)Δ-approximation against exact optima,
+// with rounds scaling as O(MIS/ε).
+func runE3(opts Options) (*Table, error) {
+	epsSweep := []float64{2, 1, 0.5, 0.25, 0.125}
+	if opts.Quick {
+		epsSweep = []float64{1, 0.25}
+	}
+	graphs := []namedGraph{
+		{name: "gnp40", g: gen.Weighted(gen.GNP(40, 0.15, opts.seed()), gen.UniformWeights(1000), opts.seed())},
+		{name: "clique20", g: gen.Weighted(gen.Clique(20), gen.UniformWeights(100), opts.seed()+1)},
+		{name: "cycle50", g: gen.Weighted(gen.Cycle(50), gen.UniformWeights(1<<12), opts.seed()+2)},
+		{name: "bipartite", g: gen.Weighted(gen.CompleteBipartite(12, 14), gen.UniformWeights(500), opts.seed()+3)},
+	}
+	t := &Table{
+		ID:    "E3",
+		Title: "(1+ε)Δ-approximation via boosting (Theorem 1)",
+		Claim: "ratio OPT/w(I) ≤ (1+ε)Δ; rounds = O(MIS(n,Δ)/ε)",
+		Columns: []string{
+			"graph", "Δ", "ε", "OPT", "w(I)", "ratio", "guarantee (1+ε)Δ",
+			"held", "phases", "rounds",
+		},
+	}
+	for _, wl := range graphs {
+		var opt int64
+		var err error
+		if wl.name == "cycle50" {
+			opt, err = exact.CycleMWIS(wl.g)
+		} else {
+			opt, _, err = exact.MWIS(wl.g)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("exact OPT for %s: %w", wl.name, err)
+		}
+		for _, eps := range epsSweep {
+			res, err := maxis.Theorem1(wl.g, eps, maxis.Config{Seed: opts.seed()})
+			if err != nil {
+				return nil, err
+			}
+			ratio := float64(opt) / float64(res.Weight)
+			guar := maxis.GuaranteeDelta(wl.g.MaxDegree(), eps)
+			t.Rows = append(t.Rows, []string{
+				wl.name, fi(wl.g.MaxDegree()), ff(eps), f64(opt), f64(res.Weight),
+				ff(ratio), ff(guar), fbool(ratio <= guar+1e-9),
+				fi(res.Phases), fi(res.Metrics.Rounds),
+			})
+		}
+	}
+	return t, nil
+}
+
+// runE6 validates Theorem 10 / Proposition 2: the boosting stack property
+// w(I) ≥ Σᵢ wᵢ(Iᵢ) and the Corollary 1 bound w(I) ≥ w(V)/((1+ε)(Δ+1)).
+func runE6(opts Options) (*Table, error) {
+	eps := 0.5
+	trials := opts.trials(5, 2)
+	graphs := []namedGraph{
+		{name: "gnp", g: gen.Weighted(gen.GNP(400, 0.03, opts.seed()), gen.PolyWeights(2), opts.seed())},
+		{name: "clique", g: gen.Weighted(gen.Clique(64), gen.UniformWeights(1000), opts.seed()+1)},
+		{name: "tree", g: gen.Weighted(gen.RandomTree(500, opts.seed()+2), gen.UniformWeights(256), opts.seed()+2)},
+		{name: "expspread", g: gen.Weighted(gen.GNP(300, 0.05, opts.seed()+3), gen.ExponentialSpreadWeights(24), opts.seed()+3)},
+	}
+	t := &Table{
+		ID:    "E6",
+		Title: "Local-ratio boosting and the stack property (Thm 10, Prop 2, Cor 1)",
+		Claim: "w(I) ≥ Σᵢ wᵢ(Iᵢ) always; w(I) ≥ w(V)/((1+ε)(Δ+1))",
+		Columns: []string{
+			"graph", "Δ", "w(V)", "mean w(I)", "mean stack Σwᵢ(Iᵢ)",
+			"stack ≤ w(I)", "Cor1 bound", "Cor1 held", "phases",
+		},
+	}
+	for _, wl := range graphs {
+		g := wl.g
+		var sumW, sumStack float64
+		stackOK, corOK := true, true
+		phases := 0
+		cor1 := maxis.GuaranteeCorollary1(g.TotalWeight(), g.MaxDegree(), eps)
+		for trial := 0; trial < trials; trial++ {
+			res, err := maxis.Theorem1(g, eps, maxis.Config{Seed: opts.seed() + uint64(trial)})
+			if err != nil {
+				return nil, err
+			}
+			sumW += float64(res.Weight)
+			sumStack += float64(res.StackValue)
+			if res.Weight < res.StackValue {
+				stackOK = false
+			}
+			if float64(res.Weight) < cor1-1e-9 {
+				corOK = false
+			}
+			phases = res.Phases
+		}
+		t.Rows = append(t.Rows, []string{
+			wl.name, fi(g.MaxDegree()), f64(g.TotalWeight()),
+			ff(sumW / float64(trials)), ff(sumStack / float64(trials)),
+			fbool(stackOK), ff(cor1), fbool(corOK), fi(phases),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"The stack property is additionally asserted at runtime inside every Boost run; a violation aborts the algorithm.")
+	return t, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// intSqrt returns ⌊√n⌋.
+func intSqrt(n int) int {
+	r := 0
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}

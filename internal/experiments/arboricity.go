@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"distmwis/internal/exact"
+	"distmwis/internal/graph"
+	"distmwis/internal/graph/gen"
+	"distmwis/internal/maxis"
+)
+
+// runE7 validates Theorem 3/12: the 8(1+ε)α-approximation beats the
+// Δ-based guarantee whenever α < Δ/(8(1+ε)), at an O(log n) factor in
+// rounds.
+func runE7(opts Options) (*Table, error) {
+	eps := 0.5
+	t := &Table{
+		ID:    "E7",
+		Title: "Low-arboricity approximation (Theorem 3, Algorithm 6)",
+		Claim: "8(1+ε)α-approximation in O(T·log n) rounds; beats (1+ε)Δ when α < Δ/(8(1+ε))",
+		Columns: []string{
+			"graph", "n", "α", "Δ", "OPT (or UB)", "w(I) thm3", "ratio",
+			"guarantee 8(1+ε)α", "held", "(1+ε)Δ for comparison", "phases", "rounds",
+		},
+	}
+	type workload struct {
+		name  string
+		g     *graph.Graph
+		alpha int
+		exact bool // forest ⇒ exact OPT available
+	}
+	workloads := []workload{
+		{name: "tree", g: gen.Weighted(gen.RandomTree(800, opts.seed()), gen.UniformWeights(1000), opts.seed()), alpha: 1, exact: true},
+		{name: "caterpillar", g: gen.Weighted(gen.Caterpillar(50, 40), gen.UniformWeights(500), opts.seed()+1), alpha: 1, exact: true},
+		{name: "heavy-hubs", g: heavyHubCaterpillar(50, 40), alpha: 1, exact: true},
+		{name: "forests-2", g: gen.Weighted(gen.UnionOfForests(600, 2, opts.seed()+2), gen.UniformWeights(256), opts.seed()+2), alpha: 2},
+		{name: "forests-4", g: gen.Weighted(gen.UnionOfForests(600, 4, opts.seed()+3), gen.UniformWeights(256), opts.seed()+3), alpha: 4},
+		{name: "apollonian", g: gen.Weighted(gen.Apollonian(500, opts.seed()+4), gen.PolyWeights(1), opts.seed()+4), alpha: 3},
+	}
+	if opts.Quick {
+		workloads = workloads[:3]
+	}
+	for _, wl := range workloads {
+		var opt float64
+		optLabel := ""
+		if wl.exact {
+			v, _, err := exact.ForestMWIS(wl.g)
+			if err != nil {
+				return nil, err
+			}
+			opt = float64(v)
+			optLabel = f64(v)
+		} else {
+			v := exact.CliqueCoverUpperBound(wl.g)
+			opt = float64(v)
+			optLabel = f64(v) + " (UB)"
+		}
+		res, err := maxis.Theorem3(wl.g, wl.alpha, eps, maxis.Config{Seed: opts.seed()})
+		if err != nil {
+			return nil, err
+		}
+		ratio := opt / float64(res.Weight)
+		guar := maxis.Guarantee8Alpha(wl.alpha, eps)
+		t.Rows = append(t.Rows, []string{
+			wl.name, fi(wl.g.N()), fi(wl.alpha), fi(wl.g.MaxDegree()),
+			optLabel, f64(res.Weight), ff(ratio), ff(guar),
+			fbool(ratio <= guar+1e-9),
+			ff(maxis.GuaranteeDelta(wl.g.MaxDegree(), eps)),
+			fi(res.Phases), fi(res.Metrics.Rounds),
+		})
+	}
+	// α-free row: Theorem3Auto estimates the arboricity distributedly
+	// (peeling) before running Algorithm 6.
+	autoG := gen.Weighted(gen.Apollonian(500, opts.seed()+4), gen.PolyWeights(1), opts.seed()+4)
+	auto, err := maxis.Theorem3Auto(autoG, eps, maxis.Config{Seed: opts.seed()})
+	if err != nil {
+		return nil, err
+	}
+	autoUB := exact.CliqueCoverUpperBound(autoG)
+	alphaHat := int(auto.Extra["alpha_estimate"])
+	t.Rows = append(t.Rows, []string{
+		"apollonian (α estimated)", fi(autoG.N()), fi(alphaHat) + " (est)", fi(autoG.MaxDegree()),
+		f64(autoUB) + " (UB)", f64(auto.Weight), ff(float64(autoUB) / float64(auto.Weight)),
+		ff(maxis.Guarantee8Alpha(alphaHat, eps)),
+		fbool(float64(autoUB)/float64(auto.Weight) <= maxis.Guarantee8Alpha(alphaHat, eps)+1e-9),
+		ff(maxis.GuaranteeDelta(autoG.MaxDegree(), eps)),
+		fi(auto.Phases), fi(auto.Metrics.Rounds),
+	})
+
+	t.Notes = append(t.Notes,
+		"For non-forest workloads OPT is replaced by the certified clique-cover upper bound, so the reported ratio is itself an upper bound on the true ratio.",
+		"On the caterpillar (α=1, Δ=42) the arboricity guarantee 12 beats the degree guarantee 63 — the α < Δ/(8(1+ε)) regime the theorem targets.",
+		"heavy-hubs weights the high-degree spine so it survives the first round of reductions: the run needs a second phase, exercising Algorithm 6's peeling loop.",
+	)
+	return t, nil
+}
+
+// heavyHubCaterpillar builds a caterpillar whose spine nodes carry weight
+// far exceeding their legs' total, so the spine survives the first
+// local-ratio reduction and Algorithm 6 needs a second peeling phase.
+func heavyHubCaterpillar(spine, legs int) *graph.Graph {
+	g := gen.Caterpillar(spine, legs)
+	w := make([]int64, g.N())
+	for v := range w {
+		if v < spine {
+			w[v] = int64(legs) * 1000 // ≫ sum of its legs' weights
+		} else {
+			w[v] = 1 + int64(v%7)
+		}
+	}
+	return g.WithWeights(w)
+}

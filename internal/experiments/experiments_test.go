@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIDsOrderedAndComplete(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 17 {
+		t.Fatalf("registry has %d experiments, want 17", len(ids))
+	}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17"}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Errorf("IDs()[%d] = %s, want %s", i, ids[i], id)
+		}
+	}
+	for _, id := range ids {
+		if Title(id) == "" {
+			t.Errorf("%s has no title", id)
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("E99", Options{}); err == nil {
+		t.Error("expected error for unknown experiment")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		ID:      "EX",
+		Title:   "Example",
+		Claim:   "claim text",
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"1", "2"}, {"3", "4,5"}},
+		Notes:   []string{"a note"},
+	}
+	md := tab.Markdown()
+	for _, want := range []string{"### EX — Example", "| a | b |", "| 3 | 4,5 |", "> a note", "claim text"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+	csv := tab.CSV()
+	if !strings.Contains(csv, "a,b\n1,2\n3,4;5\n") {
+		t.Errorf("csv wrong:\n%s", csv)
+	}
+}
+
+// TestQuickExperimentsProduceRows smoke-tests a representative subset of
+// the registry in quick mode; the full suite is exercised by
+// cmd/experiments and bench_test.go.
+func TestQuickExperimentsProduceRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow; skipped with -short")
+	}
+	for _, id := range []string{"E1", "E3", "E6", "E9", "E12"} {
+		t.Run(id, func(t *testing.T) {
+			tab, err := Run(id, Options{Quick: true, Seed: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			for i, row := range tab.Rows {
+				if len(row) != len(tab.Columns) {
+					t.Errorf("row %d has %d cells for %d columns", i, len(row), len(tab.Columns))
+				}
+			}
+			// Any "held" column must be uniformly "yes".
+			for ci, col := range tab.Columns {
+				if col != "held" && col != "guarantee held" && col != "all MIS valid" {
+					continue
+				}
+				for ri, row := range tab.Rows {
+					if row[ci] != "yes" && row[ci] != "-" {
+						t.Errorf("%s row %d: %s = %q, want yes", id, ri, col, row[ci])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAllExperimentsQuick runs the complete registry in quick mode: every
+// runner must produce a well-formed table with no guarantee violations.
+// Takes tens of seconds; skipped with -short.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep skipped with -short")
+	}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			tab, err := Run(id, Options{Quick: true, Seed: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tab.Rows) == 0 || len(tab.Columns) == 0 {
+				t.Fatal("empty table")
+			}
+			if tab.Claim == "" || tab.Title == "" {
+				t.Error("missing claim or title")
+			}
+			for i, row := range tab.Rows {
+				if len(row) != len(tab.Columns) {
+					t.Errorf("row %d has %d cells for %d columns", i, len(row), len(tab.Columns))
+				}
+			}
+			for ci, col := range tab.Columns {
+				switch col {
+				case "held", "guarantee held", "all MIS valid", "compliant", "MIS valid", "≥ bound", "Cor1 held", "stack ≤ w(I)":
+					for ri, row := range tab.Rows {
+						if row[ci] != "yes" && row[ci] != "-" {
+							t.Errorf("row %d: %s = %q", ri, col, row[ci])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	if o.seed() != 1 {
+		t.Errorf("default seed = %d, want 1", o.seed())
+	}
+	if o.trials(10, 3) != 10 {
+		t.Error("full trials wrong")
+	}
+	o.Quick = true
+	if o.trials(10, 3) != 3 {
+		t.Error("quick trials wrong")
+	}
+	o.Trials = 7
+	if o.trials(10, 3) != 7 {
+		t.Error("override trials wrong")
+	}
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"distmwis/internal/exact"
+	"distmwis/internal/graph/gen"
+	"distmwis/internal/localapprox"
+	"distmwis/internal/maxis"
+)
+
+// runE16 exercises the LOCAL-model (1+ε)-approximation of the Related Work
+// ([29], here realized by the low-diameter-decomposition scheme in
+// internal/localapprox): the achieved ratio approaches 1 as ε shrinks, at
+// the cost of rounds growing with the cluster radius O(log n / β) — a
+// different trade-off axis than the CONGEST (1+ε)Δ results.
+func runE16(opts Options) (*Table, error) {
+	trials := opts.trials(5, 2)
+	t := &Table{
+		ID:    "E16",
+		Title: "LOCAL (1+ε)-approximation via low-diameter decomposition ([29] stand-in)",
+		Claim: "(1+ε)-approximation in poly(log n/ε) LOCAL rounds; ratio → 1 as ε → 0",
+		Columns: []string{
+			"graph", "n", "Δ", "ε", "OPT", "mean w(I)", "best w(I)", "ratio (best)",
+			"rounds (mean)", "cut nodes (mean)", "exact clusters",
+		},
+	}
+	g := gen.Weighted(gen.RandomTree(3000, opts.seed()), gen.UniformWeights(1000), opts.seed())
+	opt, _, err := exact.ForestMWIS(g)
+	if err != nil {
+		return nil, err
+	}
+	epsSweep := []float64{2, 1, 0.5, 0.25, 0.1}
+	if opts.Quick {
+		epsSweep = []float64{1, 0.25}
+	}
+	for _, eps := range epsSweep {
+		var sumW, best int64
+		var sumRounds, sumCut, exactClusters int
+		for trial := 0; trial < trials; trial++ {
+			res, err := localapprox.Approximate(g, localapprox.Options{Epsilon: eps, Seed: opts.seed() + uint64(trial)})
+			if err != nil {
+				return nil, err
+			}
+			sumW += res.Weight
+			if res.Weight > best {
+				best = res.Weight
+			}
+			sumRounds += res.Rounds
+			sumCut += res.CutNodes
+			exactClusters = res.ExactClusters
+		}
+		t.Rows = append(t.Rows, []string{
+			"tree", fi(g.N()), fi(g.MaxDegree()), ff(eps), f64(opt),
+			ff(float64(sumW) / float64(trials)), f64(best),
+			ff4(float64(opt) / float64(best)),
+			ff(float64(sumRounds) / float64(trials)),
+			ff(float64(sumCut) / float64(trials)), fi(exactClusters),
+		})
+	}
+	// One CONGEST comparison row: Theorem 2 on the same instance has a far
+	// weaker guarantee ((1+ε)Δ) but needs no Δ-dependent radius.
+	fast, err := maxis.Theorem2(g, 0.5, maxis.Config{Seed: opts.seed()})
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, []string{
+		"tree (thm2, CONGEST)", fi(g.N()), fi(g.MaxDegree()), "0.50", f64(opt),
+		f64(fast.Weight), f64(fast.Weight), ff4(float64(opt) / float64(fast.Weight)),
+		fi(fast.Metrics.Rounds), "-", "-",
+	})
+	t.Notes = append(t.Notes,
+		"Forest clusters are solved exactly by the tree DP, so the (1+ε) expectation guarantee is exercised rigorously at n=3000. The LOCAL ratio approaches 1 as ε shrinks while rounds grow — the trade-off [29] navigates with poly(log n/ε) machinery.",
+	)
+	return t, nil
+}

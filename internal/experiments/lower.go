@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"distmwis/internal/graph/gen"
+	"distmwis/internal/lowerbound"
+	"distmwis/internal/stats"
+)
+
+// runE12 exercises the Section 7 reduction: RandMIS turns an approximate
+// MaxIS algorithm on the cycle-of-cliques C₁ into an MIS of the cycle C,
+// with gaps bounded by the algorithm's round count — and shows the contrast
+// with a truncated algorithm on the plain cycle (the failure mode that
+// forces the clique blow-up in the proof).
+func runE12(opts Options) (*Table, error) {
+	trials := opts.trials(10, 3)
+	t := &Table{
+		ID:    "E12",
+		Title: "Lower-bound machinery: the RandMIS reduction (Section 7, Lemma 8)",
+		Claim: "A(C₁) + gap filling yields an MIS of C in O(T(n₀n₁)) rounds; gaps on C₁ stay O(T), unlike truncated runs on the plain cycle",
+		Columns: []string{
+			"instance", "n₀", "n₁", "mean |I₁|", "max gap (worst)", "fill rounds (worst)",
+			"A rounds", "all MIS valid", "log*(n₀n₁)",
+		},
+	}
+	type point struct {
+		name   string
+		n0, n1 int
+	}
+	points := []point{
+		{name: "coc-64x16", n0: 64, n1: 16},
+		{name: "coc-128x32", n0: 128, n1: 32},
+		{name: "coc-256x16", n0: 256, n1: 16},
+	}
+	if opts.Quick {
+		points = points[:2]
+	}
+	for _, pt := range points {
+		var sumI1 float64
+		worstGap, worstFill, rounds := 0, 0, 0
+		valid := true
+		for trial := 0; trial < trials; trial++ {
+			res, err := lowerbound.RandMIS(pt.n0, pt.n1, lowerbound.RankingAlgorithm(2), opts.seed()+uint64(trial))
+			if err != nil {
+				return nil, err
+			}
+			sumI1 += float64(res.I1Size)
+			if res.MaxGap > worstGap {
+				worstGap = res.MaxGap
+			}
+			if res.FillRounds > worstFill {
+				worstFill = res.FillRounds
+			}
+			rounds = res.SimRounds
+			c := gen.Cycle(pt.n0)
+			if !c.IsMaximalIS(res.MIS) {
+				valid = false
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			pt.name, fi(pt.n0), fi(pt.n1), ff(sumI1 / float64(trials)),
+			fi(worstGap), fi(worstFill), fi(rounds), fbool(valid),
+			fi(stats.LogStar(float64(pt.n0 * pt.n1))),
+		})
+	}
+
+	// Contrast rows: truncated Luby on the plain cycle leaves gaps well
+	// beyond its round budget.
+	for _, tr := range []int{3, 6, 9} {
+		const n = 8192
+		worstGap := 0
+		for trial := 0; trial < trials; trial++ {
+			set, _, err := lowerbound.TruncatedLuby(tr)(gen.Cycle(n), opts.seed()+uint64(trial))
+			if err != nil {
+				return nil, err
+			}
+			if gap := lowerbound.MaxGapOnCycle(set); gap > worstGap {
+				worstGap = gap
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			"plain-cycle truncated Luby", fi(n), "-", "-",
+			fi(worstGap), "-", fi(tr), "-", fi(stats.LogStar(n)),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"On C₁ the worst gap stays a small constant: the n₁-clique blow-up amplifies the per-region success probability exactly as Propositions 8–9 argue.",
+		"On the plain cycle, cutting a w.h.p. algorithm off after T rounds leaves gaps ≫ T somewhere along the cycle — the failure that makes the plain cycle unusable for the randomized reduction and motivates the cycle-of-cliques.",
+	)
+	return t, nil
+}

@@ -1,0 +1,74 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonDoc is the serialized form of a Graph: node count, identifiers,
+// weights and an undirected edge list (each edge once, u < v).
+type jsonDoc struct {
+	N     int        `json:"n"`
+	IDs   []uint64   `json:"ids,omitempty"`
+	W     []int64    `json:"weights,omitempty"`
+	Edges [][2]int32 `json:"edges"`
+}
+
+// WriteJSON serializes g. The format is stable and human-inspectable; it is
+// what cmd/graphgen emits.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	doc := jsonDoc{
+		N:     g.N(),
+		IDs:   make([]uint64, g.N()),
+		W:     g.Weights(),
+		Edges: make([][2]int32, 0, g.M()),
+	}
+	for v := 0; v < g.N(); v++ {
+		doc.IDs[v] = g.ID(v)
+		for _, u := range g.Neighbors(v) {
+			if int(u) > v {
+				doc.Edges = append(doc.Edges, [2]int32{int32(v), u})
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("graph: encode: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON deserializes a graph written by WriteJSON. Missing ids/weights
+// fall back to the builder defaults (1..n, unit weights).
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var doc jsonDoc
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("graph: decode: %w", err)
+	}
+	if doc.N < 0 {
+		return nil, fmt.Errorf("graph: negative node count %d", doc.N)
+	}
+	if len(doc.IDs) != 0 && len(doc.IDs) != doc.N {
+		return nil, fmt.Errorf("graph: %d ids for %d nodes", len(doc.IDs), doc.N)
+	}
+	if len(doc.W) != 0 && len(doc.W) != doc.N {
+		return nil, fmt.Errorf("graph: %d weights for %d nodes", len(doc.W), doc.N)
+	}
+	b := NewBuilder(doc.N)
+	for v, id := range doc.IDs {
+		b.SetID(v, id)
+	}
+	if len(doc.W) != 0 {
+		b.SetWeights(doc.W)
+	}
+	for _, e := range doc.Edges {
+		b.AddEdge(int(e[0]), int(e[1]))
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("graph: rebuild: %w", err)
+	}
+	return g, nil
+}

@@ -1,0 +1,137 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	b.SetWeights([]int64{5, 0, 7, 2, 9})
+	b.SetID(0, 100)
+	g := b.MustBuild()
+
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatalf("shape changed: n %d→%d m %d→%d", g.N(), g2.N(), g.M(), g2.M())
+	}
+	for v := 0; v < g.N(); v++ {
+		if g2.Weight(v) != g.Weight(v) || g2.ID(v) != g.ID(v) || g2.Degree(v) != g.Degree(v) {
+			t.Errorf("node %d metadata changed", v)
+		}
+		for _, u := range g.Neighbors(v) {
+			if !g2.HasEdge(v, int(u)) {
+				t.Errorf("edge {%d,%d} lost", v, u)
+			}
+		}
+	}
+}
+
+func TestReadJSONRejections(t *testing.T) {
+	tests := []struct {
+		name string
+		doc  string
+	}{
+		{name: "garbage", doc: "not json"},
+		{name: "negative-n", doc: `{"n":-1,"edges":[]}`},
+		{name: "ids-mismatch", doc: `{"n":2,"ids":[1],"edges":[]}`},
+		{name: "weights-mismatch", doc: `{"n":2,"weights":[1,2,3],"edges":[]}`},
+		{name: "self-loop", doc: `{"n":2,"edges":[[1,1]]}`},
+		{name: "edge-out-of-range", doc: `{"n":2,"edges":[[0,5]]}`},
+		{name: "duplicate-ids", doc: `{"n":2,"ids":[7,7],"edges":[]}`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadJSON(strings.NewReader(tt.doc)); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestReadJSONDefaults(t *testing.T) {
+	g, err := ReadJSON(strings.NewReader(`{"n":3,"edges":[[0,1]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsUnitWeight() || g.ID(2) != 3 {
+		t.Error("defaults not applied")
+	}
+}
+
+// TestQuickJSONRoundTrip: serialization is lossless for arbitrary valid
+// graphs.
+func TestQuickJSONRoundTrip(t *testing.T) {
+	f := func(edges [][2]uint8, weights []uint8) bool {
+		const n = 20
+		b := NewBuilder(n)
+		for _, e := range edges {
+			u, v := int(e[0])%n, int(e[1])%n
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		for v := 0; v < n && v < len(weights); v++ {
+			b.SetWeight(v, int64(weights[v]))
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := g.WriteJSON(&buf); err != nil {
+			return false
+		}
+		g2, err := ReadJSON(&buf)
+		if err != nil {
+			return false
+		}
+		if g2.N() != g.N() || g2.M() != g.M() {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			if g2.Weight(v) != g.Weight(v) {
+				return false
+			}
+		}
+		return g2.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func FuzzReadJSON(f *testing.F) {
+	f.Add([]byte(`{"n":3,"edges":[[0,1],[1,2]]}`))
+	f.Add([]byte(`{"n":0,"edges":[]}`))
+	f.Add([]byte(`{"n":2,"ids":[5,6],"weights":[1,2],"edges":[[0,1]]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return // malformed inputs must only error, never panic
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v", err)
+		}
+		// Accepted graphs must round-trip.
+		var buf bytes.Buffer
+		if err := g.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadJSON(&buf); err != nil {
+			t.Fatalf("round-trip failed: %v", err)
+		}
+	})
+}

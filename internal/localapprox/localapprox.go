@@ -1,0 +1,254 @@
+// Package localapprox implements a LOCAL-model (1+ε)-approximation for
+// maximum-weight independent set via low-diameter decomposition.
+//
+// The paper's Related Work cites Ghaffari, Kuhn and Maus [29]: in the
+// LOCAL model a (1+ε)-approximation is computable in poly(log n / ε)
+// rounds. That algorithm rests on heavy network-decomposition machinery;
+// this package implements the classical simpler scheme with the same
+// structure and a clean guarantee (a faithful-in-spirit stand-in, recorded
+// as a substitution in DESIGN.md §3):
+//
+//  1. Sample an exponential-shift low-diameter decomposition (Miller–Peng–
+//     Xu): every node v draws δ_v ~ Exp(β) and joins the cluster of the
+//     node u maximizing δ_u − dist(u, v). Every cluster has weak diameter
+//     O(log n / β) w.h.p., and each edge is cut (endpoints in different
+//     clusters) with probability O(β).
+//  2. Discard every node incident to a cut edge, then solve MWIS *exactly*
+//     and independently inside each cluster — legal in LOCAL, since a
+//     cluster's subgraph fits in its center's O(log n / β)-radius view.
+//
+// A node survives step 2 with probability ≥ 1 − O(β·deg(v)), so for graphs
+// of maximum degree Δ and β = ε/(cΔ) the expected retained optimum is
+// (1 − ε/c')·OPT: a (1+ε)-approximation in expectation, in O(log n / β) =
+// O(Δ·log n / ε) LOCAL rounds. On forests the per-cluster exact solve uses
+// the linear-time tree DP, so the pipeline runs at any scale; on general
+// graphs clusters are solved exactly up to the branch-and-bound limit with
+// a greedy fallback (reported in the result).
+package localapprox
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"distmwis/internal/exact"
+	"distmwis/internal/graph"
+)
+
+// Result is the outcome of a decomposition-based approximation.
+type Result struct {
+	// Set is the returned independent set.
+	Set []bool
+	// Weight is its total weight.
+	Weight int64
+	// Rounds is the LOCAL round cost: the maximum cluster radius plus the
+	// constant overhead of the shift exchange (each node must see its
+	// cluster, and clusters are resolved from their centers' views).
+	Rounds int
+	// Clusters is the number of nonempty clusters.
+	Clusters int
+	// CutNodes is how many nodes were discarded for touching a cut edge.
+	CutNodes int
+	// ExactClusters and GreedyClusters count how cluster subproblems were
+	// solved; greedy fallbacks void the (1+ε) guarantee and are reported.
+	ExactClusters  int
+	GreedyClusters int
+}
+
+// Options configures Approximate.
+type Options struct {
+	// Beta is the decomposition parameter (edge-cut probability scale).
+	// If zero it is derived from Epsilon and the graph's Δ as ε/(4Δ).
+	Beta float64
+	// Epsilon is the target approximation slack (default 0.5).
+	Epsilon float64
+	// Seed feeds the exponential shifts.
+	Seed uint64
+	// ExactLimit caps the per-cluster exact solver (default
+	// exact.DefaultMWISLimit); larger clusters fall back to greedy.
+	ExactLimit int
+}
+
+// Decompose computes the Miller–Peng–Xu clustering: cluster[v] is the
+// index of v's cluster center, and radius is the maximum graph distance
+// from any node to its center (the LOCAL round cost driver).
+func Decompose(g *graph.Graph, beta float64, seed uint64) (cluster []int32, radius int) {
+	n := g.N()
+	rng := rand.New(rand.NewPCG(seed, 0x10ca1))
+	shift := make([]float64, n)
+	for v := range shift {
+		shift[v] = rng.ExpFloat64() / beta
+	}
+	// Multi-source shortest path on unit lengths with fractional head
+	// starts: node u starts "flooding" at time -shift[u]; v joins the
+	// source whose wave reaches it first. Process in a simple Dijkstra-like
+	// sweep over (time = dist - shift) using a bucketed approach: since
+	// only the ordering matters and edges are unit, run Dijkstra with
+	// float keys via a pairing of (dist(u,v) - shift[u]).
+	type item struct {
+		key  float64
+		node int32
+		src  int32
+		dist int32
+	}
+	// Binary heap on key.
+	var heap []item
+	push := func(it item) {
+		heap = append(heap, it)
+		i := len(heap) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if heap[p].key <= heap[i].key {
+				break
+			}
+			heap[p], heap[i] = heap[i], heap[p]
+			i = p
+		}
+	}
+	pop := func() item {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			s := i
+			if l < last && heap[l].key < heap[s].key {
+				s = l
+			}
+			if r < last && heap[r].key < heap[s].key {
+				s = r
+			}
+			if s == i {
+				break
+			}
+			heap[i], heap[s] = heap[s], heap[i]
+			i = s
+		}
+		return top
+	}
+	cluster = make([]int32, n)
+	dist := make([]int32, n)
+	for v := range cluster {
+		cluster[v] = -1
+		push(item{key: -shift[v], node: int32(v), src: int32(v), dist: 0})
+	}
+	for len(heap) > 0 {
+		it := pop()
+		v := it.node
+		if cluster[v] != -1 {
+			continue
+		}
+		cluster[v] = it.src
+		dist[v] = it.dist
+		if int(it.dist) > radius {
+			radius = int(it.dist)
+		}
+		for _, u := range g.Neighbors(int(v)) {
+			if cluster[u] == -1 {
+				push(item{key: it.key + 1, node: u, src: it.src, dist: it.dist + 1})
+			}
+		}
+	}
+	return cluster, radius
+}
+
+// Approximate runs the full pipeline on g.
+func Approximate(g *graph.Graph, opts Options) (*Result, error) {
+	n := g.N()
+	if n == 0 {
+		return &Result{}, nil
+	}
+	eps := opts.Epsilon
+	if eps <= 0 {
+		eps = 0.5
+	}
+	beta := opts.Beta
+	if beta <= 0 {
+		delta := g.MaxDegree()
+		if delta == 0 {
+			delta = 1
+		}
+		beta = eps / (4 * float64(delta))
+	}
+	if beta > 0.5 {
+		beta = 0.5
+	}
+	limit := opts.ExactLimit
+	if limit <= 0 {
+		limit = exact.DefaultMWISLimit
+	}
+
+	cluster, radius := Decompose(g, beta, opts.Seed+1)
+
+	// Discard nodes incident to cut edges.
+	alive := make([]bool, n)
+	cut := 0
+	for v := 0; v < n; v++ {
+		alive[v] = true
+		for _, u := range g.Neighbors(v) {
+			if cluster[u] != cluster[v] {
+				alive[v] = false
+				break
+			}
+		}
+		if !alive[v] {
+			cut++
+		}
+	}
+
+	// Group surviving nodes by cluster and solve each exactly.
+	groups := map[int32][]int32{}
+	for v := 0; v < n; v++ {
+		if alive[v] {
+			groups[cluster[v]] = append(groups[cluster[v]], int32(v))
+		}
+	}
+	res := &Result{
+		Set:      make([]bool, n),
+		Rounds:   2*radius + 2, // gather cluster subgraph at center + decision broadcast
+		Clusters: len(groups),
+		CutNodes: cut,
+	}
+	keep := make([]bool, n)
+	for _, members := range groups {
+		for i := range keep {
+			keep[i] = false
+		}
+		for _, v := range members {
+			keep[v] = true
+		}
+		sub := g.Induce(keep)
+		var inSet []bool
+		if _, s, err := exact.ForestMWIS(sub.G); err == nil {
+			inSet = s
+			res.ExactClusters++
+		} else if _, s, err := exact.MWISLimit(sub.G, limit); err == nil {
+			inSet = s
+			res.ExactClusters++
+		} else {
+			_, inSet = exact.GreedyMWIS(sub.G)
+			res.GreedyClusters++
+		}
+		lifted := sub.LiftSet(inSet)
+		for v, in := range lifted {
+			if in {
+				res.Set[v] = true
+			}
+		}
+	}
+	if !g.IsIndependentSet(res.Set) {
+		return nil, fmt.Errorf("localapprox: produced dependent set (bug)")
+	}
+	res.Weight = g.SetWeight(res.Set)
+	return res, nil
+}
+
+// ExpectedRetention returns the per-node survival lower bound 1 − β·deg(v)
+// summed over weights: the expectation guarantee of the scheme,
+// E[w(I)] ≥ Σ_v max(0, 1 − 2β·deg(v))·x*_v·w(v) ≥ (1 − 2βΔ)·OPT.
+func ExpectedRetention(g *graph.Graph, beta float64) float64 {
+	r := 1 - 2*beta*float64(g.MaxDegree())
+	return math.Max(0, r)
+}

@@ -1,0 +1,162 @@
+package localapprox
+
+import (
+	"testing"
+
+	"distmwis/internal/exact"
+	"distmwis/internal/graph"
+	"distmwis/internal/graph/gen"
+)
+
+func TestDecomposeCoversAllNodes(t *testing.T) {
+	g := gen.GNP(300, 0.03, 1)
+	cluster, radius := Decompose(g, 0.2, 1)
+	for v, c := range cluster {
+		if c < 0 {
+			t.Fatalf("node %d unclustered", v)
+		}
+	}
+	if radius < 0 {
+		t.Fatal("negative radius")
+	}
+	// Clusters must be connected: every non-center node needs a neighbour
+	// in the same cluster that is closer to the center — weak check: some
+	// neighbour shares the cluster (centers excepted).
+	for v := 0; v < g.N(); v++ {
+		if int(cluster[v]) == v || g.Degree(v) == 0 {
+			continue
+		}
+		ok := false
+		for _, u := range g.Neighbors(v) {
+			if cluster[u] == cluster[v] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("node %d isolated inside its cluster", v)
+		}
+	}
+}
+
+func TestDecomposeRadiusShrinksWithBeta(t *testing.T) {
+	g := gen.Grid(30, 30)
+	_, rSmallBeta := Decompose(g, 0.05, 3)
+	_, rLargeBeta := Decompose(g, 0.8, 3)
+	if rLargeBeta > rSmallBeta {
+		t.Errorf("radius grew with beta: β=0.8 → %d, β=0.05 → %d", rLargeBeta, rSmallBeta)
+	}
+}
+
+func TestApproximateIndependence(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"tree":   gen.Weighted(gen.RandomTree(500, 2), gen.UniformWeights(100), 2),
+		"cycle":  gen.Weighted(gen.Cycle(300), gen.UniformWeights(50), 3),
+		"gnp":    gen.Weighted(gen.GNP(200, 0.03, 4), gen.UniformWeights(64), 4),
+		"grid":   gen.Weighted(gen.Grid(15, 15), gen.UniformWeights(10), 5),
+		"single": gen.Weighted(gen.Path(1), gen.UniformWeights(5), 6),
+	}
+	for name, g := range graphs {
+		t.Run(name, func(t *testing.T) {
+			res, err := Approximate(g, Options{Epsilon: 0.5, Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !g.IsIndependentSet(res.Set) {
+				t.Fatal("dependent set")
+			}
+			if res.Weight != g.SetWeight(res.Set) {
+				t.Fatal("weight mismatch")
+			}
+		})
+	}
+}
+
+func TestApproximateOnForestsApproachesOPT(t *testing.T) {
+	// On forests every cluster is solved exactly; with shrinking ε the
+	// achieved weight must approach the true optimum.
+	g := gen.Weighted(gen.RandomTree(2000, 8), gen.UniformWeights(1000), 8)
+	opt, _, err := exact.ForestMWIS(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev int64
+	for _, eps := range []float64{2, 0.5, 0.1} {
+		var best int64
+		for seed := uint64(1); seed <= 5; seed++ {
+			res, err := Approximate(g, Options{Epsilon: eps, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.GreedyClusters != 0 {
+				t.Fatalf("forest cluster fell back to greedy")
+			}
+			if res.Weight > best {
+				best = res.Weight
+			}
+		}
+		if best < prev {
+			t.Logf("eps %v: best %d below previous %d (randomness)", eps, best, prev)
+		}
+		prev = best
+		// At eps = 0.1 demand at least 90% of OPT.
+		if eps == 0.1 && float64(best) < 0.9*float64(opt) {
+			t.Errorf("eps=0.1: weight %d below 0.9·OPT (%d)", best, opt)
+		}
+	}
+}
+
+func TestApproximateRatioOnSmallGraphs(t *testing.T) {
+	// Against exact OPT: expected (1+ε)-ish behaviour; assert a loose 2x
+	// over several seeds (the guarantee is in expectation).
+	g := gen.Weighted(gen.GNP(48, 0.08, 9), gen.UniformWeights(100), 9)
+	opt, _, err := exact.MWIS(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var best int64
+	for seed := uint64(1); seed <= 10; seed++ {
+		res, err := Approximate(g, Options{Epsilon: 0.25, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Weight > best {
+			best = res.Weight
+		}
+	}
+	if float64(best)*2 < float64(opt) {
+		t.Errorf("best of 10 seeds %d below OPT/2 (%d)", best, opt)
+	}
+}
+
+func TestRoundsTrackRadius(t *testing.T) {
+	g := gen.Weighted(gen.Cycle(400), gen.UniformWeights(10), 10)
+	small, err := Approximate(g, Options{Beta: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Approximate(g, Options{Beta: 0.02, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.Rounds <= small.Rounds {
+		t.Errorf("smaller beta must cost more rounds: β=0.02 → %d, β=0.5 → %d", large.Rounds, small.Rounds)
+	}
+}
+
+func TestExpectedRetention(t *testing.T) {
+	g := gen.Cycle(10)
+	if r := ExpectedRetention(g, 0.1); r < 0.5 || r > 0.7 {
+		t.Errorf("retention %v, want 1-2·0.1·2 = 0.6", r)
+	}
+	if r := ExpectedRetention(g, 10); r != 0 {
+		t.Errorf("retention must clamp at 0, got %v", r)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	res, err := Approximate(graph.NewBuilder(0).MustBuild(), Options{})
+	if err != nil || res.Weight != 0 {
+		t.Fatalf("empty graph: %v %v", res, err)
+	}
+}

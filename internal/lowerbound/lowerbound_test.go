@@ -1,0 +1,140 @@
+package lowerbound
+
+import (
+	"testing"
+
+	"distmwis/internal/graph"
+	"distmwis/internal/graph/gen"
+)
+
+func TestRandMISProducesValidMIS(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		n0, n1 int
+	}{
+		{name: "small", n0: 10, n1: 4},
+		{name: "tall-cliques", n0: 8, n1: 16},
+		{name: "long-cycle", n0: 64, n1: 8},
+		{name: "degenerate-cliques", n0: 12, n1: 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := uint64(1); seed <= 4; seed++ {
+				res, err := RandMIS(tc.n0, tc.n1, RankingAlgorithm(2), seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				c := gen.Cycle(tc.n0)
+				if !c.IsMaximalIS(res.MIS) {
+					t.Fatalf("seed %d: output not an MIS of C", seed)
+				}
+				if res.I1Size == 0 {
+					t.Errorf("seed %d: ranking found nothing on C1", seed)
+				}
+				if res.MaxGap > res.FillRounds+2 && res.I1Size > 0 {
+					t.Errorf("gap %d inconsistent with fill cost %d", res.MaxGap, res.FillRounds)
+				}
+			}
+		})
+	}
+}
+
+func TestRandMISGapsAreShortWithRanking(t *testing.T) {
+	// Proposition 9 mechanism: on C1 the clique blow-up keeps gaps short.
+	// With ranking (T = O(1) rounds), the max gap should be a small
+	// constant multiple of T, far below n0.
+	const n0, n1 = 128, 32
+	worst := 0
+	for seed := uint64(1); seed <= 8; seed++ {
+		res, err := RandMIS(n0, n1, RankingAlgorithm(2), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MaxGap > worst {
+			worst = res.MaxGap
+		}
+	}
+	if worst > n0/4 {
+		t.Errorf("max gap %d across seeds is not small relative to n0 = %d", worst, n0)
+	}
+}
+
+func TestTruncatedLubyLeavesLongGapsOnPlainCycle(t *testing.T) {
+	// The contrast that motivates the C1 construction: cutting a whp
+	// algorithm off early on the plain cycle leaves gaps far longer than
+	// on the clique-amplified graph at comparable round budgets.
+	const n = 4096
+	g := gen.Cycle(n)
+	alg := TruncatedLuby(3) // one Luby iteration
+	set, _, err := alg(g, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsIndependentSet(set) {
+		t.Fatal("truncated Luby returned dependent set")
+	}
+	gap := MaxGapOnCycle(set)
+	if gap < 6 {
+		t.Errorf("expected gaps ≫ T after truncation, got max gap %d", gap)
+	}
+}
+
+func TestMaxGapOnCycle(t *testing.T) {
+	tests := []struct {
+		name string
+		set  []bool
+		want int
+	}{
+		{name: "empty", set: []bool{false, false, false, false}, want: 4},
+		{name: "full", set: []bool{true, true, true, true}, want: 0},
+		{name: "single", set: []bool{false, true, false, false}, want: 3},
+		{name: "wraparound", set: []bool{false, false, true, false}, want: 3},
+		{name: "two", set: []bool{true, false, false, true, false}, want: 2},
+		{name: "alternating", set: []bool{true, false, true, false}, want: 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := MaxGapOnCycle(tt.set); got != tt.want {
+				t.Errorf("MaxGapOnCycle = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRandMISRejectsBadArgs(t *testing.T) {
+	if _, err := RandMIS(2, 4, RankingAlgorithm(1), 1); err == nil {
+		t.Error("expected rejection of n0 < 3")
+	}
+	if _, err := RandMIS(10, 0, RankingAlgorithm(1), 1); err == nil {
+		t.Error("expected rejection of n1 < 1")
+	}
+}
+
+func TestRandMISRejectsDependentSets(t *testing.T) {
+	bad := func(g *graph.Graph, _ uint64) ([]bool, int, error) {
+		set := make([]bool, g.N())
+		for v := range set {
+			set[v] = true // everything: clearly dependent
+		}
+		return set, 1, nil
+	}
+	if _, err := RandMIS(6, 3, bad, 1); err == nil {
+		t.Error("expected rejection of dependent A output")
+	}
+}
+
+func TestRandMISHandlesEmptyAOutput(t *testing.T) {
+	empty := func(g *graph.Graph, _ uint64) ([]bool, int, error) {
+		return make([]bool, g.N()), 1, nil
+	}
+	res, err := RandMIS(11, 3, empty, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := gen.Cycle(11)
+	if !c.IsMaximalIS(res.MIS) {
+		t.Error("fallback fill did not produce an MIS")
+	}
+	if res.FillRounds != 11 {
+		t.Errorf("degenerate fill cost = %d, want n0", res.FillRounds)
+	}
+}

@@ -1,0 +1,166 @@
+package maxis
+
+import (
+	"strings"
+	"testing"
+
+	"distmwis/internal/exact"
+	"distmwis/internal/graph"
+	"distmwis/internal/graph/gen"
+)
+
+func TestArboricityOnForest(t *testing.T) {
+	// Forests have α = 1; the exact optimum is computable at any size, so
+	// the 8(1+ε)·1 guarantee is checkable directly.
+	for seed := uint64(1); seed <= 5; seed++ {
+		g := gen.Weighted(gen.RandomTree(300, seed), gen.UniformWeights(1000), seed)
+		opt, _, err := exact.ForestMWIS(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps := 0.5
+		res, err := Theorem3(g, 1, eps, Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.IsIndependentSet(res.Set) {
+			t.Fatal("dependent set")
+		}
+		if float64(res.Weight)*Guarantee8Alpha(1, eps) < float64(opt) {
+			t.Errorf("seed %d: weight %d below OPT %d / %.1f", seed, res.Weight, opt, Guarantee8Alpha(1, eps))
+		}
+	}
+}
+
+func TestArboricityOnApollonian(t *testing.T) {
+	// Apollonian networks: α ≤ 3, Δ grows large — the Theorem 3 sweet spot.
+	g := gen.Weighted(gen.Apollonian(64, 3), gen.UniformWeights(500), 3)
+	opt, _, err := exact.MWIS(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := 0.5
+	res, err := Theorem3(g, 3, eps, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(res.Weight)*Guarantee8Alpha(3, eps) < float64(opt) {
+		t.Errorf("weight %d below OPT %d / %.1f", res.Weight, opt, Guarantee8Alpha(3, eps))
+	}
+}
+
+func TestArboricityUnionOfForests(t *testing.T) {
+	for _, k := range []int{2, 4} {
+		g := gen.Weighted(gen.UnionOfForests(200, k, uint64(k)), gen.UniformWeights(100), uint64(k))
+		res, err := Theorem3(g, k, 0.5, Config{Seed: 2})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if !g.IsIndependentSet(res.Set) {
+			t.Fatal("dependent set")
+		}
+		// Certified lower bound via the stack property plus Theorem 12:
+		// weight ≥ OPT / (8(1+ε)α) ≥ CaroWei / (8(1+ε)α).
+		bound := exact.CaroWeiLowerBound(g) / Guarantee8Alpha(k, 0.5)
+		if float64(res.Weight) < bound {
+			t.Errorf("k=%d: weight %d below certified bound %.1f", k, res.Weight, bound)
+		}
+	}
+}
+
+func TestArboricityPhasesLogarithmic(t *testing.T) {
+	g := gen.Weighted(gen.RandomTree(4096, 7), gen.UniformWeights(50), 7)
+	res, err := Arboricity(g, 1, 1, goodNodesInner{}, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// log2(4096) + 2 = 14.
+	if res.Phases > 14 {
+		t.Errorf("phases = %d > log n + 2", res.Phases)
+	}
+}
+
+func TestArboricityRejectsTooSmallAlpha(t *testing.T) {
+	// K20 has arboricity 10; alpha = 1 must be detected via the halving
+	// check (< half the nodes have degree ≤ 4).
+	g := gen.Weighted(gen.Clique(20), gen.UniformWeights(10), 1)
+	_, err := Arboricity(g, 1, 1, goodNodesInner{}, Config{Seed: 1})
+	if err == nil || !strings.Contains(err.Error(), "arboricity") {
+		t.Errorf("expected arboricity violation error, got %v", err)
+	}
+}
+
+func TestArboricityDefaultAlphaFromDegeneracy(t *testing.T) {
+	g := gen.Weighted(gen.Apollonian(80, 5), gen.UniformWeights(100), 5)
+	res, err := Arboricity(g, 0, 1, goodNodesInner{}, Config{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Extra["alpha"] != 3 { // Apollonian degeneracy = 3
+		t.Errorf("default alpha = %v, want 3", res.Extra["alpha"])
+	}
+}
+
+func TestArboricityBeatsDeltaOnHighDegreeLowArboricity(t *testing.T) {
+	// Caterpillar with many legs: α = 1, Δ = legs + 2. The 8(1+ε)α bound
+	// (12 at ε=0.5) is far better than (1+ε)Δ = 1.5·52. Verify the achieved
+	// ratio is within the arboricity guarantee.
+	g := gen.Weighted(gen.Caterpillar(40, 50), gen.UniformWeights(100), 6)
+	opt, _, err := exact.ForestMWIS(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Theorem3(g, 1, 0.5, Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(opt) / float64(res.Weight)
+	if ratio > Guarantee8Alpha(1, 0.5) {
+		t.Errorf("ratio %.2f above 8(1+ε)α = %.1f", ratio, Guarantee8Alpha(1, 0.5))
+	}
+}
+
+func TestArboricityStackValueRecorded(t *testing.T) {
+	g := gen.Weighted(gen.RandomTree(100, 8), gen.UniformWeights(40), 8)
+	res, err := Theorem3(g, 1, 1, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StackValue <= 0 || res.Weight < res.StackValue {
+		t.Errorf("stack accounting wrong: w=%d stack=%d", res.Weight, res.StackValue)
+	}
+}
+
+func TestGuaranteeHelpers(t *testing.T) {
+	if got := Guarantee8Alpha(2, 0.5); got != 24 {
+		t.Errorf("Guarantee8Alpha = %v, want 24", got)
+	}
+	if got := GuaranteeDelta(10, 0.1); got < 10.99 || got > 11.01 {
+		t.Errorf("GuaranteeDelta = %v, want 11", got)
+	}
+	if got := GuaranteeCorollary1(100, 4, 1); got != 10 {
+		t.Errorf("GuaranteeCorollary1 = %v, want 10", got)
+	}
+}
+
+func TestArboricityRejectsBadEpsilon(t *testing.T) {
+	g := gen.Cycle(10)
+	if _, err := Arboricity(g, 2, 0, goodNodesInner{}, Config{}); err == nil {
+		t.Error("expected error for ε = 0")
+	}
+}
+
+func TestArboricityEmptyAndTiny(t *testing.T) {
+	empty := graph.NewBuilder(0).MustBuild()
+	if _, err := Arboricity(empty, 1, 1, goodNodesInner{}, Config{}); err != nil {
+		t.Errorf("empty graph: %v", err)
+	}
+	single := gen.Weighted(graph.NewBuilder(1).MustBuild(), gen.UniformWeights(5), 1)
+	res, err := Arboricity(single, 1, 1, goodNodesInner{}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Set[0] {
+		t.Error("single positive node must be selected")
+	}
+}

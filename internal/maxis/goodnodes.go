@@ -1,0 +1,108 @@
+package maxis
+
+import (
+	"distmwis/internal/congest"
+	"distmwis/internal/dist"
+	"distmwis/internal/graph"
+	"distmwis/internal/wire"
+)
+
+// GoodNodes implements Theorem 8: an O(MIS(n,Δ))-round CONGEST algorithm
+// returning an independent set of weight at least w(V)/(4(Δ+1)).
+//
+// A node v is good when w(v) ≥ w(N⁺(v)) / (2(δ(v)+1)), where δ(v) is the
+// maximum degree in v's inclusive neighbourhood (Section 4.1). The protocol
+// spends two rounds learning neighbours' degrees and weights, then runs the
+// black-box MIS on the subgraph induced by the good nodes.
+func GoodNodes(g *graph.Graph, cfg Config) (*Result, error) {
+	cfg = cfg.normalized(g)
+	seeds := &seedSeq{base: cfg.Seed}
+	var acc dist.Accumulator
+	set, _, err := goodNodesRun(g, cfg, seeds, &acc)
+	if err != nil {
+		return nil, err
+	}
+	return finish(g, set, acc, "goodnodes", nil)
+}
+
+// goodNodesRun is the reusable core shared with the sparsified pipeline and
+// the boosting inner adapter.
+func goodNodesRun(g *graph.Graph, cfg Config, seeds *seedSeq, acc *dist.Accumulator) (set []bool, good []bool, err error) {
+	if g.N() == 0 {
+		return nil, nil, nil
+	}
+	// Phase 1: two-round good-node detection protocol.
+	res, err := dist.RunPhase(g, func() congest.Process { return &goodDetect{} }, acc, cfg.opts(seeds.next())...)
+	if err != nil {
+		return nil, nil, err
+	}
+	good = congest.BoolOutputs(res)
+
+	// Phase 2: MIS over the good-node subgraph (Lemma 2: black-box MIS with
+	// the original NUpper works on any subgraph).
+	set, _, err = dist.RunOnInduced(g, good, cfg.misAlg().NewProcess, acc, cfg.opts(seeds.next())...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return set, good, nil
+}
+
+// goodDetect is the two-round protocol computing the Theorem 8 good flag:
+// round 1 broadcasts (degree, weight), round 2 evaluates
+// 2·(δ(v)+1)·w(v) ≥ w(N⁺(v)).
+type goodDetect struct {
+	info congest.NodeInfo
+	good bool
+}
+
+func (p *goodDetect) Init(info congest.NodeInfo) { p.info = info }
+
+func (p *goodDetect) Round(round int, recv []*congest.Message) ([]*congest.Message, bool) {
+	switch round {
+	case 1:
+		var w wire.Writer
+		w.WriteUint(uint64(p.info.Degree), uint64(p.info.NUpper))
+		w.WriteInt(p.info.Weight, p.info.MaxWeight)
+		m := congest.NewMessage(&w)
+		out := make([]*congest.Message, p.info.Degree)
+		for i := range out {
+			out[i] = m
+		}
+		return out, false
+	default:
+		maxDeg := p.info.Degree
+		sumW := p.info.Weight
+		for _, m := range recv {
+			if m == nil {
+				continue
+			}
+			r := m.Reader()
+			deg, _ := r.ReadUint(uint64(p.info.NUpper))
+			nw, _ := r.ReadInt(p.info.MaxWeight)
+			if int(deg) > maxDeg {
+				maxDeg = int(deg)
+			}
+			sumW += nw
+		}
+		// good ⇔ w(v) ≥ w(N⁺(v)) / (2(δ(v)+1)), in overflow-safe integers.
+		p.good = 2*int64(maxDeg+1)*p.info.Weight >= sumW
+		return nil, true
+	}
+}
+
+func (p *goodDetect) Output() any { return p.good }
+
+// goodNodesInner adapts GoodNodes as a boosting black box with c = 8:
+// w(V)/(4(Δ+1)) ≥ w(V)/(8Δ) whenever Δ ≥ 1.
+type goodNodesInner struct{}
+
+func (goodNodesInner) Name() string { return "goodnodes" }
+
+func (goodNodesInner) FactorC() int { return 8 }
+
+func (goodNodesInner) Run(g *graph.Graph, cfg Config, seeds *seedSeq, acc *dist.Accumulator) ([]bool, error) {
+	set, _, err := goodNodesRun(g, cfg, seeds, acc)
+	return set, err
+}
+
+var _ Inner = goodNodesInner{}

@@ -1,0 +1,168 @@
+// Package maxis implements the paper's maximum-weight independent set
+// approximation algorithms for the CONGEST model, together with the prior
+// state-of-the-art baselines they are compared against.
+//
+// Algorithm inventory (paper reference in parentheses):
+//
+//   - GoodNodes (Theorem 8): O(MIS(n,Δ))-round O(Δ)-approximation via an MIS
+//     over the "good" nodes.
+//   - Sparsified (Theorem 9): poly(log log n)-round O(Δ)-approximation via
+//     weighted sparsification and GoodNodes on the sampled subgraph.
+//   - Boost (Theorem 10, Algorithm 1): local-ratio boosting of any
+//     O(Δ)-approximation to a (1+ε)Δ-approximation.
+//   - Theorem1 / Theorem2: the two headline pipelines, Boost∘GoodNodes and
+//     Boost∘Sparsified.
+//   - Arboricity (Theorem 12, Algorithm 6): 8(1+ε)α-approximation for
+//     graphs of arboricity α.
+//   - Ranking / Theorem5 (Section 5): the Boppana ranking algorithm with
+//     martingale guarantee and its boosted (1+ε)(Δ+1) version for
+//     unweighted graphs of degree ≤ n/log n.
+//   - BarYehuda (baseline [8]): Δ-approximation in O(MIS·log W) rounds.
+//   - OneRound (baseline [17]): the one-round ranking algorithm whose
+//     guarantee holds only in expectation.
+//
+// Every algorithm is a genuine CONGEST protocol (or an orchestrated sequence
+// of such protocols, as in the paper's phase-structured Algorithms 1 and 6);
+// round counts include the bookkeeping exchanges between phases.
+package maxis
+
+import (
+	"fmt"
+
+	"distmwis/internal/congest"
+	"distmwis/internal/dist"
+	"distmwis/internal/graph"
+	"distmwis/internal/mis"
+)
+
+// Result is the outcome of one MaxIS approximation run.
+type Result struct {
+	// Set is the returned independent set, indexed by node.
+	Set []bool
+	// Weight is the set's total weight under the input graph's weights.
+	Weight int64
+	// Metrics aggregates rounds/messages/bits over all protocol phases.
+	Metrics dist.Accumulator
+	// Extra carries algorithm-specific observables (e.g. the sparsifier's
+	// max degree, the local-ratio stack value) for the experiment harness.
+	Extra map[string]float64
+}
+
+// Config carries the knobs shared by all algorithms. The zero value is
+// usable: it selects Luby's MIS, seed 1 and CONGEST defaults.
+type Config struct {
+	// MIS is the black-box MIS algorithm (the MIS(n,Δ) of Theorems 1/8).
+	// Defaults to Luby's algorithm.
+	MIS mis.Algorithm
+	// Seed is the root randomness seed; every protocol phase derives an
+	// independent stream from it.
+	Seed uint64
+	// BandwidthFactor is c in the CONGEST bound B = c·⌈log₂ n⌉ (default 8).
+	BandwidthFactor int
+	// NUpper is the polynomial upper bound on n that nodes know; defaults
+	// to the input graph's n. Subgraph phases keep the ORIGINAL bound, per
+	// the padding argument of Lemma 2.
+	NUpper int
+	// Lambda is the sparsification oversampling constant λ of Section 4.2
+	// (default 2.0; the paper's proof uses a large constant, experiments
+	// show small λ already exhibits the Lemma 3/5 behaviour).
+	Lambda float64
+	// Local switches to the LOCAL model (no bandwidth bound).
+	Local bool
+	// Workers sets simulator parallelism (default GOMAXPROCS).
+	Workers int
+}
+
+func (c Config) misAlg() mis.Algorithm {
+	if c.MIS == nil {
+		return mis.Luby{}
+	}
+	return c.MIS
+}
+
+func (c Config) lambda() float64 {
+	if c.Lambda <= 0 {
+		return 2.0
+	}
+	return c.Lambda
+}
+
+// normalized fills defaults that depend on the input graph.
+func (c Config) normalized(g *graph.Graph) Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.NUpper < g.N() {
+		c.NUpper = g.N()
+	}
+	return c
+}
+
+// seedSeq derives independent per-phase seeds from the root seed.
+type seedSeq struct {
+	base uint64
+	ctr  uint64
+}
+
+func (s *seedSeq) next() uint64 {
+	s.ctr++
+	return splitmix64(s.base + s.ctr*0x9e3779b97f4a7c15)
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// opts assembles the congest options for one phase.
+func (c Config) opts(phaseSeed uint64) []congest.Option {
+	out := []congest.Option{
+		congest.WithSeed(phaseSeed),
+		congest.WithNUpper(c.NUpper),
+	}
+	if c.Local {
+		out = append(out, congest.WithModel(congest.ModelLocal))
+	}
+	if c.BandwidthFactor > 0 {
+		out = append(out, congest.WithBandwidthFactor(c.BandwidthFactor))
+	}
+	if c.Workers > 0 {
+		out = append(out, congest.WithWorkers(c.Workers))
+	}
+	return out
+}
+
+// Inner is an O(Δ)-approximation black box usable by the boosting theorem:
+// on any positive-weight graph it returns an independent set of weight at
+// least w(V)/(FactorC()·Δ) (with the algorithm's own success probability).
+type Inner interface {
+	// Name identifies the inner algorithm in tables.
+	Name() string
+	// FactorC is the constant c of Theorem 10.
+	FactorC() int
+	// Run computes the independent set on g, charging metrics to acc.
+	Run(g *graph.Graph, cfg Config, seeds *seedSeq, acc *dist.Accumulator) ([]bool, error)
+}
+
+// verifyIndependent guards every public algorithm's output.
+func verifyIndependent(g *graph.Graph, set []bool, alg string) error {
+	if !g.IsIndependentSet(set) {
+		return fmt.Errorf("maxis: %s returned a dependent set (bug)", alg)
+	}
+	return nil
+}
+
+// finish assembles a Result and validates independence.
+func finish(g *graph.Graph, set []bool, acc dist.Accumulator, alg string, extra map[string]float64) (*Result, error) {
+	if err := verifyIndependent(g, set, alg); err != nil {
+		return nil, err
+	}
+	return &Result{
+		Set:     set,
+		Weight:  g.SetWeight(set),
+		Metrics: acc,
+		Extra:   extra,
+	}, nil
+}

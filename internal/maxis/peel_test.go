@@ -1,0 +1,98 @@
+package maxis
+
+import (
+	"testing"
+
+	"distmwis/internal/graph"
+	"distmwis/internal/graph/gen"
+)
+
+func TestEstimateDegeneracyBrackets(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{name: "tree", g: gen.RandomTree(300, 1)},
+		{name: "cycle", g: gen.Cycle(128)},
+		{name: "clique", g: gen.Clique(40)},
+		{name: "apollonian", g: gen.Apollonian(256, 2)},
+		{name: "gnp", g: gen.GNP(300, 0.05, 3)},
+		{name: "forests4", g: gen.UnionOfForests(256, 4, 4)},
+		{name: "star", g: gen.Star(200)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			trueDeg := tt.g.ArboricityUpperBound() // exact degeneracy
+			est, err := EstimateDegeneracy(tt.g, Config{Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if est.Estimate < trueDeg {
+				t.Errorf("estimate %d below degeneracy %d (soundness broken)", est.Estimate, trueDeg)
+			}
+			if est.Estimate > 8*trueDeg {
+				t.Errorf("estimate %d above 8×degeneracy %d", est.Estimate, 8*trueDeg)
+			}
+		})
+	}
+}
+
+func TestEstimateDegeneracyEdgeless(t *testing.T) {
+	est, err := EstimateDegeneracy(graph.NewBuilder(10).MustBuild(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Estimate != 0 {
+		t.Errorf("edgeless estimate = %d, want 0", est.Estimate)
+	}
+	empty, err := EstimateDegeneracy(graph.NewBuilder(0).MustBuild(), Config{})
+	if err != nil || empty.Estimate != 0 {
+		t.Errorf("empty graph: %v %v", empty, err)
+	}
+}
+
+func TestEstimateDegeneracyRoundsPolylog(t *testing.T) {
+	// O(log Δ · log n) rounds: a 16x larger tree must not cost much more.
+	small, err := EstimateDegeneracy(gen.RandomTree(256, 5), Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := EstimateDegeneracy(gen.RandomTree(4096, 5), Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.Metrics.Rounds > 3*small.Metrics.Rounds+20 {
+		t.Errorf("rounds grew too fast: %d → %d", small.Metrics.Rounds, large.Metrics.Rounds)
+	}
+}
+
+func TestTheorem3Auto(t *testing.T) {
+	g := gen.Weighted(gen.Apollonian(300, 6), gen.UniformWeights(500), 6)
+	res, err := Theorem3Auto(g, 0.5, Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsIndependentSet(res.Set) {
+		t.Fatal("dependent set")
+	}
+	alphaHat := int(res.Extra["alpha_estimate"])
+	if alphaHat < 3 || alphaHat > 24 { // degeneracy 3, 8x bracket
+		t.Errorf("alpha estimate %d outside [3, 24]", alphaHat)
+	}
+	// Degraded-but-certified guarantee: w(I) ≥ CaroWei / (8(1+ε)·α̂).
+	// (CaroWei lower-bounds OPT.)
+	if res.Weight <= 0 {
+		t.Error("empty result")
+	}
+}
+
+func TestTheorem3AutoOnTree(t *testing.T) {
+	g := gen.Weighted(gen.RandomTree(400, 7), gen.UniformWeights(100), 7)
+	res, err := Theorem3Auto(g, 1, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Extra["alpha_estimate"] > 8 {
+		t.Errorf("tree alpha estimate %v > 8", res.Extra["alpha_estimate"])
+	}
+}

@@ -1,0 +1,73 @@
+package maxis
+
+import (
+	"testing"
+
+	"distmwis/internal/graph"
+	"distmwis/internal/graph/gen"
+)
+
+func TestPlanarConstantRoundGuarantee(t *testing.T) {
+	// On planar graphs: |I| ≥ n/192 w.h.p. in O(1) rounds.
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{name: "apollonian", g: gen.Apollonian(2000, 1)},
+		{name: "grid", g: gen.Grid(40, 40)},
+		{name: "tree", g: gen.RandomTree(1500, 2)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := uint64(1); seed <= 3; seed++ {
+				res, err := PlanarConstantRound(tc.g, Config{Seed: seed})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !tc.g.IsIndependentSet(res.Set) {
+					t.Fatal("dependent set")
+				}
+				n := tc.g.N()
+				if got := graph.SetSize(res.Set); got < n/192 {
+					t.Errorf("seed %d: |I| = %d below n/192 = %d", seed, got, n/192)
+				}
+				if res.Metrics.Rounds > 8 {
+					t.Errorf("seed %d: %d rounds, want O(1)", seed, res.Metrics.Rounds)
+				}
+			}
+		})
+	}
+}
+
+func TestPlanarConstantRoundRoundsFlatInN(t *testing.T) {
+	small, err := PlanarConstantRound(gen.Apollonian(200, 3), Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := PlanarConstantRound(gen.Apollonian(20000, 3), Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Metrics.Rounds > small.Metrics.Rounds+2 {
+		t.Errorf("rounds grew with n: %d vs %d", small.Metrics.Rounds, big.Metrics.Rounds)
+	}
+}
+
+func TestPlanarConstantRoundRejectsWeighted(t *testing.T) {
+	g := gen.Weighted(gen.Apollonian(50, 1), gen.UniformWeights(10), 1)
+	if _, err := PlanarConstantRound(g, Config{}); err == nil {
+		t.Error("expected rejection of weighted input")
+	}
+}
+
+func TestPlanarConstantRoundOnHighDegreePlanar(t *testing.T) {
+	// A star is planar with one huge-degree hub; the hub is excluded but
+	// the leaves carry the guarantee.
+	g := gen.Star(1000)
+	res, err := PlanarConstantRound(g, Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := graph.SetSize(res.Set); got < g.N()/192 {
+		t.Errorf("|I| = %d below n/192", got)
+	}
+}

@@ -1,0 +1,202 @@
+package maxis
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"distmwis/internal/exact"
+	"distmwis/internal/graph"
+	"distmwis/internal/mis"
+)
+
+// randomGraphFromBytes deterministically builds a small weighted graph from
+// fuzz-style byte input, for property tests.
+func randomGraphFromBytes(n int, edges []uint16, weights []uint8) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < len(edges); i += 2 {
+		u, v := int(edges[i])%n, int(edges[i+1])%n
+		if u != v {
+			b.AddEdge(u, v)
+		}
+	}
+	for v := 0; v < n; v++ {
+		w := int64(1)
+		if v < len(weights) {
+			w = 1 + int64(weights[v])
+		}
+		b.SetWeight(v, w)
+	}
+	return b.MustBuild()
+}
+
+// TestQuickTheorem1Invariants: on arbitrary random small graphs, Theorem 1
+// always returns an independent set satisfying the Corollary 1 bound and
+// the (1+ε)Δ ratio against the exact optimum.
+func TestQuickTheorem1Invariants(t *testing.T) {
+	f := func(edges []uint16, weights []uint8, seed uint16) bool {
+		const n, eps = 18, 0.5
+		g := randomGraphFromBytes(n, edges, weights)
+		res, err := Theorem1(g, eps, Config{Seed: uint64(seed) + 1})
+		if err != nil {
+			return false
+		}
+		if !g.IsIndependentSet(res.Set) {
+			return false
+		}
+		if float64(res.Weight) < GuaranteeCorollary1(g.TotalWeight(), g.MaxDegree(), eps)-1e-9 {
+			return false
+		}
+		opt, _, err := exact.MWIS(g)
+		if err != nil {
+			return false
+		}
+		delta := g.MaxDegree()
+		if delta == 0 {
+			delta = 1
+		}
+		return float64(res.Weight)*(1+eps)*float64(delta) >= float64(opt)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickGoodNodesGuarantee: the deterministic Theorem 8 bound holds on
+// arbitrary random graphs.
+func TestQuickGoodNodesGuarantee(t *testing.T) {
+	f := func(edges []uint16, weights []uint8, seed uint16) bool {
+		const n = 24
+		g := randomGraphFromBytes(n, edges, weights)
+		res, err := GoodNodes(g, Config{Seed: uint64(seed) + 1})
+		if err != nil {
+			return false
+		}
+		return g.IsIndependentSet(res.Set) &&
+			4*int64(g.MaxDegree()+1)*res.Weight >= g.TotalWeight()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLocalRatioTheorem numerically validates Theorem 6 (the
+// local-ratio theorem, quoted from Bar-Noy et al. [7]): for any weight
+// decomposition w = w1 + w2 and ANY independent set I,
+//
+//	OPT_w / w(I)  ≤  max( OPT_w1 / w1(I), OPT_w2 / w2(I) ).
+//
+// This is the exact statement the boosting machinery (Section 4.3) relies
+// on; validating it against brute-force optima anchors the whole pipeline.
+func TestQuickLocalRatioTheorem(t *testing.T) {
+	f := func(edges []uint16, weights []uint8, split []uint8, pick uint32) bool {
+		const n = 10
+		g := randomGraphFromBytes(n, edges, weights)
+		// Random decomposition w = w1 + w2.
+		w1 := make([]int64, n)
+		w2 := make([]int64, n)
+		for v := 0; v < n; v++ {
+			s := int64(0)
+			if v < len(split) {
+				s = int64(split[v]) % (g.Weight(v) + 1)
+			}
+			w1[v] = s
+			w2[v] = g.Weight(v) - s
+		}
+		g1, g2 := g.WithWeights(w1), g.WithWeights(w2)
+		optW, _, err := exact.MWIS(g)
+		if err != nil {
+			return false
+		}
+		opt1, _, err := exact.MWIS(g1)
+		if err != nil {
+			return false
+		}
+		opt2, _, err := exact.MWIS(g2)
+		if err != nil {
+			return false
+		}
+		// A random independent set I.
+		rng := rand.New(rand.NewPCG(uint64(pick), 7))
+		set := make([]bool, n)
+		for _, v := range rng.Perm(n) {
+			ok := true
+			for _, u := range g.Neighbors(v) {
+				if set[u] {
+					ok = false
+					break
+				}
+			}
+			if ok && rng.IntN(3) > 0 {
+				set[v] = true
+			}
+		}
+		iw := g.SetWeight(set)
+		i1 := g1.SetWeight(set)
+		i2 := g2.SetWeight(set)
+		if iw <= 0 {
+			return true // ratio undefined; theorem trivially irrelevant
+		}
+		// r-approx wrt w1 and w2 with r = max of the two ratios (treating
+		// a zero denominator with positive OPT as +inf ⇒ skip).
+		ratio := func(opt, val int64) (float64, bool) {
+			if val <= 0 {
+				return 0, opt <= 0
+			}
+			return float64(opt) / float64(val), true
+		}
+		r1, ok1 := ratio(opt1, i1)
+		r2, ok2 := ratio(opt2, i2)
+		if !ok1 || !ok2 {
+			return true // I is not an r-approx for finite r on a part
+		}
+		r := r1
+		if r2 > r {
+			r = r2
+		}
+		if r < 1 {
+			r = 1
+		}
+		// Theorem 6: I is r-approximate w.r.t. w.
+		return float64(optW) <= r*float64(iw)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTheorem1DeterministicEndToEnd instantiates Theorem 1 with the
+// deterministic GreedyByID black box: the full pipeline must be
+// seed-independent, which is the theorem's "deterministic" reading.
+func TestTheorem1DeterministicEndToEnd(t *testing.T) {
+	g := randomGraphFromBytes(40, []uint16{
+		1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 2, 9, 4, 17, 21, 33, 14, 35,
+		6, 28, 30, 31, 18, 19, 22, 39, 0, 13, 25, 26, 11, 38, 15, 16,
+	}, []uint8{9, 3, 200, 41, 77, 12, 90, 4, 60, 33})
+	cfg1 := Config{Seed: 1, MIS: mis.GreedyByID{}}
+	cfg2 := Config{Seed: 424242, MIS: mis.GreedyByID{}}
+	a, err := Theorem1(g, 0.5, cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Theorem1(g, 0.5, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Weight != b.Weight {
+		t.Fatalf("deterministic pipeline produced different weights: %d vs %d", a.Weight, b.Weight)
+	}
+	for v := range a.Set {
+		if a.Set[v] != b.Set[v] {
+			t.Fatal("deterministic pipeline produced different sets across seeds")
+		}
+	}
+	// And the guarantee still holds.
+	opt, _, err := exact.MWIS(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(a.Weight)*1.5*float64(g.MaxDegree()) < float64(opt) {
+		t.Error("deterministic pipeline violated (1+ε)Δ guarantee")
+	}
+}

@@ -1,0 +1,219 @@
+package maxis
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"distmwis/internal/congest"
+	"distmwis/internal/dist"
+	"distmwis/internal/graph"
+	"distmwis/internal/wire"
+)
+
+// Ranking implements the classical Boppana ranking algorithm (Algorithm 2,
+// Section 5): every node draws a uniform rank in {1, …, 100·n^(c+2)} and
+// joins the independent set when its rank strictly exceeds all neighbours'.
+//
+// The (c+2)·log n + O(1) rank bits exceed one CONGEST message, so the rank
+// is shipped in ⌈bits/B⌉ consecutive B-bit chunks — this is why the paper
+// says the algorithm "can be implemented in O(c) rounds in the CONGEST
+// model". Theorem 11: for Δ ≤ n/(256·ln(1/p)) − 1, the returned set has
+// size ≥ n/(8(Δ+1)) with probability ≥ 1 − p − 1/n^c.
+func Ranking(g *graph.Graph, c int, cfg Config) (*Result, error) {
+	cfg = cfg.normalized(g)
+	seeds := &seedSeq{base: cfg.Seed}
+	var acc dist.Accumulator
+	set, err := rankingRun(g, c, cfg, seeds, &acc)
+	if err != nil {
+		return nil, err
+	}
+	return finish(g, set, acc, "ranking", map[string]float64{
+		"rank_bits": float64(rankBits(cfg.NUpper, c)),
+	})
+}
+
+// OneRound is the Boppana–Halldórsson–Rawitz [17] baseline: the ranking
+// algorithm at its cheapest setting (c = 0). Its expected weight is at
+// least w(V)/(Δ+1), but — as the paper stresses in Section 1 — the variance
+// can be enormous, so the guarantee does not hold with high probability.
+// Experiment E11 reproduces exactly that failure mode.
+func OneRound(g *graph.Graph, cfg Config) (*Result, error) {
+	return Ranking(g, 0, cfg)
+}
+
+// rankSpace returns 100·n^(c+2) saturated to 2^61 so rank fields stay
+// well-formed for any polynomial bound.
+func rankSpace(nUpper, c int) uint64 {
+	const limit = uint64(1) << 61
+	space := uint64(100)
+	for i := 0; i < c+2; i++ {
+		if space > limit/uint64(nUpper) {
+			return limit
+		}
+		space *= uint64(nUpper)
+	}
+	return space
+}
+
+func rankBits(nUpper, c int) int { return wire.BitsFor(rankSpace(nUpper, c)) }
+
+func rankingRun(g *graph.Graph, c int, cfg Config, seeds *seedSeq, acc *dist.Accumulator) ([]bool, error) {
+	if g.N() == 0 {
+		return nil, nil
+	}
+	space := rankSpace(cfg.NUpper, c)
+	res, err := dist.RunPhase(g, func() congest.Process { return &rankingProcess{space: space} }, acc, cfg.opts(seeds.next())...)
+	if err != nil {
+		return nil, err
+	}
+	return congest.BoolOutputs(res), nil
+}
+
+// rankingProcess ships its rank in B-bit chunks and joins when strictly
+// larger than every neighbour's rank.
+type rankingProcess struct {
+	info     congest.NodeInfo
+	space    uint64
+	rank     uint64
+	bits     int
+	chunk    int // bits per round
+	rounds   int // sending rounds k = ceil(bits/chunk)
+	nbrRanks []uint64
+	nbrBits  []int
+	joined   bool
+}
+
+func (p *rankingProcess) Init(info congest.NodeInfo) {
+	p.info = info
+	p.rank = 1 + info.Rand.Uint64N(p.space)
+	p.bits = wire.BitsFor(p.space)
+	p.chunk = p.bits
+	if info.Bandwidth > 0 && info.Bandwidth < p.bits {
+		p.chunk = info.Bandwidth
+	}
+	p.rounds = (p.bits + p.chunk - 1) / p.chunk
+	p.nbrRanks = make([]uint64, info.Degree)
+	p.nbrBits = make([]int, info.Degree)
+}
+
+func (p *rankingProcess) Round(round int, recv []*congest.Message) ([]*congest.Message, bool) {
+	// Absorb chunks sent in the previous round.
+	if round > 1 {
+		for port, m := range recv {
+			if m == nil {
+				continue
+			}
+			r := m.Reader()
+			nbits := r.Remaining()
+			chunkVal, _ := r.ReadBits(nbits)
+			p.nbrRanks[port] |= chunkVal << uint(p.nbrBits[port])
+			p.nbrBits[port] += nbits
+		}
+	}
+	if round <= p.rounds {
+		lo := (round - 1) * p.chunk
+		hi := lo + p.chunk
+		if hi > p.bits {
+			hi = p.bits
+		}
+		var w wire.Writer
+		w.WriteBits(p.rank>>uint(lo), hi-lo)
+		return broadcast(congest.NewMessage(&w), p.info.Degree), false
+	}
+	// round == rounds+1: all chunks received; decide.
+	p.joined = true
+	for port := 0; port < p.info.Degree; port++ {
+		if p.nbrRanks[port] >= p.rank {
+			p.joined = false
+			break
+		}
+	}
+	return nil, true
+}
+
+func (p *rankingProcess) Output() any { return p.joined }
+
+// SeqBoppanna is Algorithm 3: the sequential view of the ranking algorithm.
+// Nodes are drawn uniformly at random without replacement; a drawn node
+// joins I when none of its neighbours was drawn earlier. Proposition 3
+// shows the output distribution equals Boppanna's up to 1/n^c total
+// variation; the martingale analysis of Theorem 11 is built on this view.
+//
+// The returned trace holds |I_t| after each of the n draws, feeding the
+// Proposition 4 concentration experiment.
+func SeqBoppanna(g *graph.Graph, rng *rand.Rand) (set []bool, trace []int) {
+	n := g.N()
+	set = make([]bool, n)
+	trace = make([]int, 0, n)
+	drawn := make([]bool, n)
+	// Uniform permutation via Fisher-Yates = sampling without replacement.
+	perm := rng.Perm(n)
+	size := 0
+	for _, v := range perm {
+		blocked := false
+		for _, u := range g.Neighbors(v) {
+			if drawn[u] {
+				blocked = true
+				break
+			}
+		}
+		drawn[v] = true
+		if !blocked {
+			set[v] = true
+			size++
+		}
+		trace = append(trace, size)
+	}
+	return set, trace
+}
+
+// rankingInner adapts Ranking as a boosting black box for unweighted
+// graphs. On unit-weight graphs the Theorem 11 guarantee
+// |I| ≥ n/(8(Δ+1)) ≥ n/(16Δ) gives c = 16. Local-ratio residual graphs of
+// an unweighted input remain unit-weight (a positive residual weight is
+// exactly 1), which the adapter checks.
+type rankingInner struct {
+	c int
+}
+
+func (r rankingInner) Name() string { return "ranking" }
+
+func (rankingInner) FactorC() int { return 16 }
+
+func (r rankingInner) Run(g *graph.Graph, cfg Config, seeds *seedSeq, acc *dist.Accumulator) ([]bool, error) {
+	if !g.IsUnitWeight() {
+		return nil, fmt.Errorf("maxis: ranking inner requires unit weights (Theorem 5 is for unweighted graphs)")
+	}
+	return rankingRun(g, r.c, cfg, seeds, acc)
+}
+
+var _ Inner = rankingInner{}
+
+// Theorem5 implements the paper's Theorem 5: for unweighted graphs of
+// maximum degree Δ ≤ n/log n, an O(1/ε)-round CONGEST algorithm returning
+// an independent set of size ≥ n/((1+ε)(Δ+1)) with high probability. It is
+// Boost over the Ranking inner algorithm (Corollary 1 supplies the
+// w(V)/((1+ε)(Δ+1)) form of the guarantee).
+//
+// The degree precondition is the paper's; callers violating it simply lose
+// the high-probability guarantee (Theorem 4 shows some such graphs are
+// genuinely hard), not correctness of the returned independent set.
+func Theorem5(g *graph.Graph, eps float64, cfg Config) (*BoostResult, error) {
+	if !g.IsUnitWeight() {
+		return nil, fmt.Errorf("maxis: Theorem5 requires an unweighted (unit-weight) graph")
+	}
+	res, err := Boost(g, eps, rankingInner{c: 2}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	n := float64(g.N())
+	if res.Extra == nil {
+		res.Extra = map[string]float64{}
+	}
+	res.Extra["degree_precondition_ok"] = 0
+	if float64(g.MaxDegree()) <= n/math.Log2(math.Max(n, 2)) {
+		res.Extra["degree_precondition_ok"] = 1
+	}
+	return res, nil
+}

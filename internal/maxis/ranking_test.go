@@ -1,0 +1,303 @@
+package maxis
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"distmwis/internal/congest"
+	"distmwis/internal/graph"
+	"distmwis/internal/graph/gen"
+)
+
+func TestRankingIndependence(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"cycle":  gen.Cycle(200),
+		"torus":  gen.Torus(10, 10),
+		"gnp":    gen.GNP(300, 0.02, 1),
+		"clique": gen.Clique(40),
+		"path":   gen.Path(50),
+	}
+	for name, g := range graphs {
+		t.Run(name, func(t *testing.T) {
+			for seed := uint64(1); seed <= 5; seed++ {
+				res, err := Ranking(g, 2, Config{Seed: seed})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !g.IsIndependentSet(res.Set) {
+					t.Fatalf("seed %d: dependent set", seed)
+				}
+			}
+		})
+	}
+}
+
+func TestRankingTheorem11SizeGuarantee(t *testing.T) {
+	// |I| ≥ n/(8(Δ+1)) w.h.p. for Δ ≤ n/(256·ln(1/p)) − 1. On a cycle
+	// (Δ = 2, n = 2048), failure probability is astronomically small.
+	g := gen.Cycle(2048)
+	want := g.N() / (8 * (g.MaxDegree() + 1))
+	for seed := uint64(1); seed <= 10; seed++ {
+		res, err := Ranking(g, 2, Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := graph.SetSize(res.Set); got < want {
+			t.Errorf("seed %d: |I| = %d < n/(8(Δ+1)) = %d", seed, got, want)
+		}
+	}
+}
+
+func TestRankingRoundsConstant(t *testing.T) {
+	// O(c) rounds regardless of n: ranks are (c+2)·log n + O(1) bits,
+	// shipped over B = 8·log n bit messages.
+	for _, n := range []int{64, 512, 4096} {
+		g := gen.Cycle(n)
+		res, err := Ranking(g, 2, Config{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Metrics.Rounds > 4 {
+			t.Errorf("n=%d: ranking took %d rounds, want O(c) ≤ 4", n, res.Metrics.Rounds)
+		}
+	}
+}
+
+func TestRankingChunksUnderTightBandwidth(t *testing.T) {
+	// With B = 1·log n, the (c+2)·log n rank needs c+2+ chunks; the
+	// protocol must still work and take more (but still O(c)) rounds.
+	g := gen.Cycle(256)
+	res, err := Ranking(g, 3, Config{Seed: 2, BandwidthFactor: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsIndependentSet(res.Set) {
+		t.Fatal("dependent set under tight bandwidth")
+	}
+	if res.Metrics.Rounds < 5 {
+		t.Errorf("expected ≥5 chunked rounds with B=log n, got %d", res.Metrics.Rounds)
+	}
+	if res.Metrics.Rounds > 12 {
+		t.Errorf("chunked ranking took %d rounds, want ~(c+2)·(bits ratio)", res.Metrics.Rounds)
+	}
+	// Against a wide-bandwidth run, the set distribution should match in
+	// spirit; at minimum sizes must agree within noise (same guarantee).
+	wide, err := Ranking(g, 3, Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if graph.SetSize(wide.Set) == 0 || graph.SetSize(res.Set) == 0 {
+		t.Error("empty sets")
+	}
+}
+
+func TestOneRoundBaseline(t *testing.T) {
+	g := gen.Weighted(gen.GNP(200, 0.05, 3), gen.UniformWeights(100), 3)
+	res, err := OneRound(g, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsIndependentSet(res.Set) {
+		t.Fatal("dependent set")
+	}
+	if res.Metrics.Rounds > 3 {
+		t.Errorf("one-round baseline took %d rounds", res.Metrics.Rounds)
+	}
+}
+
+func TestOneRoundExpectationCaroWei(t *testing.T) {
+	// [17]: E[w(I)] ≥ w(V)/(Δ+1). Average over many seeds and compare with
+	// slack.
+	g := gen.Weighted(gen.GNP(150, 0.08, 4), gen.UniformWeights(100), 4)
+	const trials = 200
+	var sum float64
+	for seed := uint64(1); seed <= trials; seed++ {
+		res, err := OneRound(g, Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += float64(res.Weight)
+	}
+	mean := sum / trials
+	bound := float64(g.TotalWeight()) / float64(g.MaxDegree()+1)
+	if mean < 0.9*bound {
+		t.Errorf("empirical mean %.1f below 0.9·w(V)/(Δ+1) = %.1f", mean, 0.9*bound)
+	}
+}
+
+func TestSeqBoppannaBasics(t *testing.T) {
+	g := gen.GNP(120, 0.05, 5)
+	rng := rand.New(rand.NewPCG(7, 7))
+	set, trace := SeqBoppanna(g, rng)
+	if !g.IsIndependentSet(set) {
+		t.Fatal("dependent set")
+	}
+	if len(trace) != g.N() {
+		t.Fatalf("trace length %d, want n", len(trace))
+	}
+	if trace[len(trace)-1] != graph.SetSize(set) {
+		t.Error("trace end disagrees with final set size")
+	}
+	if !sort.IntsAreSorted(trace) {
+		t.Error("trace must be non-decreasing")
+	}
+}
+
+// canonical encodes a set for distribution comparison.
+func canonical(set []bool) string {
+	s := ""
+	for v, in := range set {
+		if in {
+			s += fmt.Sprintf("%d,", v)
+		}
+	}
+	return s
+}
+
+func TestProposition3DistributionEquivalence(t *testing.T) {
+	// SeqBoppanna and the distributed Boppanna (Ranking) must induce the
+	// same distribution over independent sets up to tiny TV distance
+	// (Proposition 3). Compare empirically on P3, where the exact
+	// distribution is {0,2}: 1/3, {1}: 1/3, {0}: 1/6, {2}: 1/6.
+	g := gen.Path(3)
+	const trials = 6000
+	countSeq := map[string]int{}
+	countDist := map[string]int{}
+	rng := rand.New(rand.NewPCG(11, 13))
+	for i := 0; i < trials; i++ {
+		set, _ := SeqBoppanna(g, rng)
+		countSeq[canonical(set)]++
+		res, err := Ranking(g, 2, Config{Seed: uint64(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		countDist[canonical(res.Set)]++
+	}
+	keys := map[string]bool{}
+	for k := range countSeq {
+		keys[k] = true
+	}
+	for k := range countDist {
+		keys[k] = true
+	}
+	var tv float64
+	for k := range keys {
+		p := float64(countSeq[k]) / trials
+		q := float64(countDist[k]) / trials
+		if p > q {
+			tv += p - q
+		} else {
+			tv += q - p
+		}
+	}
+	tv /= 2
+	if tv > 0.05 {
+		t.Errorf("total variation distance %.3f between SeqBoppanna and Boppanna, want ≈0", tv)
+	}
+	// And against the exact distribution.
+	exactDist := map[string]float64{"0,2,": 1.0 / 3, "1,": 1.0 / 3, "0,": 1.0 / 6, "2,": 1.0 / 6}
+	for k, want := range exactDist {
+		got := float64(countSeq[k]) / trials
+		if got < want-0.04 || got > want+0.04 {
+			t.Errorf("SeqBoppanna P[%s] = %.3f, want %.3f", k, got, want)
+		}
+	}
+}
+
+func TestSeqBoppannaMartingaleConcentration(t *testing.T) {
+	// Theorem 11's proof: after k = n/(2(Δ+1)) draws, |I_k| ≥ k/4 except
+	// with probability ≤ exp(−k/128) (Proposition 4 via Azuma). Check the
+	// empirical failure frequency against the bound on a cycle.
+	g := gen.Cycle(1024)
+	k := g.N() / (2 * (g.MaxDegree() + 1))
+	const trials = 300
+	fails := 0
+	for seed := uint64(1); seed <= trials; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		_, trace := SeqBoppanna(g, rng)
+		if trace[k-1] < k/4 {
+			fails++
+		}
+	}
+	bound := float64(trials) // exp(-k/128) * trials, computed below
+	boundProb := 1.0
+	for i := 0; i < k/128; i++ {
+		boundProb /= 2.718281828
+	}
+	bound = boundProb * trials
+	if float64(fails) > bound+3 { // +3 slack for sampling noise at tiny bounds
+		t.Errorf("%d/%d trials fell below k/4; Proposition 4 bound allows ≈%.2f", fails, trials, bound)
+	}
+}
+
+func TestTheorem5Guarantee(t *testing.T) {
+	// Unweighted, Δ ≤ n/log n: |I| ≥ n/((1+ε)(Δ+1)).
+	graphs := map[string]*graph.Graph{
+		"cycle": gen.Cycle(512),
+		"torus": gen.Torus(16, 16),
+		"gnp":   gen.GNP(600, 0.005, 6),
+	}
+	for name, g := range graphs {
+		t.Run(name, func(t *testing.T) {
+			eps := 0.5
+			res, err := Theorem5(g, eps, Config{Seed: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := float64(g.N()) / ((1 + eps) * float64(g.MaxDegree()+1))
+			if float64(graph.SetSize(res.Set)) < want {
+				t.Errorf("|I| = %d < n/((1+ε)(Δ+1)) = %.1f", graph.SetSize(res.Set), want)
+			}
+			if res.Extra["degree_precondition_ok"] != 1 {
+				t.Error("degree precondition should hold for this instance")
+			}
+		})
+	}
+}
+
+func TestTheorem5RejectsWeighted(t *testing.T) {
+	g := gen.Weighted(gen.Cycle(20), gen.UniformWeights(10), 7)
+	if _, err := Theorem5(g, 0.5, Config{}); err == nil {
+		t.Error("expected rejection of weighted input")
+	}
+}
+
+func TestTheorem5RoundsIndependentOfN(t *testing.T) {
+	// O(1/ε) rounds: round count must not grow with n.
+	r512, err := Theorem5(gen.Cycle(512), 0.5, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8192, err := Theorem5(gen.Cycle(8192), 0.5, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r8192.Metrics.Rounds > r512.Metrics.Rounds+8 {
+		t.Errorf("rounds grew with n: %d (n=8192) vs %d (n=512)", r8192.Metrics.Rounds, r512.Metrics.Rounds)
+	}
+}
+
+func TestRankSpaceSaturation(t *testing.T) {
+	if got := rankSpace(4, 0); got != 100*4*4 {
+		t.Errorf("rankSpace(4,0) = %d, want 1600", got)
+	}
+	// Saturation must not overflow.
+	if got := rankSpace(1<<20, 10); got != 1<<61 {
+		t.Errorf("rankSpace huge = %d, want 2^61", got)
+	}
+}
+
+func TestRankingCongestWithHugeIDs(t *testing.T) {
+	// Random O(log n)-bit IDs from a big space must still fit CONGEST.
+	g := gen.RandomIDs(gen.Cycle(128), 1<<28, 9)
+	res, err := Ranking(g, 2, Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsIndependentSet(res.Set) {
+		t.Fatal("dependent set")
+	}
+	_ = congest.Bandwidth // silence potential unused import if edited
+}

@@ -1,0 +1,168 @@
+package maxis
+
+import (
+	"math"
+	"testing"
+
+	"distmwis/internal/dist"
+	"distmwis/internal/graph"
+	"distmwis/internal/graph/gen"
+)
+
+func TestSparsifiedGuarantee(t *testing.T) {
+	// Theorem 9: w(I) ≥ w(V)/(cΔ) w.h.p.; we assert the declared c = 16
+	// across seeds on several dense graphs, where sparsification actually
+	// bites (Δ ≫ log n).
+	graphs := map[string]*graph.Graph{
+		"clique":    gen.Weighted(gen.Clique(120), gen.UniformWeights(1000), 1),
+		"gnp-dense": gen.Weighted(gen.GNP(300, 0.25, 2), gen.UniformWeights(100), 2),
+		"bipartite": gen.Weighted(gen.CompleteBipartite(60, 80), gen.UniformWeights(500), 3),
+		"skewed":    gen.Weighted(gen.GNP(250, 0.2, 4), gen.SkewedWeights(0.02, 1<<20), 4),
+	}
+	for name, g := range graphs {
+		t.Run(name, func(t *testing.T) {
+			for seed := uint64(1); seed <= 3; seed++ {
+				res, err := Sparsified(g, Config{Seed: seed})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !g.IsIndependentSet(res.Set) {
+					t.Fatal("dependent set")
+				}
+				bound := float64(g.TotalWeight()) / (16 * float64(g.MaxDegree()))
+				if float64(res.Weight) < bound {
+					t.Errorf("seed %d: weight %d below w(V)/(16Δ) = %.1f", seed, res.Weight, bound)
+				}
+			}
+		})
+	}
+}
+
+func TestSparsifierLemma3DegreeBound(t *testing.T) {
+	// Lemma 3: Δ_H = O(log n). With λ = 2 the proof constant is 2λ·log₂ n
+	// for the deterministic part plus the concentrated random part; assert
+	// Δ_H ≤ 8λ·log₂ n, a generous constant.
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{name: "clique", g: gen.Weighted(gen.Clique(400), gen.UniformWeights(100), 5)},
+		{name: "gnp", g: gen.Weighted(gen.GNP(800, 0.1, 6), gen.PolyWeights(2), 6)},
+		{name: "skew", g: gen.Weighted(gen.GNP(500, 0.15, 7), gen.SkewedWeights(0.01, 1<<24), 7)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Config{Seed: 9}.normalized(tc.g)
+			inH, err := SampleSparsifier(tc.g, cfg, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sub := tc.g.Induce(inH)
+			lam := cfg.lambda()
+			logn := math.Log2(float64(tc.g.N()))
+			if got, limit := float64(sub.G.MaxDegree()), 8*lam*logn; got > limit {
+				t.Errorf("Δ_H = %.0f > %.1f = 8λ·log n", got, limit)
+			}
+		})
+	}
+}
+
+func TestSparsifierLemma5WeightBound(t *testing.T) {
+	// Lemma 5: w(V_H) = Ω(min{w(V), w(V)·log n/Δ}). Assert a 1/8 constant.
+	g := gen.Weighted(gen.Clique(300), gen.UniformWeights(1000), 8)
+	cfg := Config{Seed: 4}.normalized(g)
+	inH, err := SampleSparsifier(g, cfg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wH int64
+	for v, in := range inH {
+		if in {
+			wH += g.Weight(v)
+		}
+	}
+	wV := float64(g.TotalWeight())
+	logn := math.Log2(float64(g.N()))
+	want := math.Min(wV, wV*logn/float64(g.MaxDegree())) / 8
+	if float64(wH) < want {
+		t.Errorf("w(V_H) = %d below Lemma 5 bound %.1f", wH, want)
+	}
+}
+
+func TestSparsifierKeepsHeavyNodes(t *testing.T) {
+	// A node carrying half the total weight has w(v)/wmax(v) large, so its
+	// sampling probability is ~1; it must essentially always survive.
+	b := graph.NewBuilder(100)
+	for u := 0; u < 100; u++ {
+		for v := u + 1; v < 100; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	w := make([]int64, 100)
+	for i := range w {
+		w[i] = 1
+	}
+	w[0] = 1 << 30
+	b.SetWeights(w)
+	g := b.MustBuild()
+	misses := 0
+	for seed := uint64(1); seed <= 20; seed++ {
+		inH, err := SampleSparsifier(g, Config{Seed: seed}, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !inH[0] {
+			misses++
+		}
+	}
+	if misses > 2 {
+		t.Errorf("dominant-weight node dropped in %d/20 samples", misses)
+	}
+}
+
+func TestSparsifierIsolatedNodesKept(t *testing.T) {
+	g := gen.Weighted(graph.NewBuilder(25).MustBuild(), gen.UniformWeights(10), 10)
+	inH, err := SampleSparsifier(g, Config{Seed: 1}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, in := range inH {
+		if !in {
+			t.Errorf("isolated node %d dropped", v)
+		}
+	}
+}
+
+func TestSparsifiedRoundsIndependentOfDelta(t *testing.T) {
+	// The whole point of Theorem 2/9: rounds depend on Δ_H = O(log n), not
+	// on Δ. A clique (Δ = n-1) must not cost more than a sparse graph by
+	// more than a small factor.
+	dense := gen.Weighted(gen.Clique(256), gen.UniformWeights(100), 11)
+	sparse := gen.Weighted(gen.GNP(256, 0.03, 12), gen.UniformWeights(100), 12)
+	rd, err := Sparsified(dense, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Sparsified(sparse, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Metrics.Rounds > 3*rs.Metrics.Rounds+15 {
+		t.Errorf("dense rounds %d ≫ sparse rounds %d: sparsification not flattening Δ", rd.Metrics.Rounds, rs.Metrics.Rounds)
+	}
+}
+
+func TestSparsifierAccumulatorCharged(t *testing.T) {
+	g := gen.Weighted(gen.GNP(100, 0.2, 13), gen.UniformWeights(50), 13)
+	cfg := Config{Seed: 2}.normalized(g)
+	seeds := &seedSeq{base: cfg.Seed}
+	var acc dist.Accumulator
+	if _, err := SampleSparsifier(g, cfg, seeds, &acc); err != nil {
+		t.Fatal(err)
+	}
+	if acc.Rounds != 3 {
+		t.Errorf("sampling protocol charged %d rounds, want 3", acc.Rounds)
+	}
+	if acc.Bits == 0 {
+		t.Error("no bits charged")
+	}
+}

@@ -1,0 +1,122 @@
+package mis
+
+import (
+	"distmwis/internal/congest"
+	"distmwis/internal/wire"
+)
+
+// GreedyByID is the fully deterministic MIS protocol: after one round of
+// identifier exchange, a node joins as soon as its identifier exceeds those
+// of all still-active neighbours; dominated nodes retire. It is the
+// distributed analogue of sequential greedy in ID order.
+//
+// Its worst-case round complexity is Θ(n) (a monotone ID path), which is
+// exactly why the paper treats MIS as a pluggable black box: Theorem 1
+// inherits determinism from this box and speed from a better one. Round
+// budget: n+2.
+type GreedyByID struct{}
+
+// Name implements Algorithm.
+func (GreedyByID) Name() string { return "greedy-id" }
+
+// NewProcess implements Algorithm.
+func (GreedyByID) NewProcess() congest.Process { return &greedyIDProcess{} }
+
+// RoundBudget implements Algorithm: the deterministic chain bound.
+func (GreedyByID) RoundBudget(nUpper, _ int) int { return nUpper + 2 }
+
+var _ Algorithm = GreedyByID{}
+
+// greedyIDProcess statuses broadcast each round.
+const (
+	statusActive  = 0
+	statusJoined  = 1
+	statusRetired = 2
+)
+
+type greedyIDProcess struct {
+	info      congest.NodeInfo
+	nbrID     []uint64
+	nbrActive []bool
+	joined    bool
+	dominated bool
+}
+
+func (p *greedyIDProcess) Init(info congest.NodeInfo) {
+	p.info = info
+	p.nbrID = make([]uint64, info.Degree)
+	p.nbrActive = make([]bool, info.Degree)
+	for i := range p.nbrActive {
+		p.nbrActive[i] = true
+	}
+}
+
+func (p *greedyIDProcess) Round(round int, recv []*congest.Message) ([]*congest.Message, bool) {
+	if round == 1 {
+		// Identifier exchange.
+		var w wire.Writer
+		w.WriteUint(p.info.ID, p.info.MaxID)
+		out := make([]*congest.Message, p.info.Degree)
+		m := congest.NewMessage(&w)
+		for i := range out {
+			out[i] = m
+		}
+		return out, false
+	}
+	if round == 2 {
+		for port, m := range recv {
+			if m == nil {
+				continue
+			}
+			id, _ := m.Reader().ReadUint(p.info.MaxID)
+			p.nbrID[port] = id
+		}
+	} else {
+		for port, m := range recv {
+			if m == nil || !p.nbrActive[port] {
+				continue
+			}
+			status, _ := m.Reader().ReadUint(2)
+			switch status {
+			case statusJoined:
+				p.dominated = true
+				p.nbrActive[port] = false
+			case statusRetired:
+				p.nbrActive[port] = false
+			}
+		}
+	}
+
+	status := uint64(statusActive)
+	done := false
+	switch {
+	case p.dominated:
+		status = statusRetired
+		done = true
+	default:
+		highestActive := true
+		for port, active := range p.nbrActive {
+			if active && p.nbrID[port] > p.info.ID {
+				highestActive = false
+				break
+			}
+		}
+		if highestActive {
+			p.joined = true
+			status = statusJoined
+			done = true
+		}
+	}
+	var w wire.Writer
+	w.WriteUint(status, 2)
+	out := make([]*congest.Message, p.info.Degree)
+	m := congest.NewMessage(&w)
+	for port, active := range p.nbrActive {
+		if active {
+			out[port] = m
+		}
+	}
+	return out, done
+}
+
+func (p *greedyIDProcess) Output() any { return p.joined }

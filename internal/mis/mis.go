@@ -1,0 +1,506 @@
+// Package mis implements distributed maximal-independent-set protocols for
+// the CONGEST model.
+//
+// The paper treats MIS as a black box with running time MIS(n, Δ)
+// (Theorems 1 and 8): any MIS protocol can be plugged into the MaxIS
+// approximation pipeline. This package provides three such boxes —
+//
+//   - Luby: the classic algorithm of Luby [35] / Alon–Babai–Itai [1]; each
+//     active node marks itself with probability 1/(2d(v)) and joins when it
+//     beats all marked neighbours by (degree, ID) priority. O(log n) rounds
+//     with high probability.
+//   - Ghaffari: the desire-level dynamics of Ghaffari [25]; node marking
+//     probabilities p_v adapt (halve when the neighbourhood is crowded,
+//     double otherwise), giving O(log Δ) + poly(log log n) local complexity.
+//   - Rank: fresh uniform ranks each iteration, local maxima join. The
+//     iterated version of the classical ranking algorithm (Section 5).
+//
+// Each protocol charges three simulator rounds per iteration (mark/compete,
+// join announcement, retirement announcement), which is the standard
+// CONGEST accounting for these algorithms.
+package mis
+
+import (
+	"fmt"
+	"sort"
+
+	"distmwis/internal/congest"
+	"distmwis/internal/graph"
+	"distmwis/internal/wire"
+)
+
+// Algorithm is a distributed MIS black box (the MIS(n,Δ) of the paper).
+type Algorithm interface {
+	// Name identifies the algorithm in experiment tables.
+	Name() string
+	// NewProcess creates one node's protocol instance. The process's
+	// Output() must be a bool: membership in the computed MIS.
+	NewProcess() congest.Process
+	// RoundBudget returns the declared with-high-probability round budget
+	// MIS(n, Δ) for graphs with ≤ nUpper nodes and maximum degree ≤ maxDeg.
+	// Synchronous phase composition (Algorithms 1 and 6 of the paper) runs
+	// each black-box invocation for this fixed budget, because nodes cannot
+	// detect global termination; the budgeted accounting mode charges it.
+	RoundBudget(nUpper, maxDeg int) int
+}
+
+// ceilLog2 returns ⌈log₂ x⌉ for x ≥ 1 (0 for x ≤ 1).
+func ceilLog2(x int) int {
+	if x <= 1 {
+		return 0
+	}
+	b := 0
+	for v := x - 1; v > 0; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+// Result is an MIS computation on a concrete graph.
+type Result struct {
+	// Set is the MIS membership vector.
+	Set []bool
+	// Exec carries the simulator metrics.
+	Exec *congest.Result
+}
+
+// Compute runs alg on g and returns the membership vector plus metrics.
+func Compute(alg Algorithm, g *graph.Graph, opts ...congest.Option) (*Result, error) {
+	res, err := congest.Run(g, alg.NewProcess, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("mis: %s: %w", alg.Name(), err)
+	}
+	return &Result{Set: congest.BoolOutputs(res), Exec: res}, nil
+}
+
+// Verify returns an error unless set is a maximal independent set of g.
+func Verify(g *graph.Graph, set []bool) error {
+	if !g.IsIndependentSet(set) {
+		return fmt.Errorf("mis: set is not independent")
+	}
+	if !g.IsMaximalIS(set) {
+		return fmt.Errorf("mis: independent set is not maximal")
+	}
+	return nil
+}
+
+// Luby is Luby's randomized MIS algorithm.
+type Luby struct{}
+
+// Name implements Algorithm.
+func (Luby) Name() string { return "luby" }
+
+// NewProcess implements Algorithm.
+func (Luby) NewProcess() congest.Process { return &lubyProcess{} }
+
+// RoundBudget implements Algorithm: Luby terminates in O(log n) iterations
+// with high probability independent of Δ; three simulator rounds each.
+func (Luby) RoundBudget(nUpper, _ int) int {
+	return 3 * (4*ceilLog2(nUpper) + 1)
+}
+
+var _ Algorithm = Luby{}
+
+// phase is the position within one 3-round iteration.
+type phase int
+
+const (
+	phaseMark phase = iota + 1
+	phaseJoin
+	phaseRetire
+)
+
+func phaseOf(round int) phase { return phase((round-1)%3 + 1) }
+
+// lubyProcess holds one node's Luby state.
+type lubyProcess struct {
+	info      congest.NodeInfo
+	alive     []bool // per-port: neighbour still active
+	aliveN    int
+	marked    bool
+	joined    bool
+	dominated bool
+	// scratch from phaseMark messages: which alive neighbours are marked and
+	// their (degree, id) priority.
+	loseToNeighbor bool
+}
+
+func (p *lubyProcess) Init(info congest.NodeInfo) {
+	p.info = info
+	p.alive = make([]bool, info.Degree)
+	for i := range p.alive {
+		p.alive[i] = true
+	}
+	p.aliveN = info.Degree
+}
+
+// beats reports whether (d1,id1) has priority over (d2,id2).
+func beats(d1 int, id1 uint64, d2 int, id2 uint64) bool {
+	if d1 != d2 {
+		return d1 > d2
+	}
+	return id1 > id2
+}
+
+func (p *lubyProcess) Round(round int, recv []*congest.Message) ([]*congest.Message, bool) {
+	switch phaseOf(round) {
+	case phaseMark:
+		// Absorb retirement bits from the previous iteration.
+		p.absorbRetirements(round, recv)
+		p.marked = false
+		p.loseToNeighbor = false
+		if p.aliveN == 0 {
+			p.marked = true // uncontested: will join
+		} else if p.info.Rand.Float64() < 1/(2*float64(p.aliveN)) {
+			p.marked = true
+		}
+		var w wire.Writer
+		w.WriteBool(p.marked)
+		w.WriteUint(uint64(p.aliveN), uint64(p.info.NUpper))
+		w.WriteUint(p.info.ID, p.info.MaxID)
+		return p.broadcastAlive(congest.NewMessage(&w)), false
+
+	case phaseJoin:
+		if p.marked {
+			for port, m := range recv {
+				if m == nil || !p.alive[port] {
+					continue
+				}
+				r := m.Reader()
+				nbrMarked, _ := r.ReadBool()
+				nbrDeg, _ := r.ReadUint(uint64(p.info.NUpper))
+				nbrID, _ := r.ReadUint(p.info.MaxID)
+				if nbrMarked && beats(int(nbrDeg), nbrID, p.aliveN, p.info.ID) {
+					p.loseToNeighbor = true
+					break
+				}
+			}
+			if !p.loseToNeighbor {
+				p.joined = true
+			}
+		}
+		var w wire.Writer
+		w.WriteBool(p.joined)
+		return p.broadcastAlive(congest.NewMessage(&w)), false
+
+	default: // phaseRetire
+		for port, m := range recv {
+			if m == nil || !p.alive[port] {
+				continue
+			}
+			nbrJoined, _ := m.Reader().ReadBool()
+			if nbrJoined {
+				p.dominated = true
+			}
+		}
+		retiring := p.joined || p.dominated
+		var w wire.Writer
+		w.WriteBool(retiring)
+		return p.broadcastAlive(congest.NewMessage(&w)), retiring
+	}
+}
+
+func (p *lubyProcess) absorbRetirements(round int, recv []*congest.Message) {
+	if round == 1 {
+		return
+	}
+	for port, m := range recv {
+		if m == nil || !p.alive[port] {
+			continue
+		}
+		retired, _ := m.Reader().ReadBool()
+		if retired {
+			p.alive[port] = false
+			p.aliveN--
+		}
+	}
+}
+
+func (p *lubyProcess) broadcastAlive(m *congest.Message) []*congest.Message {
+	out := make([]*congest.Message, p.info.Degree)
+	for port := range out {
+		if p.alive[port] {
+			out[port] = m
+		}
+	}
+	return out
+}
+
+func (p *lubyProcess) Output() any { return p.joined }
+
+// Ghaffari is the desire-level MIS algorithm of Ghaffari [25].
+type Ghaffari struct{}
+
+// Name implements Algorithm.
+func (Ghaffari) Name() string { return "ghaffari" }
+
+// NewProcess implements Algorithm.
+func (Ghaffari) NewProcess() congest.Process { return &ghaffariProcess{} }
+
+// RoundBudget implements Algorithm: O(log Δ) + poly(log log n) iterations
+// (the local complexity of [25] combined with the CONGEST shattering
+// machinery of [26, 41]); three simulator rounds each. The poly(log log n)
+// term is budgeted as (⌈log₂ log₂ n⌉ + 1)², a quadratic stand-in for the
+// shattering phase.
+func (Ghaffari) RoundBudget(nUpper, maxDeg int) int {
+	loglog := ceilLog2(ceilLog2(nUpper)+1) + 1
+	return 3 * (4*ceilLog2(maxDeg+2) + loglog*loglog)
+}
+
+var _ Algorithm = Ghaffari{}
+
+// ghaffariProcess holds one node's desire-level state. Probabilities are
+// powers of two tracked as negative exponents, so messages stay O(log log n)
+// bits for the probability field.
+type ghaffariProcess struct {
+	info      congest.NodeInfo
+	alive     []bool
+	aliveN    int
+	pExp      int // p_v = 2^-pExp, pExp >= 1
+	marked    bool
+	joined    bool
+	dominated bool
+	// maxExp caps the exponent so the wire field stays bounded.
+	maxExp int
+}
+
+func (p *ghaffariProcess) Init(info congest.NodeInfo) {
+	p.info = info
+	p.alive = make([]bool, info.Degree)
+	for i := range p.alive {
+		p.alive[i] = true
+	}
+	p.aliveN = info.Degree
+	p.pExp = 1
+	p.maxExp = 2 * wire.BitsFor(uint64(info.NUpper)) // p never below n^-2
+}
+
+func (p *ghaffariProcess) Round(round int, recv []*congest.Message) ([]*congest.Message, bool) {
+	switch phaseOf(round) {
+	case phaseMark:
+		for port, m := range recv { // retirements from previous iteration
+			if round > 1 && m != nil && p.alive[port] {
+				retired, _ := m.Reader().ReadBool()
+				if retired {
+					p.alive[port] = false
+					p.aliveN--
+				}
+			}
+		}
+		p.marked = false
+		if p.aliveN == 0 {
+			p.marked = true
+		} else {
+			// Draw with probability 2^-pExp via pExp fair bits.
+			p.marked = true
+			for i := 0; i < p.pExp; i++ {
+				if p.info.Rand.Uint64()&1 == 1 {
+					p.marked = false
+					break
+				}
+			}
+		}
+		var w wire.Writer
+		w.WriteBool(p.marked)
+		w.WriteUint(uint64(p.pExp), uint64(p.maxExp))
+		w.WriteUint(p.info.ID, p.info.MaxID)
+		return p.broadcastAlive(congest.NewMessage(&w)), false
+
+	case phaseJoin:
+		var effDeg float64
+		anyMarkedBeats := false
+		for port, m := range recv {
+			if m == nil || !p.alive[port] {
+				continue
+			}
+			r := m.Reader()
+			nbrMarked, _ := r.ReadBool()
+			nbrExp, _ := r.ReadUint(uint64(p.maxExp))
+			nbrID, _ := r.ReadUint(p.info.MaxID)
+			effDeg += pow2neg(int(nbrExp))
+			if nbrMarked && nbrID > p.info.ID {
+				anyMarkedBeats = true
+			}
+		}
+		if p.marked && !anyMarkedBeats {
+			p.joined = true
+		}
+		// Desire-level update for the next iteration.
+		if effDeg >= 2 {
+			if p.pExp < p.maxExp {
+				p.pExp++
+			}
+		} else if p.pExp > 1 {
+			p.pExp--
+		}
+		var w wire.Writer
+		w.WriteBool(p.joined)
+		return p.broadcastAlive(congest.NewMessage(&w)), false
+
+	default: // phaseRetire
+		for port, m := range recv {
+			if m == nil || !p.alive[port] {
+				continue
+			}
+			nbrJoined, _ := m.Reader().ReadBool()
+			if nbrJoined {
+				p.dominated = true
+			}
+		}
+		retiring := p.joined || p.dominated
+		var w wire.Writer
+		w.WriteBool(retiring)
+		return p.broadcastAlive(congest.NewMessage(&w)), retiring
+	}
+}
+
+func pow2neg(exp int) float64 {
+	v := 1.0
+	for i := 0; i < exp && v > 1e-300; i++ {
+		v /= 2
+	}
+	return v
+}
+
+func (p *ghaffariProcess) broadcastAlive(m *congest.Message) []*congest.Message {
+	out := make([]*congest.Message, p.info.Degree)
+	for port := range out {
+		if p.alive[port] {
+			out[port] = m
+		}
+	}
+	return out
+}
+
+func (p *ghaffariProcess) Output() any { return p.joined }
+
+// Rank is the iterated ranking MIS: every iteration each active node draws
+// a fresh uniform rank; strict local maxima join, dominated nodes retire.
+type Rank struct{}
+
+// Name implements Algorithm.
+func (Rank) Name() string { return "rank" }
+
+// NewProcess implements Algorithm.
+func (Rank) NewProcess() congest.Process { return &rankProcess{} }
+
+// RoundBudget implements Algorithm: like Luby, O(log n) iterations w.h.p.
+func (Rank) RoundBudget(nUpper, _ int) int {
+	return 3 * (4*ceilLog2(nUpper) + 1)
+}
+
+var _ Algorithm = Rank{}
+
+type rankProcess struct {
+	info      congest.NodeInfo
+	alive     []bool
+	aliveN    int
+	rank      uint64
+	rankSpace uint64
+	joined    bool
+	dominated bool
+	wins      bool
+}
+
+func (p *rankProcess) Init(info congest.NodeInfo) {
+	p.info = info
+	p.alive = make([]bool, info.Degree)
+	for i := range p.alive {
+		p.alive[i] = true
+	}
+	p.aliveN = info.Degree
+	n := uint64(info.NUpper)
+	p.rankSpace = n * n // collisions broken by ID
+}
+
+func (p *rankProcess) Round(round int, recv []*congest.Message) ([]*congest.Message, bool) {
+	switch phaseOf(round) {
+	case phaseMark:
+		for port, m := range recv {
+			if round > 1 && m != nil && p.alive[port] {
+				retired, _ := m.Reader().ReadBool()
+				if retired {
+					p.alive[port] = false
+					p.aliveN--
+				}
+			}
+		}
+		p.rank = 1 + p.info.Rand.Uint64N(p.rankSpace)
+		var w wire.Writer
+		w.WriteUint(p.rank, p.rankSpace)
+		w.WriteUint(p.info.ID, p.info.MaxID)
+		return p.broadcastAlive(congest.NewMessage(&w)), false
+
+	case phaseJoin:
+		p.wins = true
+		for port, m := range recv {
+			if m == nil || !p.alive[port] {
+				continue
+			}
+			r := m.Reader()
+			nbrRank, _ := r.ReadUint(p.rankSpace)
+			nbrID, _ := r.ReadUint(p.info.MaxID)
+			if nbrRank > p.rank || (nbrRank == p.rank && nbrID > p.info.ID) {
+				p.wins = false
+			}
+		}
+		if p.wins {
+			p.joined = true
+		}
+		var w wire.Writer
+		w.WriteBool(p.joined)
+		return p.broadcastAlive(congest.NewMessage(&w)), false
+
+	default: // phaseRetire
+		for port, m := range recv {
+			if m == nil || !p.alive[port] {
+				continue
+			}
+			nbrJoined, _ := m.Reader().ReadBool()
+			if nbrJoined {
+				p.dominated = true
+			}
+		}
+		retiring := p.joined || p.dominated
+		var w wire.Writer
+		w.WriteBool(retiring)
+		return p.broadcastAlive(congest.NewMessage(&w)), retiring
+	}
+}
+
+func (p *rankProcess) broadcastAlive(m *congest.Message) []*congest.Message {
+	out := make([]*congest.Message, p.info.Degree)
+	for port := range out {
+		if p.alive[port] {
+			out[port] = m
+		}
+	}
+	return out
+}
+
+func (p *rankProcess) Output() any { return p.joined }
+
+// GreedySequential computes the canonical greedy MIS in identifier order.
+// It is a centralized reference implementation used to validate the
+// distributed protocols and by the Section 7 gap-filling step.
+func GreedySequential(g *graph.Graph) []bool {
+	n := g.N()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	// Sort by identifier so the result is topology-determined.
+	sort.Slice(order, func(i, j int) bool { return g.ID(order[i]) < g.ID(order[j]) })
+	set := make([]bool, n)
+	blocked := make([]bool, n)
+	for _, v := range order {
+		if blocked[v] {
+			continue
+		}
+		set[v] = true
+		for _, u := range g.Neighbors(v) {
+			blocked[u] = true
+		}
+	}
+	return set
+}

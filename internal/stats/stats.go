@@ -1,0 +1,189 @@
+// Package stats provides the summary statistics and concentration-bound
+// evaluators used by the experiment suite.
+//
+// The paper's analyses rest on three tail bounds — multiplicative Chernoff
+// (Fact 1), Bernstein (Fact 2) and one-sided Azuma (Fact 3) — plus the
+// martingale construction of Proposition 4. The experiment harness compares
+// empirical tail frequencies of the implemented algorithms against these
+// numeric bounds, so the Facts are implemented here exactly as stated.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the usual descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Var    float64 // unbiased sample variance
+	StdDev float64
+	Min    float64
+	Max    float64
+	Median float64
+	P10    float64
+	P90    float64
+}
+
+// Summarize computes a Summary. An empty sample yields the zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Var = ss / float64(len(xs)-1)
+	}
+	s.StdDev = math.Sqrt(s.Var)
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Median = Quantile(sorted, 0.5)
+	s.P10 = Quantile(sorted, 0.1)
+	s.P90 = Quantile(sorted, 0.9)
+	return s
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of an ascending-sorted sample
+// by linear interpolation.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// FractionBelow returns the empirical probability that a sample value is
+// strictly below t.
+func FractionBelow(xs []float64, t float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := 0
+	for _, x := range xs {
+		if x < t {
+			c++
+		}
+	}
+	return float64(c) / float64(len(xs))
+}
+
+// ChernoffUpper is Fact 1: for a sum X of independent 0/1 variables with
+// mean μ and 0 ≤ ε ≤ 1,
+//
+//	Pr[|X − μ| ≥ εμ] ≤ 2·exp(−ε²μ/(2+ε)).
+func ChernoffUpper(eps, mu float64) float64 {
+	if eps < 0 || mu <= 0 {
+		return 1
+	}
+	if eps > 1 {
+		eps = 1
+	}
+	return math.Min(1, 2*math.Exp(-eps*eps*mu/(2+eps)))
+}
+
+// BernsteinUpper is Fact 2: for independent Xᵢ ≤ M with total variance
+// varSum,
+//
+//	Pr[|X − μ| ≥ t] ≤ 2·exp(−t²/2 / (Mt/3 + varSum)).
+func BernsteinUpper(t, m, varSum float64) float64 {
+	if t <= 0 {
+		return 1
+	}
+	return math.Min(1, 2*math.Exp(-t*t/2/(m*t/3+varSum)))
+}
+
+// AzumaLower is Fact 3 (one-sided): for a martingale with |Xᵢ−Xᵢ₋₁| ≤ cᵢ,
+//
+//	Pr[X_N − X₀ ≤ −t] ≤ exp(−t²/(2·Σcᵢ²)).
+func AzumaLower(t, sumC2 float64) float64 {
+	if t <= 0 || sumC2 <= 0 {
+		return 1
+	}
+	return math.Min(1, math.Exp(-t*t/(2*sumC2)))
+}
+
+// Proposition4Bound is the concentration bound proved via Azuma in
+// Proposition 4: Pr[f_k < k·M1 − t] ≤ exp(−t²/(8·M0²·k)).
+func Proposition4Bound(t, m0 float64, k int) float64 {
+	if t <= 0 || k <= 0 {
+		return 1
+	}
+	return math.Min(1, math.Exp(-t*t/(8*m0*m0*float64(k))))
+}
+
+// Theorem11FailureBound is the explicit failure bound of Theorem 11's
+// proof: Pr[|I_k| < k/4] ≤ exp(−k/128) with k = n/(2(Δ+1)).
+func Theorem11FailureBound(n, delta int) float64 {
+	k := float64(n) / (2 * float64(delta+1))
+	return math.Min(1, math.Exp(-k/128))
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f sd=%.3f min=%.3f med=%.3f max=%.3f",
+		s.N, s.Mean, s.StdDev, s.Min, s.Median, s.Max)
+}
+
+// MartingaleIncrements converts a trajectory (e.g. the SeqBoppanna |I_t|
+// trace) into the shifted increments Y_t = f_t − f_{t−1} − p_t of
+// Section 2.3, given the per-step conditional means p_t. The partial sums
+// of the result form the martingale X_t used in the Theorem 11 analysis.
+func MartingaleIncrements(trace []int, condMeans []float64) []float64 {
+	out := make([]float64, 0, len(trace))
+	prev := 0
+	for t, v := range trace {
+		inc := float64(v - prev)
+		mean := 0.0
+		if t < len(condMeans) {
+			mean = condMeans[t]
+		}
+		out = append(out, inc-mean)
+		prev = v
+	}
+	return out
+}
+
+// LogStar returns log*(n): the number of times log₂ must be iterated
+// before the value drops to ≤ 1. It is the paper's lower-bound growth rate
+// (Theorems 4, 7).
+func LogStar(n float64) int {
+	if math.IsInf(n, 1) || math.IsNaN(n) {
+		// log*(x) ≤ 6 for every float64; treat overflow as the ceiling.
+		return 6
+	}
+	c := 0
+	for n > 1 {
+		n = math.Log2(n)
+		c++
+	}
+	return c
+}

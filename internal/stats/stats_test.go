@@ -1,0 +1,175 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("summary wrong: %+v", s)
+	}
+	if !almostEqual(s.Var, 2.5, 1e-12) {
+		t.Errorf("Var = %v, want 2.5", s.Var)
+	}
+	if Summarize(nil).N != 0 {
+		t.Error("empty summary should be zero")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	tests := []struct {
+		q, want float64
+	}{
+		{q: 0, want: 10},
+		{q: 1, want: 40},
+		{q: 0.5, want: 25},
+		{q: 1.0 / 3, want: 20},
+	}
+	for _, tt := range tests {
+		if got := Quantile(sorted, tt.q); !almostEqual(got, tt.want, 1e-9) {
+			t.Errorf("Quantile(%.3f) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile")
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := FractionBelow(xs, 3); got != 0.5 {
+		t.Errorf("FractionBelow = %v, want 0.5", got)
+	}
+	if FractionBelow(nil, 1) != 0 {
+		t.Error("empty fraction")
+	}
+}
+
+func TestBoundsAreProbabilities(t *testing.T) {
+	for _, p := range []float64{
+		ChernoffUpper(0.5, 100),
+		ChernoffUpper(2, 10), // eps clamped to 1
+		ChernoffUpper(-1, 10),
+		BernsteinUpper(10, 1, 100),
+		BernsteinUpper(0, 1, 1),
+		AzumaLower(5, 100),
+		AzumaLower(0, 1),
+		Proposition4Bound(10, 1, 100),
+		Theorem11FailureBound(10000, 2),
+	} {
+		if p < 0 || p > 1 {
+			t.Errorf("bound %v outside [0,1]", p)
+		}
+	}
+}
+
+func TestChernoffMatchesEmpirical(t *testing.T) {
+	// Sum of 400 fair coins: empirical tail must not exceed the Chernoff
+	// bound (which is loose, so the inequality is comfortably one-sided).
+	const n, trials = 400, 4000
+	rng := rand.New(rand.NewPCG(1, 2))
+	mu := float64(n) / 2
+	eps := 0.2
+	exceed := 0
+	for i := 0; i < trials; i++ {
+		sum := 0.0
+		for j := 0; j < n; j++ {
+			if rng.Uint64()&1 == 1 {
+				sum++
+			}
+		}
+		if math.Abs(sum-mu) >= eps*mu {
+			exceed++
+		}
+	}
+	empirical := float64(exceed) / trials
+	bound := ChernoffUpper(eps, mu)
+	if empirical > bound {
+		t.Errorf("empirical tail %.4f exceeds Chernoff bound %.4f", empirical, bound)
+	}
+}
+
+func TestAzumaMatchesEmpiricalRandomWalk(t *testing.T) {
+	// ±1 random walk of length 100: Pr[X_N ≤ −t] ≤ exp(−t²/2N).
+	const n, trials = 100, 5000
+	rng := rand.New(rand.NewPCG(3, 4))
+	tval := 25.0
+	hit := 0
+	for i := 0; i < trials; i++ {
+		x := 0
+		for j := 0; j < n; j++ {
+			if rng.Uint64()&1 == 1 {
+				x++
+			} else {
+				x--
+			}
+		}
+		if float64(x) <= -tval {
+			hit++
+		}
+	}
+	empirical := float64(hit) / trials
+	bound := AzumaLower(tval, n)
+	if empirical > bound {
+		t.Errorf("empirical %.4f exceeds Azuma bound %.4f", empirical, bound)
+	}
+}
+
+func TestMartingaleIncrements(t *testing.T) {
+	trace := []int{1, 1, 2, 3}
+	means := []float64{0.5, 0.5, 0.5, 0.5}
+	got := MartingaleIncrements(trace, means)
+	want := []float64{0.5, -0.5, 0.5, 0.5}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-12) {
+			t.Errorf("increment %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLogStar(t *testing.T) {
+	tests := []struct {
+		n    float64
+		want int
+	}{
+		{n: 1, want: 0},
+		{n: 2, want: 1},
+		{n: 4, want: 2},
+		{n: 16, want: 3},
+		{n: 65536, want: 4},
+		{n: math.Pow(2, 1000), want: 5},
+		{n: math.Inf(1), want: 6},
+	}
+	for _, tt := range tests {
+		if got := LogStar(tt.n); got != tt.want {
+			t.Errorf("LogStar(%g) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+// TestQuickSummaryInvariants: min ≤ p10 ≤ median ≤ p90 ≤ max and the mean
+// lies within [min, max].
+func TestQuickSummaryInvariants(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		s := Summarize(xs)
+		return s.Min <= s.P10 && s.P10 <= s.Median && s.Median <= s.P90 &&
+			s.P90 <= s.Max && s.Mean >= s.Min && s.Mean <= s.Max && s.Var >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,72 @@
+package wire
+
+import "testing"
+
+// FuzzReaderRobust ensures readers never panic or read out of bounds on
+// arbitrary buffers — messages in the simulator come from other nodes, and
+// protocol decoders must fail cleanly on any payload.
+func FuzzReaderRobust(f *testing.F) {
+	f.Add([]byte{0xFF, 0x01}, 12, 7)
+	f.Add([]byte{}, 0, 1)
+	f.Add([]byte{0xAA, 0xBB, 0xCC}, 24, 64)
+	f.Fuzz(func(t *testing.T, data []byte, nbits, width int) {
+		if nbits < 0 {
+			nbits = -nbits
+		}
+		if nbits > len(data)*8 {
+			nbits = len(data) * 8
+		}
+		r := NewReader(data, nbits)
+		for {
+			w := width % 65
+			if w < 0 {
+				w = -w
+			}
+			if _, err := r.ReadBits(w); err != nil {
+				break
+			}
+			if w == 0 {
+				break // zero-width reads never exhaust the buffer
+			}
+		}
+		if r.Remaining() < 0 {
+			t.Fatalf("Remaining went negative: %d", r.Remaining())
+		}
+	})
+}
+
+// FuzzWriteReadMirror checks write→read symmetry for arbitrary values.
+func FuzzWriteReadMirror(f *testing.F) {
+	f.Add(uint64(0), uint64(1), int64(-5), int64(100), true)
+	f.Add(uint64(1<<40), uint64(1<<41), int64(0), int64(1), false)
+	f.Fuzz(func(t *testing.T, v, maxV uint64, s, maxAbs int64, b bool) {
+		if maxV == 0 {
+			maxV = 1
+		}
+		v %= maxV + 1
+		if maxAbs <= 0 {
+			maxAbs = 1
+		}
+		s %= maxAbs + 1
+		var w Writer
+		w.WriteUint(v, maxV)
+		w.WriteInt(s, maxAbs)
+		w.WriteBool(b)
+		r := NewReader(w.Bytes(), w.Len())
+		gv, err := r.ReadUint(maxV)
+		if err != nil || gv != v {
+			t.Fatalf("uint: got %d err %v, want %d", gv, err, v)
+		}
+		gs, err := r.ReadInt(maxAbs)
+		if err != nil || gs != s {
+			t.Fatalf("int: got %d err %v, want %d", gs, err, s)
+		}
+		gb, err := r.ReadBool()
+		if err != nil || gb != b {
+			t.Fatalf("bool: got %v err %v, want %v", gb, err, b)
+		}
+		if r.Remaining() != 0 {
+			t.Fatalf("remaining %d", r.Remaining())
+		}
+	})
+}
