@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all vet build test race fuzz experiments clean
+
+all: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short smoke runs of every fuzz target; extend -fuzztime for real campaigns.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzReaderRobust -fuzztime=10s ./internal/wire/
+	$(GO) test -run='^$$' -fuzz=FuzzWriteReadMirror -fuzztime=10s ./internal/wire/
+	$(GO) test -run='^$$' -fuzz=FuzzChecksumBurst -fuzztime=10s ./internal/wire/
+	$(GO) test -run='^$$' -fuzz=FuzzInjectorCorruptDetect -fuzztime=10s ./internal/fault/
+
+experiments:
+	$(GO) run ./cmd/experiments -o EXPERIMENTS.md
+
+clean:
+	$(GO) clean ./...

@@ -29,8 +29,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		runList = fs.String("run", "", "comma-separated experiment IDs (default: all)")
 		quick   = fs.Bool("quick", false, "smaller sweeps and trial counts")
 		seed    = fs.Uint64("seed", 1, "root random seed")
-		format  = fs.String("format", "markdown", "output format: markdown or csv")
-		outPath = fs.String("o", "", "output file (default: stdout)")
+		format    = fs.String("format", "markdown", "output format: markdown or csv")
+		outPath   = fs.String("o", "", "output file (default: stdout)")
+		faultRate = fs.Float64("fault-rate", 0, "E18: replace the loss sweep with this single loss rate")
+		faultSeed = fs.Uint64("fault-seed", 0, "E18: adversary seed (0 = derive from -seed)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -55,7 +57,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		out = f
 	}
 
-	opts := experiments.Options{Seed: *seed, Quick: *quick}
+	opts := experiments.Options{Seed: *seed, Quick: *quick, FaultRate: *faultRate, FaultSeed: *faultSeed}
 	for _, id := range ids {
 		fmt.Fprintf(stderr, "running %s — %s ...\n", id, experiments.Title(id))
 		table, err := experiments.Run(id, opts)

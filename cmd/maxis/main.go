@@ -15,8 +15,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"distmwis/internal/exact"
+	"distmwis/internal/fault"
 	"distmwis/internal/graph"
 	"distmwis/internal/graph/gen"
 	"distmwis/internal/maxis"
@@ -44,6 +46,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		misName   = fs.String("mis", "luby", "MIS black box: luby|ghaffari|rank")
 		local     = fs.Bool("local", false, "LOCAL model (no bandwidth bound)")
 		showOpt   = fs.Bool("opt", false, "also compute exact OPT (small graphs only)")
+
+		faultRate    = fs.Float64("fault-rate", 0, "per-message loss probability (enables fault injection)")
+		faultDup     = fs.Float64("fault-dup", 0, "per-message duplication probability")
+		faultCorrupt = fs.Float64("fault-corrupt", 0, "per-message corruption probability (detected via CRC-8)")
+		faultCrash   = fs.Float64("fault-crash", 0, "fraction of nodes crash-stopped at round 3 of each phase")
+		faultSeed    = fs.Uint64("fault-seed", 0, "adversary seed (0 = derive from -seed)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -73,6 +81,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	cfg := maxis.Config{Seed: *seed, MIS: misAlg, Local: *local}
+	sched := fault.Schedule{
+		Seed:      *faultSeed,
+		Loss:      *faultRate,
+		Dup:       *faultDup,
+		Corrupt:   *faultCorrupt,
+		CrashFrac: *faultCrash,
+		CrashAt:   3,
+	}
+	if sched.Seed == 0 {
+		sched.Seed = *seed + 77
+	}
+	var stats fault.Stats
+	if err := sched.Validate(); err != nil {
+		fmt.Fprintf(stderr, "maxis: %v\n", err)
+		return 1
+	}
+	if sched.Enabled() {
+		cfg.Faults = sched
+		cfg.FaultStats = &stats
+	}
 
 	fmt.Fprintf(stdout, "graph: %s  n=%d m=%d Δ=%d W=%d w(V)=%d\n",
 		*graphKind, g.N(), g.M(), g.MaxDegree(), g.MaxWeight(), g.TotalWeight())
@@ -91,8 +119,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "rounds=%d messages=%d bits=%d maxMsgBits=%d phases=%d\n",
 		res.Metrics.Rounds, res.Metrics.Messages, res.Metrics.Bits,
 		res.Metrics.MaxMessageBits, res.Metrics.Phases)
-	for key, v := range res.Extra {
-		fmt.Fprintf(stdout, "  %s=%.2f\n", key, v)
+	if sched.Enabled() {
+		// Re-run fault-free on the same seed to quantify the degradation.
+		cleanCfg := cfg
+		cleanCfg.Faults = fault.Schedule{}
+		cleanCfg.FaultStats = nil
+		clean, _, err := runAlgorithm(*algName, g, *eps, *alpha, cleanCfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "maxis: fault-free baseline: %v\n", err)
+			return 1
+		}
+		rep := fault.Compare(g, res.Set, clean.Weight, res.Metrics.Truncations > 0)
+		fmt.Fprintf(stdout, "faults: lost=%d corrupted=%d duplicated=%d truncatedPhases=%d\n",
+			res.Metrics.FaultLost, res.Metrics.FaultCorrupted, res.Metrics.FaultDuplicated,
+			res.Metrics.Truncations)
+		fmt.Fprintf(stdout, "safety: independent=%t weight=%d fault-free=%d retention=%.3f\n",
+			rep.Independent, rep.Weight, rep.Baseline, rep.Retention)
+		if err := rep.Err(); err != nil {
+			fmt.Fprintf(stderr, "maxis: %v\n", err)
+			return 1
+		}
+	}
+	keys := make([]string, 0, len(res.Extra))
+	for key := range res.Extra {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		fmt.Fprintf(stdout, "  %s=%.2f\n", key, res.Extra[key])
 	}
 	if *showOpt {
 		opt, _, err := exact.MWIS(g)

@@ -139,9 +139,12 @@ func (p *classAggregate) Round(round int, recv []*congest.Message) ([]*congest.M
 			continue
 		}
 		r := m.Reader()
-		isDown, _ := r.ReadBool()
-		c64, _ := r.ReadUint(uint64(p.k - 1))
-		sum, _ := r.ReadInt(p.maxSum)
+		isDown, e1 := r.ReadBool()
+		c64, e2 := r.ReadUint(uint64(p.k - 1))
+		sum, e3 := r.ReadInt(p.maxSum)
+		if e1 != nil || e2 != nil || e3 != nil || int(c64) >= p.k {
+			continue // garbled under faults: treat as missing
+		}
 		if isDown {
 			p.winner = int(c64)
 			continue

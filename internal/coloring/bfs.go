@@ -109,8 +109,11 @@ func (p *bfsBuild) Round(round int, recv []*congest.Message) ([]*congest.Message
 			continue
 		}
 		r := m.Reader()
-		id, _ := r.ReadUint(p.info.MaxID)
-		d64, _ := r.ReadUint(uint64(p.info.NUpper))
+		id, e1 := r.ReadUint(p.info.MaxID)
+		d64, e2 := r.ReadUint(uint64(p.info.NUpper))
+		if e1 != nil || e2 != nil {
+			continue // garbled under faults: treat as missing
+		}
 		d := int(d64) + 1
 		if id > p.rootID || (id == p.rootID && d < p.dist) {
 			p.rootID = id

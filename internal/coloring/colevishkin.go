@@ -117,10 +117,16 @@ func (p *coleVishkin) Round(round int, recv []*congest.Message) ([]*congest.Mess
 		// Phase 1. Round 1 just seeds the pipeline; afterwards each round
 		// consumes the predecessor's colour and emits the reduced one.
 		if round > 1 {
-			m := recv[p.predPort]
-			predColour, err := m.Reader().ReadUint(p.space - 1)
-			if err != nil {
-				panic(err)
+			predColour := p.colour ^ 1 // fallback: pretend pred differs in bit 0
+			if m := recv[p.predPort]; m != nil {
+				r := m.Reader()
+				c, err := r.ReadUint(p.space - 1)
+				// Exact-width check rejects stale duplicates from earlier
+				// rounds (wider colour space); equality can only arise from
+				// injected faults and would loop applyReduction forever.
+				if err == nil && r.Remaining() == 0 && c != p.colour {
+					predColour = c
+				}
 			}
 			p.applyReduction(predColour)
 			p.reduce--
@@ -142,9 +148,10 @@ func (p *coleVishkin) Round(round int, recv []*congest.Message) ([]*congest.Mess
 		if m == nil {
 			continue
 		}
-		c, err := m.Reader().ReadUint(p.space - 1)
-		if err != nil {
-			panic(err)
+		r := m.Reader()
+		c, err := r.ReadUint(p.space - 1)
+		if err != nil || r.Remaining() != 0 {
+			continue // garbled or stale duplicate under faults: treat as missing
 		}
 		if c < 6 {
 			used[c] = true

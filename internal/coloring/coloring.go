@@ -121,9 +121,12 @@ func (p *greedyColour) Round(round int, recv []*congest.Message) ([]*congest.Mes
 			continue
 		}
 		r := m.Reader()
-		isFinal, _ := r.ReadBool()
-		c64, _ := r.ReadUint(p.colourField())
-		id, _ := r.ReadUint(p.info.MaxID)
+		isFinal, e1 := r.ReadBool()
+		c64, e2 := r.ReadUint(p.colourField())
+		id, e3 := r.ReadUint(p.info.MaxID)
+		if e1 != nil || e2 != nil || e3 != nil {
+			continue // garbled under faults: treat as missing
+		}
 		c := int(c64)
 		if isFinal {
 			if c < len(p.taken) {
@@ -202,7 +205,11 @@ func MISFromColoring(g *graph.Graph, col *Result, opts ...congest.Option) ([]boo
 	return congest.BoolOutputs(res), res, nil
 }
 
-// colourClassMIS joins colour class r-1 in round r.
+// colourClassMIS joins colour class r-1 in round r. Independence of the
+// result relies on the colouring being proper; under fault injection that
+// assumption can break (a corrupted colouring protocol may emit
+// monochromatic edges), so fault mode switches to a defensive variant: see
+// faultyRound.
 type colourClassMIS struct {
 	info      congest.NodeInfo
 	colors    []int
@@ -218,6 +225,9 @@ func (p *colourClassMIS) Init(info congest.NodeInfo) {
 }
 
 func (p *colourClassMIS) Round(round int, recv []*congest.Message) ([]*congest.Message, bool) {
+	if p.info.Faulty {
+		return p.faultyRound(round, recv)
+	}
 	for _, m := range recv {
 		if m == nil {
 			continue
@@ -237,6 +247,56 @@ func (p *colourClassMIS) Round(round int, recv []*congest.Message) ([]*congest.M
 		return nil, true
 	}
 	return nil, false
+}
+
+// faultyRound is the defensive conversion used under fault injection.
+// Every node broadcasts (joined, colour+1, ID) every round until round
+// k+2 — halting early would starve later colour classes of the joined
+// bits they need — and colour class c joins one round later than the
+// fault-free schedule, at round c+2, once a full round of neighbour
+// broadcasts is in hand. A node only joins when it has a parseable
+// message from every port, no neighbour has joined, and it wins the ID
+// tie-break against any neighbour claiming the same colour (which a
+// faulty colouring protocol can produce). Because the joined bit is
+// re-broadcast every round, the current round's messages carry all the
+// state a join decision needs — missing or garbled information always
+// means "do not join": safety is unconditional, weight degrades instead.
+func (p *colourClassMIS) faultyRound(round int, recv []*congest.Message) ([]*congest.Message, bool) {
+	informed := true
+	blocked := false
+	for _, m := range recv {
+		if m == nil {
+			informed = false
+			continue
+		}
+		r := m.Reader()
+		nbrJoined, e1 := r.ReadBool()
+		nbrColour, e2 := r.ReadUint(uint64(p.info.NUpper))
+		nbrID, e3 := r.ReadUint(p.info.MaxID)
+		if e1 != nil || e2 != nil || e3 != nil {
+			informed = false
+			continue
+		}
+		if nbrJoined {
+			p.dominated = true
+		}
+		// nbrColour is offset by one; 0 encodes "no colour assigned". A
+		// colourless neighbour can never join, so it cannot collide.
+		if nbrColour != 0 && int(nbrColour-1) == p.myColor && nbrID > p.info.ID {
+			blocked = true
+		}
+	}
+	if round == p.myColor+2 && !p.dominated && !p.joined && informed && !blocked {
+		p.joined = true
+	}
+	if round > p.k+1 {
+		return nil, true
+	}
+	var w wire.Writer
+	w.WriteBool(p.joined)
+	w.WriteUint(uint64(p.myColor+1), uint64(p.info.NUpper))
+	w.WriteUint(p.info.ID, p.info.MaxID)
+	return broadcast(congest.NewMessage(&w), p.info.Degree), false
 }
 
 func (p *colourClassMIS) Output() any { return p.joined }

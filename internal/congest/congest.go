@@ -63,8 +63,28 @@ func NewMessage(w *wire.Writer) *Message {
 	return &Message{data: data, bitN: w.Len()}
 }
 
+// NewRawMessage builds a message directly from a packed byte buffer
+// holding nbits valid bits. It copies the buffer. It exists so the fault
+// layer can construct corrupted variants of in-flight messages; protocol
+// code should use NewMessage.
+func NewRawMessage(data []byte, nbits int) *Message {
+	if nbits < 0 || nbits > 8*len(data) {
+		panic(fmt.Sprintf("congest: NewRawMessage: %d bits do not fit in %d bytes", nbits, len(data)))
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	return &Message{data: buf, bitN: nbits}
+}
+
 // Bits returns the exact payload size in bits.
 func (m *Message) Bits() int { return m.bitN }
+
+// Data returns a copy of the packed payload bytes (Bits() of them valid).
+func (m *Message) Data() []byte {
+	buf := make([]byte, len(m.data))
+	copy(buf, m.data)
+	return buf
+}
 
 // Reader returns a fresh reader over the payload.
 func (m *Message) Reader() *wire.Reader { return wire.NewReader(m.data, m.bitN) }
@@ -92,6 +112,11 @@ type NodeInfo struct {
 	MaxWeight int64
 	// Bandwidth is B, the per-message bit budget (0 means unbounded/LOCAL).
 	Bandwidth int
+	// Faulty reports that a fault-injection hook is installed for this run
+	// (WithFaults). Protocols may switch to defensive message formats that
+	// would be wasted bandwidth in a reliable network; with Faulty false
+	// their executions must be bit-for-bit what they were without the hook.
+	Faulty bool
 	// Rand is the node's private randomness stream.
 	Rand *rand.Rand
 }
@@ -122,11 +147,20 @@ type Result struct {
 	Bits int64
 	// MaxMessageBits is the largest single message observed.
 	MaxMessageBits int
-	// Truncated reports that the run was stopped by WithHardStop before all
-	// nodes halted.
+	// Truncated reports that the run was stopped by WithHardStop or the
+	// round limit before all nodes halted.
 	Truncated bool
 	// Bandwidth echoes the enforced per-message bit budget (0 = unbounded).
 	Bandwidth int
+	// FaultLost counts messages dropped by the fault layer: adversarial
+	// loss, plus messages addressed to a node that was down on arrival.
+	FaultLost int64
+	// FaultCorrupted counts messages discarded at the receiver because the
+	// payload checksum no longer matched after adversarial corruption.
+	FaultCorrupted int64
+	// FaultDuplicated counts duplicate copies placed into inboxes by the
+	// fault layer (a fresh message on the same port overwrites the copy).
+	FaultDuplicated int64
 }
 
 // Engine selects how node steps are executed. All engines produce
@@ -157,6 +191,7 @@ type config struct {
 	workers         int
 	maxWeight       int64
 	engine          Engine
+	hook            DeliveryHook
 }
 
 // Option configures Run.
@@ -264,6 +299,7 @@ func Run(g *graph.Graph, newProcess func() Process, opts ...Option) (*Result, er
 			MaxID:     maxID,
 			MaxWeight: maxWeight,
 			Bandwidth: bandwidth,
+			Faulty:    cfg.hook != nil,
 			Rand:      rand.New(rand.NewPCG(cfg.seed, 0x6a09e667f3bcc908^uint64(v))),
 		})
 	}
@@ -280,7 +316,16 @@ type simulator struct {
 	inbox       [][]*Message
 	nextInbox   [][]*Message
 	reversePort [][]int32
+	pendingDups []pendingDup
 	res         Result
+}
+
+// pendingDup is a duplicate copy scheduled by the fault hook: the original
+// payload, re-arriving at the receiver one round after the first delivery.
+type pendingDup struct {
+	to   int
+	port int
+	m    *Message
 }
 
 func buildReversePorts(g *graph.Graph) [][]int32 {
@@ -309,6 +354,9 @@ func (s *simulator) run() (*Result, error) {
 
 	step := func(v, round int) {
 		if s.done[v] {
+			return
+		}
+		if s.cfg.hook != nil && s.cfg.hook.State(round, v) != NodeUp {
 			return
 		}
 		send, fin := s.procs[v].Round(round, s.inbox[v])
@@ -342,13 +390,20 @@ func (s *simulator) run() (*Result, error) {
 		defer actors.shutdown()
 	}
 
+	if s.cfg.hook != nil {
+		s.cfg.hook.Begin(n)
+	}
+
 	for round := 1; live > 0; round++ {
 		if s.cfg.hardStop > 0 && round > s.cfg.hardStop {
 			s.res.Truncated = true
 			break
 		}
 		if round > s.cfg.maxRounds {
-			return nil, fmt.Errorf("%w: %d rounds", ErrRoundLimit, s.cfg.maxRounds)
+			s.res.Truncated = true
+			s.collectOutputs()
+			partial := s.res
+			return nil, &TruncationError{Limit: s.cfg.maxRounds, Partial: &partial}
 		}
 		s.res.Rounds = round
 
@@ -368,12 +423,36 @@ func (s *simulator) run() (*Result, error) {
 			}
 		}
 
+		// Crash-stop nodes halt permanently; their Output() keeps the state
+		// at crash time. Handled here, on the single delivery goroutine, so
+		// the live count never races with the engine workers.
+		if s.cfg.hook != nil {
+			for v := 0; v < n; v++ {
+				if !s.done[v] && s.cfg.hook.State(round, v) == NodeStopped {
+					s.done[v] = true
+					live--
+				}
+			}
+		}
+
 		// Delivery phase: clear next inboxes, move messages.
 		for v := 0; v < n; v++ {
 			next := s.nextInbox[v]
 			for i := range next {
 				next[i] = nil
 			}
+		}
+		// Duplicates scheduled during the previous round's delivery arrive
+		// first, so a fresh message on the same port overwrites the copy.
+		if len(s.pendingDups) > 0 {
+			for _, d := range s.pendingDups {
+				if s.cfg.hook.State(round+1, d.to) != NodeUp {
+					continue
+				}
+				s.nextInbox[d.to][d.port] = d.m
+				s.res.FaultDuplicated++
+			}
+			s.pendingDups = s.pendingDups[:0]
 		}
 		for v := 0; v < n; v++ {
 			if s.done[v] {
@@ -383,13 +462,19 @@ func (s *simulator) run() (*Result, error) {
 				if m == nil {
 					continue
 				}
-				u := s.g.Neighbors(v)[p]
-				s.nextInbox[u][s.reversePort[v][p]] = m
+				u := int(s.g.Neighbors(v)[p])
+				rport := int(s.reversePort[v][p])
 				s.res.Messages++
 				s.res.Bits += int64(m.bitN)
 				if m.bitN > s.res.MaxMessageBits {
 					s.res.MaxMessageBits = m.bitN
 				}
+				if s.cfg.hook != nil {
+					if m = s.deliverFaulty(round, v, u, rport, m); m == nil {
+						continue
+					}
+				}
+				s.nextInbox[u][rport] = m
 			}
 			outboxes[v] = nil
 			if doneNow[v] {
@@ -401,12 +486,51 @@ func (s *simulator) run() (*Result, error) {
 		s.inbox, s.nextInbox = s.nextInbox, s.inbox
 	}
 
+	s.collectOutputs()
+	out := s.res
+	return &out, nil
+}
+
+// deliverFaulty routes one message through the delivery hook. It returns
+// the (possibly rewritten) message to deliver this round, or nil if the
+// message is lost, corrupted beyond the checksum, or addressed to a node
+// that is down when it would arrive (round+1). Duplicates of the original
+// payload are queued for the following round.
+func (s *simulator) deliverFaulty(round, from, to, rport int, m *Message) *Message {
+	if s.cfg.hook.State(round+1, to) != NodeUp {
+		s.res.FaultLost++
+		return nil
+	}
+	sum := wire.Checksum(m.data, m.bitN)
+	out, dup := s.cfg.hook.Deliver(round, from, to, m)
+	if dup {
+		// A duplicate re-sends the original frame; corruption (below) is
+		// per-transmission and does not propagate into the copy.
+		s.pendingDups = append(s.pendingDups, pendingDup{to: to, port: rport, m: m})
+	}
+	if out == nil {
+		s.res.FaultLost++
+		return nil
+	}
+	if out != m {
+		// The hook rewrote the payload. The bandwidth bound must be
+		// preserved exactly, and the receiver verifies the link-layer
+		// checksum: any mismatch makes the message indistinguishable from
+		// a loss.
+		if out.bitN != m.bitN || wire.Checksum(out.data, out.bitN) != sum {
+			s.res.FaultCorrupted++
+			return nil
+		}
+	}
+	return out
+}
+
+func (s *simulator) collectOutputs() {
+	n := s.g.N()
 	s.res.Outputs = make([]any, n)
 	for v := 0; v < n; v++ {
 		s.res.Outputs[v] = s.procs[v].Output()
 	}
-	out := s.res
-	return &out, nil
 }
 
 // actorPool runs one long-lived goroutine per node, released round by

@@ -429,3 +429,96 @@ func TestPortConsistency(t *testing.T) {
 		})
 	}
 }
+
+func TestTruncationErrorCarriesPartial(t *testing.T) {
+	const n = 30
+	g := gen.Path(n)
+	res, err := Run(g, func() Process { return &floodMax{rounds: n} }, WithMaxRounds(3))
+	if err == nil {
+		t.Fatal("expected round-limit error")
+	}
+	if res != nil {
+		t.Fatal("Run must return a nil result alongside the error")
+	}
+	if !errors.Is(err, ErrRoundLimit) {
+		t.Fatalf("error %v does not unwrap to ErrRoundLimit", err)
+	}
+	var te *TruncationError
+	if !errors.As(err, &te) {
+		t.Fatalf("error %T is not a TruncationError", err)
+	}
+	if te.Limit != 3 {
+		t.Errorf("Limit = %d, want 3", te.Limit)
+	}
+	if te.Partial == nil || !te.Partial.Truncated {
+		t.Fatal("TruncationError must carry the truncated partial result")
+	}
+	if len(te.Partial.Outputs) != n {
+		t.Fatalf("partial outputs: got %d, want %d", len(te.Partial.Outputs), n)
+	}
+	for v, out := range te.Partial.Outputs {
+		if _, ok := out.(uint64); !ok {
+			t.Fatalf("node %d output missing from partial result", v)
+		}
+	}
+}
+
+// stubHook is a minimal DeliveryHook for in-package tests (the real
+// injector lives in internal/fault, which imports congest).
+type stubHook struct {
+	dropFrom  int // drop every message this node sends (-1 = none)
+	crashNode int // crash-stop this node at crashAt (-1 = none)
+	crashAt   int
+}
+
+func (h *stubHook) Begin(n int) {}
+
+func (h *stubHook) State(round, v int) NodeState {
+	if v == h.crashNode && round >= h.crashAt {
+		return NodeStopped
+	}
+	return NodeUp
+}
+
+func (h *stubHook) Deliver(round, from, to int, m *Message) (*Message, bool) {
+	if from == h.dropFrom {
+		return nil, false
+	}
+	return m, false
+}
+
+func TestHookDropsAndCrashes(t *testing.T) {
+	const n = 12
+	g := gen.Path(n)
+	// Drop everything node 0 sends: its ID never propagates, so the flood
+	// converges to the max over nodes 1..n-1 for every other node.
+	res, err := Run(g, func() Process { return &floodMax{rounds: n} },
+		WithFaults(&stubHook{dropFrom: 0, crashNode: -1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FaultLost == 0 {
+		t.Error("expected dropped messages to be counted")
+	}
+	want := g.MaxID()
+	for v := 1; v < n; v++ {
+		if got := res.Outputs[v].(uint64); got != want {
+			t.Errorf("node %d best = %d, want %d", v, got, want)
+		}
+	}
+
+	// Crash-stop the middle node at round 1: it freezes on its initial
+	// state and partitions the path, so IDs cannot cross it.
+	mid := n / 2
+	res, err = Run(g, func() Process { return &floodMax{rounds: n} },
+		WithFaults(&stubHook{dropFrom: -1, crashNode: mid, crashAt: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Outputs[mid].(uint64); got != uint64(mid+1) {
+		t.Errorf("crashed node output = %d, want its own ID %d", got, mid+1)
+	}
+	if got := res.Outputs[0].(uint64); got == want {
+		t.Error("node 0 learned an ID from across the crashed node")
+	}
+}

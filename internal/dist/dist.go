@@ -29,6 +29,14 @@ type Accumulator struct {
 	MaxMessageBits int
 	// Phases counts congest runs absorbed.
 	Phases int
+	// Truncations counts phases cut off by a hard stop before all nodes
+	// halted (under fault injection, blocked protocols are truncated).
+	Truncations int
+	// FaultLost, FaultCorrupted and FaultDuplicated total the fault
+	// layer's interventions across phases (zero without an injector).
+	FaultLost       int64
+	FaultCorrupted  int64
+	FaultDuplicated int64
 }
 
 // Absorb adds one congest execution's metrics.
@@ -40,6 +48,12 @@ func (a *Accumulator) Absorb(res *congest.Result) {
 		a.MaxMessageBits = res.MaxMessageBits
 	}
 	a.Phases++
+	if res.Truncated {
+		a.Truncations++
+	}
+	a.FaultLost += res.FaultLost
+	a.FaultCorrupted += res.FaultCorrupted
+	a.FaultDuplicated += res.FaultDuplicated
 }
 
 // AddRounds accounts constant-round bookkeeping (e.g. a one-round exchange
@@ -56,6 +70,10 @@ func (a *Accumulator) Add(b Accumulator) {
 		a.MaxMessageBits = b.MaxMessageBits
 	}
 	a.Phases += b.Phases
+	a.Truncations += b.Truncations
+	a.FaultLost += b.FaultLost
+	a.FaultCorrupted += b.FaultCorrupted
+	a.FaultDuplicated += b.FaultDuplicated
 }
 
 func (a Accumulator) String() string {

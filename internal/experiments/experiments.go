@@ -77,6 +77,13 @@ type Options struct {
 	Quick bool
 	// Trials overrides the per-point trial count (0 = experiment default).
 	Trials int
+	// FaultRate, when positive, replaces the E18 loss-rate sweep with this
+	// single message-loss probability (duplication and corruption scale
+	// with it, as in the default sweep).
+	FaultRate float64
+	// FaultSeed overrides the adversary seed used by E18 (0 = derive from
+	// Seed).
+	FaultSeed uint64
 }
 
 func (o Options) seed() uint64 {

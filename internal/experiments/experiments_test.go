@@ -7,10 +7,10 @@ import (
 
 func TestIDsOrderedAndComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 17 {
-		t.Fatalf("registry has %d experiments, want 17", len(ids))
+	if len(ids) != 18 {
+		t.Fatalf("registry has %d experiments, want 18", len(ids))
 	}
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18"}
 	for i, id := range want {
 		if ids[i] != id {
 			t.Errorf("IDs()[%d] = %s, want %s", i, ids[i], id)
@@ -114,7 +114,7 @@ func TestAllExperimentsQuick(t *testing.T) {
 			}
 			for ci, col := range tab.Columns {
 				switch col {
-				case "held", "guarantee held", "all MIS valid", "compliant", "MIS valid", "≥ bound", "Cor1 held", "stack ≤ w(I)":
+				case "held", "guarantee held", "all MIS valid", "compliant", "MIS valid", "≥ bound", "Cor1 held", "stack ≤ w(I)", "independent":
 					for ri, row := range tab.Rows {
 						if row[ci] != "yes" && row[ci] != "-" {
 							t.Errorf("row %d: %s = %q", ri, col, row[ci])

@@ -20,4 +20,5 @@ var registry = map[string]entry{
 	"E15": {title: "log* machinery: Cole–Vishkin ring MIS (§7)", run: runE15},
 	"E16": {title: "LOCAL (1+ε)-approximation via LDD ([29] stand-in)", run: runE16},
 	"E17": {title: "Communication profile / CONGEST compliance", run: runE17},
+	"E18": {title: "Graceful degradation under fault injection", run: runE18},
 }

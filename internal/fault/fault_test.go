@@ -1,0 +1,241 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"distmwis/internal/congest"
+	"distmwis/internal/graph/gen"
+	"distmwis/internal/mis"
+	"distmwis/internal/wire"
+)
+
+// floodMax floods the maximum ID for a fixed number of rounds; a simple
+// deterministic protocol for engine-identity tests.
+type floodMax struct {
+	info   congest.NodeInfo
+	best   uint64
+	rounds int
+}
+
+func (p *floodMax) Init(info congest.NodeInfo) {
+	p.info = info
+	p.best = info.ID
+}
+
+func (p *floodMax) Round(round int, recv []*congest.Message) ([]*congest.Message, bool) {
+	for _, m := range recv {
+		if m == nil {
+			continue
+		}
+		id, err := m.Reader().ReadUint(p.info.MaxID)
+		if err != nil {
+			continue
+		}
+		if id > p.best {
+			p.best = id
+		}
+	}
+	if round > p.rounds {
+		return nil, true
+	}
+	var w wire.Writer
+	w.WriteUint(p.best, p.info.MaxID)
+	m := congest.NewMessage(&w)
+	out := make([]*congest.Message, p.info.Degree)
+	for i := range out {
+		out[i] = m
+	}
+	return out, false
+}
+
+func (p *floodMax) Output() any { return p.best }
+
+// TestZeroScheduleIdentity is the acceptance criterion for the delivery
+// hook: installing an injector with an empty schedule must leave protocol
+// outputs byte-identical to a run without any injector, under both the
+// sequential and the worker-pool engine.
+func TestZeroScheduleIdentity(t *testing.T) {
+	g := gen.GNP(200, 0.04, 11)
+	newProc := func() congest.Process { return &floodMax{rounds: 12} }
+	clean, err := congest.Run(g, newProc, congest.WithSeed(5), congest.WithEngine(congest.EngineSequential))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		opts []congest.Option
+	}{
+		{name: "sequential", opts: []congest.Option{congest.WithEngine(congest.EngineSequential)}},
+		{name: "pool", opts: []congest.Option{congest.WithEngine(congest.EnginePool), congest.WithWorkers(8)}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			inj := NewInjector(Schedule{Seed: 99})
+			opts := append(tc.opts, congest.WithSeed(5), congest.WithFaults(inj))
+			res, err := congest.Run(g, newProc, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(clean.Outputs, res.Outputs) {
+				t.Error("zero-schedule injector changed protocol outputs")
+			}
+			if res.FaultLost != 0 || res.FaultCorrupted != 0 || res.FaultDuplicated != 0 {
+				t.Error("zero-schedule injector reported interventions")
+			}
+		})
+	}
+}
+
+// TestReplayDeterminism: the same schedule, graph and seed reproduce the
+// exact same outputs and fault counters, independent of the engine.
+func TestReplayDeterminism(t *testing.T) {
+	g := gen.GNP(150, 0.05, 3)
+	sched := Schedule{Seed: 42, Loss: 0.2, Dup: 0.1, Corrupt: 0.1, CrashFrac: 0.1, CrashAt: 2}
+	run := func(engine congest.Engine) (*congest.Result, Stats) {
+		inj := NewInjector(sched)
+		res, err := congest.Run(g, func() congest.Process { return &floodMax{rounds: 10} },
+			congest.WithSeed(7), congest.WithFaults(inj), congest.WithEngine(engine))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, inj.Stats()
+	}
+	a, sa := run(congest.EngineSequential)
+	b, sb := run(congest.EngineSequential)
+	c, sc := run(congest.EnginePool)
+	if !reflect.DeepEqual(a.Outputs, b.Outputs) || sa != sb {
+		t.Error("same schedule did not replay identically")
+	}
+	if !reflect.DeepEqual(a.Outputs, c.Outputs) || sa != sc {
+		t.Error("fault injection depends on the execution engine")
+	}
+	if sa.Lost == 0 || sa.Duplicated == 0 || sa.Corrupted == 0 {
+		t.Errorf("schedule injected nothing: %+v", sa)
+	}
+	if a.FaultLost == 0 {
+		t.Error("result carries no fault counters")
+	}
+}
+
+// TestMISIndependenceUnderFaults: the hardened MIS protocols keep their
+// safety invariant under aggressive schedules, including truncation.
+func TestMISIndependenceUnderFaults(t *testing.T) {
+	g := gen.GNP(120, 0.06, 17)
+	scheds := []Schedule{
+		{Seed: 1, Loss: 0.3, Dup: 0.15, Corrupt: 0.15},
+		{Seed: 2, CrashFrac: 0.25, CrashAt: 2},
+		{Seed: 3, CrashFrac: 0.2, CrashAt: 2, CrashBack: 5},
+		{Seed: 4, Loss: 0.5, CrashFrac: 0.2, CrashAt: 1, MaxRounds: 6},
+	}
+	for _, alg := range []mis.Algorithm{mis.Luby{}, mis.Ghaffari{}, mis.Rank{}, mis.GreedyByID{}} {
+		for i, sched := range scheds {
+			inj := NewInjector(sched)
+			res, err := congest.Run(g, alg.NewProcess,
+				congest.WithSeed(23), congest.WithFaults(inj),
+				congest.WithHardStop(sched.HardStop(g.N())))
+			if err != nil {
+				t.Fatalf("%s schedule %d: %v", alg.Name(), i, err)
+			}
+			set := congest.BoolOutputs(res)
+			if rep := CheckIndependence(g, set); !rep.Independent {
+				t.Errorf("%s schedule %d: %v", alg.Name(), i, rep.Err())
+			}
+		}
+	}
+}
+
+func TestCrashStateWindows(t *testing.T) {
+	inj := NewInjector(Schedule{Crashes: []Crash{
+		{Node: 0, At: 3},          // crash-stop
+		{Node: 1, At: 2, Back: 5}, // crash-recovery
+	}})
+	inj.Begin(4)
+	cases := []struct {
+		round, v int
+		want     congest.NodeState
+	}{
+		{1, 0, congest.NodeUp},
+		{2, 0, congest.NodeUp},
+		{3, 0, congest.NodeStopped},
+		{9, 0, congest.NodeStopped},
+		{1, 1, congest.NodeUp},
+		{2, 1, congest.NodeDown},
+		{4, 1, congest.NodeDown},
+		{5, 1, congest.NodeUp},
+		{7, 2, congest.NodeUp},
+	}
+	for _, tc := range cases {
+		if got := inj.State(tc.round, tc.v); got != tc.want {
+			t.Errorf("State(%d, %d) = %v, want %v", tc.round, tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Schedule{Loss: 1.5}).Validate(); err == nil {
+		t.Error("accepted loss > 1")
+	}
+	if err := (Schedule{CrashFrac: -0.1}).Validate(); err == nil {
+		t.Error("accepted negative crash fraction")
+	}
+	if err := (Schedule{Crashes: []Crash{{Node: 0, At: 5, Back: 4}}}).Validate(); err == nil {
+		t.Error("accepted recovery before crash")
+	}
+	if err := (Schedule{CrashAt: 4, CrashBack: 2}).Validate(); err == nil {
+		t.Error("accepted global recovery before crash")
+	}
+	if err := (Schedule{Loss: 0.5, Dup: 1, CrashAt: 2, CrashBack: 3}).Validate(); err != nil {
+		t.Errorf("rejected valid schedule: %v", err)
+	}
+}
+
+func TestScheduleEnabled(t *testing.T) {
+	if (Schedule{Seed: 9}).Enabled() {
+		t.Error("seed-only schedule reported enabled")
+	}
+	for _, s := range []Schedule{
+		{Loss: 0.1}, {Dup: 0.1}, {Corrupt: 0.1}, {CrashFrac: 0.1},
+		{Crashes: []Crash{{Node: 0, At: 1}}}, {MaxRounds: 5},
+	} {
+		if !s.Enabled() {
+			t.Errorf("schedule %+v reported disabled", s)
+		}
+	}
+}
+
+// FuzzInjectorCorruptDetect: for arbitrary payloads and coordinates, the
+// corruption path never panics, never violates the bandwidth (the bit
+// length is preserved), and never produces a payload that still passes the
+// original checksum — corrupt is always detectable loss.
+func FuzzInjectorCorruptDetect(f *testing.F) {
+	f.Add([]byte{0xAB, 0xCD}, 13, uint64(7), 3, 0, 1)
+	f.Add([]byte{0x01}, 1, uint64(0), 1, 5, 9)
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF}, 32, uint64(1234), 100, 2, 2)
+	f.Fuzz(func(t *testing.T, data []byte, nbits int, seed uint64, round, from, to int) {
+		if len(data) == 0 {
+			return
+		}
+		if nbits < 1 {
+			nbits = 1
+		}
+		if nbits > len(data)*8 {
+			nbits = len(data) * 8
+		}
+		m := congest.NewRawMessage(data, nbits)
+		sum := wire.Checksum(data, nbits)
+		inj := NewInjector(Schedule{Seed: seed, Corrupt: 1})
+		out, dup := inj.Deliver(round, from, to, m)
+		if dup {
+			t.Fatal("corrupt-only schedule requested a duplicate")
+		}
+		if out == nil {
+			t.Fatal("corrupt-only schedule dropped the message")
+		}
+		if out.Bits() != nbits {
+			t.Fatalf("corruption changed the bit length: %d -> %d", nbits, out.Bits())
+		}
+		if wire.Checksum(out.Data(), nbits) == sum {
+			t.Fatal("flipped payload still passes the original checksum")
+		}
+	})
+}

@@ -1,0 +1,81 @@
+package fault
+
+import (
+	"fmt"
+
+	"distmwis/internal/graph"
+)
+
+// SafetyReport is the post-run validation of a protocol's output under
+// faults. Independence is the safety invariant every hardened protocol
+// must keep unconditionally; weight retention against the fault-free run
+// on the same seed quantifies graceful degradation (the liveness side,
+// which faults are allowed to hurt).
+type SafetyReport struct {
+	// Independent reports that no edge of the graph has both endpoints in
+	// the output set.
+	Independent bool
+	// Violations counts edges with both endpoints in the set.
+	Violations int
+	// FirstEdge is one violating edge when Violations > 0.
+	FirstEdge [2]int
+	// Size and Weight describe the output set.
+	Size   int
+	Weight int64
+	// Baseline is the fault-free weight on the same seed (0 = unknown).
+	Baseline int64
+	// Retention is Weight/Baseline when Baseline > 0.
+	Retention float64
+	// Truncated reports that the faulty run hit its round budget before
+	// all nodes halted.
+	Truncated bool
+}
+
+// CheckIndependence validates set as an independent set of g and fills the
+// safety half of the report.
+func CheckIndependence(g *graph.Graph, set []bool) SafetyReport {
+	r := SafetyReport{Independent: true}
+	if len(set) != g.N() {
+		r.Independent = false
+		return r
+	}
+	for v := 0; v < g.N(); v++ {
+		if !set[v] {
+			continue
+		}
+		r.Size++
+		r.Weight += g.Weight(v)
+		for _, u := range g.Neighbors(v) {
+			if int(u) > v && set[u] {
+				if r.Violations == 0 {
+					r.FirstEdge = [2]int{v, int(u)}
+				}
+				r.Violations++
+			}
+		}
+	}
+	r.Independent = r.Violations == 0
+	return r
+}
+
+// Compare extends CheckIndependence with the degradation comparison
+// against a fault-free baseline weight obtained on the same seed.
+func Compare(g *graph.Graph, set []bool, baseline int64, truncated bool) SafetyReport {
+	r := CheckIndependence(g, set)
+	r.Baseline = baseline
+	r.Truncated = truncated
+	if baseline > 0 {
+		r.Retention = float64(r.Weight) / float64(baseline)
+	}
+	return r
+}
+
+// Err returns nil when the safety invariant holds and a descriptive error
+// otherwise.
+func (r SafetyReport) Err() error {
+	if r.Independent {
+		return nil
+	}
+	return fmt.Errorf("fault: output violates independence: %d monochromatic edges, first {%d,%d}",
+		r.Violations, r.FirstEdge[0], r.FirstEdge[1])
+}

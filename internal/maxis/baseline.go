@@ -70,9 +70,14 @@ func BarYehuda(g *graph.Graph, cfg Config) (*Result, error) {
 		applyReduction(g, cur, set)
 		acc.AddRounds(1)
 	}
-	for v := 0; v < n; v++ {
-		if cur[v] > 0 {
-			return nil, fmt.Errorf("maxis: baseline left positive weight at node %d (bug)", v)
+	// The residual-weight invariant relies on MIS maximality, which fault
+	// injection legitimately breaks (a truncated MIS phase can leave heavy
+	// nodes uncovered); without faults a violation is a real bug.
+	if !cfg.Faults.Enabled() {
+		for v := 0; v < n; v++ {
+			if cur[v] > 0 {
+				return nil, fmt.Errorf("maxis: baseline left positive weight at node %d (bug)", v)
+			}
 		}
 	}
 	set := PopStack(g, stack, &acc)

@@ -77,8 +77,13 @@ func (p *goodDetect) Round(round int, recv []*congest.Message) ([]*congest.Messa
 				continue
 			}
 			r := m.Reader()
-			deg, _ := r.ReadUint(uint64(p.info.NUpper))
-			nw, _ := r.ReadInt(p.info.MaxWeight)
+			deg, e1 := r.ReadUint(uint64(p.info.NUpper))
+			nw, e2 := r.ReadInt(p.info.MaxWeight)
+			if e1 != nil || e2 != nil {
+				// Garbled neighbour announcement (fault injection): treat
+				// as missing; the good test degrades but stays well-formed.
+				continue
+			}
 			if int(deg) > maxDeg {
 				maxDeg = int(deg)
 			}

@@ -31,6 +31,7 @@ import (
 
 	"distmwis/internal/congest"
 	"distmwis/internal/dist"
+	"distmwis/internal/fault"
 	"distmwis/internal/graph"
 	"distmwis/internal/mis"
 )
@@ -71,6 +72,16 @@ type Config struct {
 	Local bool
 	// Workers sets simulator parallelism (default GOMAXPROCS).
 	Workers int
+	// Faults, when enabled, installs a fault.Injector on every protocol
+	// phase (each phase reseeded deterministically from the phase seed) and
+	// caps every phase at Faults.HardStop rounds, because faults can block
+	// protocols from terminating on their own. Outputs remain independent
+	// sets — that invariant survives any schedule — but weight and
+	// maximality guarantees degrade with the fault rate.
+	Faults fault.Schedule
+	// FaultStats, if non-nil, accumulates the injectors' counters across
+	// all phases of the run.
+	FaultStats *fault.Stats
 }
 
 func (c Config) misAlg() mis.Algorithm {
@@ -130,6 +141,13 @@ func (c Config) opts(phaseSeed uint64) []congest.Option {
 	}
 	if c.Workers > 0 {
 		out = append(out, congest.WithWorkers(c.Workers))
+	}
+	if c.Faults.Enabled() {
+		inj := fault.NewInjector(c.Faults.WithSeed(phaseSeed))
+		if c.FaultStats != nil {
+			inj.ShareStats(c.FaultStats)
+		}
+		out = append(out, congest.WithFaults(inj), congest.WithHardStop(c.Faults.HardStop(c.NUpper)))
 	}
 	return out
 }

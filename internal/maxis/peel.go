@@ -80,6 +80,12 @@ func EstimateDegeneracy(g *graph.Graph, cfg Config) (*DegeneracyEstimate, error)
 			return est, nil
 		}
 		if threshold > n {
+			// Fault-free this means the peeling logic is broken; under
+			// faults a crashed node legitimately never announces its
+			// removal and can keep neighbours alive past every threshold.
+			if cfg.Faults.Enabled() {
+				return est, nil
+			}
 			return nil, fmt.Errorf("maxis: peeling failed to converge (bug)")
 		}
 	}

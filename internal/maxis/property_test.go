@@ -6,7 +6,9 @@ import (
 	"testing/quick"
 
 	"distmwis/internal/exact"
+	"distmwis/internal/fault"
 	"distmwis/internal/graph"
+	"distmwis/internal/graph/gen"
 	"distmwis/internal/mis"
 )
 
@@ -198,5 +200,114 @@ func TestTheorem1DeterministicEndToEnd(t *testing.T) {
 	}
 	if float64(a.Weight)*1.5*float64(g.MaxDegree()) < float64(opt) {
 		t.Error("deterministic pipeline violated (1+ε)Δ guarantee")
+	}
+}
+
+// TestFaultSchedulesKeepIndependence is the graceful-degradation safety
+// property: every MaxIS pipeline in the package returns an independent set
+// on random G(n,p) inputs under message loss, duplication, corruption,
+// crash-stop, crash-recovery, and early truncation — in any combination.
+// Weight may degrade arbitrarily; independence may not.
+func TestFaultSchedulesKeepIndependence(t *testing.T) {
+	algs := []struct {
+		name string
+		unit bool // algorithm requires unit weights (Theorem 5)
+		run  func(g *graph.Graph, cfg Config) ([]bool, error)
+	}{
+		{name: "goodnodes", run: func(g *graph.Graph, cfg Config) ([]bool, error) {
+			res, err := GoodNodes(g, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return res.Set, nil
+		}},
+		{name: "sparsified", run: func(g *graph.Graph, cfg Config) ([]bool, error) {
+			res, err := Sparsified(g, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return res.Set, nil
+		}},
+		{name: "theorem1", run: func(g *graph.Graph, cfg Config) ([]bool, error) {
+			res, err := Theorem1(g, 1, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return res.Set, nil
+		}},
+		{name: "theorem2", run: func(g *graph.Graph, cfg Config) ([]bool, error) {
+			res, err := Theorem2(g, 1, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return res.Set, nil
+		}},
+		{name: "theorem3", run: func(g *graph.Graph, cfg Config) ([]bool, error) {
+			res, err := Theorem3(g, 4, 1, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return res.Set, nil
+		}},
+		{name: "theorem5", unit: true, run: func(g *graph.Graph, cfg Config) ([]bool, error) {
+			res, err := Theorem5(g, 1, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return res.Set, nil
+		}},
+		{name: "ranking", run: func(g *graph.Graph, cfg Config) ([]bool, error) {
+			res, err := Ranking(g, 2, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return res.Set, nil
+		}},
+		{name: "oneround", run: func(g *graph.Graph, cfg Config) ([]bool, error) {
+			res, err := OneRound(g, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return res.Set, nil
+		}},
+		{name: "bar-yehuda", run: func(g *graph.Graph, cfg Config) ([]bool, error) {
+			res, err := BarYehuda(g, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return res.Set, nil
+		}},
+	}
+	scheds := []fault.Schedule{
+		{Seed: 101, Loss: 0.3, Dup: 0.15, Corrupt: 0.15},
+		{Seed: 102, CrashFrac: 0.25, CrashAt: 2},
+		{Seed: 103, CrashFrac: 0.2, CrashAt: 2, CrashBack: 6},
+		{Seed: 104, MaxRounds: 4}, // pure early truncation
+		{Seed: 105, Loss: 0.5, Dup: 0.2, Corrupt: 0.2, CrashFrac: 0.2, CrashAt: 1, MaxRounds: 8},
+	}
+	misAlgs := []mis.Algorithm{mis.Luby{}, mis.GreedyByID{}}
+	for _, alg := range algs {
+		t.Run(alg.name, func(t *testing.T) {
+			for seed := uint64(1); seed <= 2; seed++ {
+				g := gen.GNP(70, 0.08, seed)
+				if !alg.unit {
+					g = gen.Weighted(g, gen.PolyWeights(2), seed)
+				}
+				for si, sched := range scheds {
+					for _, misAlg := range misAlgs {
+						if err := sched.Validate(); err != nil {
+							t.Fatal(err)
+						}
+						set, err := alg.run(g, Config{Seed: seed, MIS: misAlg, Faults: sched})
+						if err != nil {
+							t.Fatalf("seed %d schedule %d mis %s: %v", seed, si, misAlg.Name(), err)
+						}
+						if rep := fault.CheckIndependence(g, set); !rep.Independent {
+							t.Errorf("seed %d schedule %d mis %s: %v", seed, si, misAlg.Name(), rep.Err())
+						}
+					}
+				}
+			}
+		})
 	}
 }

@@ -72,6 +72,13 @@ func rankingRun(g *graph.Graph, c int, cfg Config, seeds *seedSeq, acc *dist.Acc
 
 // rankingProcess ships its rank in B-bit chunks and joins when strictly
 // larger than every neighbour's rank.
+//
+// Under faults (NodeInfo.Faulty) each chunk additionally carries a sequence
+// tag. Without it, a lost chunk followed by a duplicated earlier chunk
+// would reassemble into a bogus — typically much smaller — neighbour rank
+// and could let both endpoints of an edge join. With tags every chunk
+// lands at its true bit offset, receipt is tracked per chunk, and a node
+// only joins when it holds every chunk of every neighbour's rank.
 type rankingProcess struct {
 	info     congest.NodeInfo
 	space    uint64
@@ -79,8 +86,10 @@ type rankingProcess struct {
 	bits     int
 	chunk    int // bits per round
 	rounds   int // sending rounds k = ceil(bits/chunk)
+	seqBits  int // fault mode: tag width (0 = tagging impossible)
 	nbrRanks []uint64
 	nbrBits  []int
+	nbrSeen  []uint64 // fault mode: bitmask of chunks received per port
 	joined   bool
 }
 
@@ -93,8 +102,38 @@ func (p *rankingProcess) Init(info congest.NodeInfo) {
 		p.chunk = info.Bandwidth
 	}
 	p.rounds = (p.bits + p.chunk - 1) / p.chunk
+	if info.Faulty {
+		p.initChunkTags()
+		p.nbrSeen = make([]uint64, info.Degree)
+	}
 	p.nbrRanks = make([]uint64, info.Degree)
 	p.nbrBits = make([]int, info.Degree)
+}
+
+// initChunkTags splits the bandwidth into tag + payload: the smallest tag
+// width that can number all resulting chunks. All nodes derive the same
+// split from (space, Bandwidth), keeping the schedule synchronous.
+func (p *rankingProcess) initChunkTags() {
+	if p.info.Bandwidth == 0 || p.bits+1 <= p.info.Bandwidth {
+		p.seqBits = 1 // single chunk, tag value always 0
+		p.chunk = p.bits
+		p.rounds = 1
+		return
+	}
+	for sb := 1; sb < p.info.Bandwidth; sb++ {
+		ch := p.info.Bandwidth - sb
+		rounds := (p.bits + ch - 1) / ch
+		if wire.BitsFor(uint64(rounds-1)) <= sb {
+			p.seqBits = sb
+			p.chunk = ch
+			p.rounds = rounds
+			return
+		}
+	}
+	// Bandwidth too small to tag chunks (unreachable for the B ≥ 8 this
+	// repository's configurations produce). Safety over liveness: the node
+	// keeps its untagged schedule but will never join.
+	p.seqBits = 0
 }
 
 func (p *rankingProcess) Round(round int, recv []*congest.Message) ([]*congest.Message, bool) {
@@ -105,6 +144,10 @@ func (p *rankingProcess) Round(round int, recv []*congest.Message) ([]*congest.M
 				continue
 			}
 			r := m.Reader()
+			if p.info.Faulty {
+				p.absorbTagged(port, r)
+				continue
+			}
 			nbits := r.Remaining()
 			chunkVal, _ := r.ReadBits(nbits)
 			p.nbrRanks[port] |= chunkVal << uint(p.nbrBits[port])
@@ -118,18 +161,64 @@ func (p *rankingProcess) Round(round int, recv []*congest.Message) ([]*congest.M
 			hi = p.bits
 		}
 		var w wire.Writer
+		if p.info.Faulty && p.seqBits > 0 {
+			w.WriteBits(uint64(round-1), p.seqBits)
+		}
 		w.WriteBits(p.rank>>uint(lo), hi-lo)
 		return broadcast(congest.NewMessage(&w), p.info.Degree), false
 	}
 	// round == rounds+1: all chunks received; decide.
 	p.joined = true
 	for port := 0; port < p.info.Degree; port++ {
+		if p.info.Faulty {
+			if p.seqBits == 0 || p.nbrSeen[port] != (uint64(1)<<uint(p.rounds))-1 {
+				// Incomplete information about this neighbour's rank:
+				// joining could collide with it.
+				p.joined = false
+				break
+			}
+		}
 		if p.nbrRanks[port] >= p.rank {
 			p.joined = false
 			break
 		}
 	}
 	return nil, true
+}
+
+// absorbTagged places one sequence-tagged chunk at its true offset,
+// ignoring malformed frames (wrong tag range or payload width).
+func (p *rankingProcess) absorbTagged(port int, r *wire.Reader) {
+	if p.seqBits == 0 {
+		return
+	}
+	seq64, err := r.ReadBits(p.seqBits)
+	if err != nil {
+		return
+	}
+	seq := int(seq64)
+	if seq >= p.rounds {
+		return
+	}
+	lo := seq * p.chunk
+	hi := lo + p.chunk
+	if hi > p.bits {
+		hi = p.bits
+	}
+	if r.Remaining() != hi-lo {
+		return
+	}
+	chunkVal, err := r.ReadBits(hi - lo)
+	if err != nil {
+		return
+	}
+	mask := uint64(1) << uint(seq)
+	if p.nbrSeen[port]&mask != 0 {
+		return // duplicate of an already-placed chunk
+	}
+	p.nbrSeen[port] |= mask
+	p.nbrRanks[port] |= chunkVal << uint(lo)
+	p.nbrBits[port] += hi - lo
 }
 
 func (p *rankingProcess) Output() any { return p.joined }

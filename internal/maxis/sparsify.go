@@ -126,8 +126,11 @@ func (p *sparsifySample) Round(round int, recv []*congest.Message) ([]*congest.M
 				continue
 			}
 			r := m.Reader()
-			deg, _ := r.ReadUint(uint64(p.info.NUpper))
-			nw, _ := r.ReadInt(p.info.MaxWeight)
+			deg, e1 := r.ReadUint(uint64(p.info.NUpper))
+			nw, e2 := r.ReadInt(p.info.MaxWeight)
+			if e1 != nil || e2 != nil {
+				continue // garbled under faults: treat as missing
+			}
 			if int(deg) > p.deltaV {
 				p.deltaV = int(deg)
 			}
@@ -143,7 +146,10 @@ func (p *sparsifySample) Round(round int, recv []*congest.Message) ([]*congest.M
 			if m == nil {
 				continue
 			}
-			nwd, _ := m.Reader().ReadInt(p.maxSumW)
+			nwd, err := m.Reader().ReadInt(p.maxSumW)
+			if err != nil {
+				continue // garbled under faults: treat as missing
+			}
 			if nwd > wmax {
 				wmax = nwd
 			}

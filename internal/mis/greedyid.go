@@ -37,6 +37,7 @@ const (
 type greedyIDProcess struct {
 	info      congest.NodeInfo
 	nbrID     []uint64
+	nbrKnown  []bool // identifier received and parsed for this port
 	nbrActive []bool
 	joined    bool
 	dominated bool
@@ -45,16 +46,30 @@ type greedyIDProcess struct {
 func (p *greedyIDProcess) Init(info congest.NodeInfo) {
 	p.info = info
 	p.nbrID = make([]uint64, info.Degree)
+	p.nbrKnown = make([]bool, info.Degree)
 	p.nbrActive = make([]bool, info.Degree)
 	for i := range p.nbrActive {
 		p.nbrActive[i] = true
 	}
 }
 
+// Under faults every message carries a leading type bit (false = identifier
+// exchange, true = status) so that a duplicated identifier frame arriving in
+// a status slot cannot be misparsed as a retirement — which could retire a
+// live higher-ID neighbour and let both ends of an edge join. Fault-free
+// the framing is unnecessary and omitted to keep messages bit-identical.
+const (
+	frameID     = false
+	frameStatus = true
+)
+
 func (p *greedyIDProcess) Round(round int, recv []*congest.Message) ([]*congest.Message, bool) {
 	if round == 1 {
 		// Identifier exchange.
 		var w wire.Writer
+		if p.info.Faulty {
+			w.WriteBool(frameID)
+		}
 		w.WriteUint(p.info.ID, p.info.MaxID)
 		out := make([]*congest.Message, p.info.Degree)
 		m := congest.NewMessage(&w)
@@ -68,15 +83,34 @@ func (p *greedyIDProcess) Round(round int, recv []*congest.Message) ([]*congest.
 			if m == nil {
 				continue
 			}
-			id, _ := m.Reader().ReadUint(p.info.MaxID)
+			r := m.Reader()
+			if p.info.Faulty {
+				if kind, err := r.ReadBool(); err != nil || kind != frameID {
+					continue
+				}
+			}
+			id, err := r.ReadUint(p.info.MaxID)
+			if err != nil {
+				continue
+			}
 			p.nbrID[port] = id
+			p.nbrKnown[port] = true
 		}
 	} else {
 		for port, m := range recv {
 			if m == nil || !p.nbrActive[port] {
 				continue
 			}
-			status, _ := m.Reader().ReadUint(2)
+			r := m.Reader()
+			if p.info.Faulty {
+				if kind, err := r.ReadBool(); err != nil || kind != frameStatus {
+					continue
+				}
+			}
+			status, err := r.ReadUint(2)
+			if err != nil {
+				continue
+			}
 			switch status {
 			case statusJoined:
 				p.dominated = true
@@ -96,7 +130,9 @@ func (p *greedyIDProcess) Round(round int, recv []*congest.Message) ([]*congest.
 	default:
 		highestActive := true
 		for port, active := range p.nbrActive {
-			if active && p.nbrID[port] > p.info.ID {
+			// An unknown identifier (lost exchange) must be assumed to be
+			// higher: joining past it could collide with the neighbour.
+			if active && (!p.nbrKnown[port] || p.nbrID[port] > p.info.ID) {
 				highestActive = false
 				break
 			}
@@ -108,6 +144,9 @@ func (p *greedyIDProcess) Round(round int, recv []*congest.Message) ([]*congest.
 		}
 	}
 	var w wire.Writer
+	if p.info.Faulty {
+		w.WriteBool(frameStatus)
+	}
 	w.WriteUint(status, 2)
 	out := make([]*congest.Message, p.info.Degree)
 	m := congest.NewMessage(&w)

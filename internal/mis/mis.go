@@ -112,6 +112,37 @@ const (
 
 func phaseOf(round int) phase { return phase((round-1)%3 + 1) }
 
+// parseRetire interprets a mark-slot message as a retirement announcement.
+// Fault-free it is a single bit. Under faults (NodeInfo.Faulty) it carries
+// the sender's joined flag too, so a node that lost the join announcement
+// still learns it is dominated before its ports all go quiet — otherwise a
+// node whose last neighbour retired after joining would "win by default"
+// next to an MIS member. A short payload in fault mode is a duplicated
+// one-bit join announcement whose bit was the joined flag itself, so
+// retirement then implies domination.
+func parseRetire(faulty bool, m *congest.Message) (retired, dominated bool) {
+	r := m.Reader()
+	retiring, err := r.ReadBool()
+	if err != nil || !retiring {
+		return false, false
+	}
+	if !faulty {
+		return true, false
+	}
+	joined, err := r.ReadBool()
+	return true, joined || err != nil
+}
+
+// retireMsg builds the retirement announcement parseRetire expects.
+func retireMsg(faulty, retiring, joined bool) *congest.Message {
+	var w wire.Writer
+	w.WriteBool(retiring)
+	if faulty {
+		w.WriteBool(joined)
+	}
+	return congest.NewMessage(&w)
+}
+
 // lubyProcess holds one node's Luby state.
 type lubyProcess struct {
 	info      congest.NodeInfo
@@ -120,6 +151,7 @@ type lubyProcess struct {
 	marked    bool
 	joined    bool
 	dominated bool
+	lastRound int
 	// scratch from phaseMark messages: which alive neighbours are marked and
 	// their (degree, id) priority.
 	loseToNeighbor bool
@@ -143,15 +175,28 @@ func beats(d1 int, id1 uint64, d2 int, id2 uint64) bool {
 }
 
 func (p *lubyProcess) Round(round int, recv []*congest.Message) ([]*congest.Message, bool) {
+	// A round-number gap means the node was crashed and recovered: the
+	// per-iteration scratch is stale relative to the current phase. Rounds
+	// are consecutive in fault-free runs, so this never fires there.
+	if p.lastRound != 0 && round != p.lastRound+1 {
+		p.marked = false
+		p.loseToNeighbor = false
+	}
+	p.lastRound = round
+
 	switch phaseOf(round) {
 	case phaseMark:
 		// Absorb retirement bits from the previous iteration.
 		p.absorbRetirements(round, recv)
 		p.marked = false
 		p.loseToNeighbor = false
-		if p.aliveN == 0 {
+		switch {
+		case p.dominated:
+			// A neighbour joined but our own retirement announcement was
+			// lost: stay out of contention until the retire phase halts us.
+		case p.aliveN == 0:
 			p.marked = true // uncontested: will join
-		} else if p.info.Rand.Float64() < 1/(2*float64(p.aliveN)) {
+		case p.info.Rand.Float64() < 1/(2*float64(p.aliveN)):
 			p.marked = true
 		}
 		var w wire.Writer
@@ -161,21 +206,31 @@ func (p *lubyProcess) Round(round int, recv []*congest.Message) ([]*congest.Mess
 		return p.broadcastAlive(congest.NewMessage(&w)), false
 
 	case phaseJoin:
-		if p.marked {
+		if p.marked && !p.dominated {
+			// Joining is only safe on full information: a lost or garbled
+			// mark message could hide a higher-priority marked neighbour.
+			informed := true
 			for port, m := range recv {
-				if m == nil || !p.alive[port] {
+				if !p.alive[port] {
+					continue
+				}
+				if m == nil {
+					informed = false
 					continue
 				}
 				r := m.Reader()
-				nbrMarked, _ := r.ReadBool()
-				nbrDeg, _ := r.ReadUint(uint64(p.info.NUpper))
-				nbrID, _ := r.ReadUint(p.info.MaxID)
+				nbrMarked, e1 := r.ReadBool()
+				nbrDeg, e2 := r.ReadUint(uint64(p.info.NUpper))
+				nbrID, e3 := r.ReadUint(p.info.MaxID)
+				if e1 != nil || e2 != nil || e3 != nil {
+					informed = false
+					continue
+				}
 				if nbrMarked && beats(int(nbrDeg), nbrID, p.aliveN, p.info.ID) {
 					p.loseToNeighbor = true
-					break
 				}
 			}
-			if !p.loseToNeighbor {
+			if informed && !p.loseToNeighbor {
 				p.joined = true
 			}
 		}
@@ -188,15 +243,13 @@ func (p *lubyProcess) Round(round int, recv []*congest.Message) ([]*congest.Mess
 			if m == nil || !p.alive[port] {
 				continue
 			}
-			nbrJoined, _ := m.Reader().ReadBool()
-			if nbrJoined {
+			nbrJoined, err := m.Reader().ReadBool()
+			if err == nil && nbrJoined {
 				p.dominated = true
 			}
 		}
 		retiring := p.joined || p.dominated
-		var w wire.Writer
-		w.WriteBool(retiring)
-		return p.broadcastAlive(congest.NewMessage(&w)), retiring
+		return p.broadcastAlive(retireMsg(p.info.Faulty, retiring, p.joined)), retiring
 	}
 }
 
@@ -208,10 +261,13 @@ func (p *lubyProcess) absorbRetirements(round int, recv []*congest.Message) {
 		if m == nil || !p.alive[port] {
 			continue
 		}
-		retired, _ := m.Reader().ReadBool()
+		retired, dominated := parseRetire(p.info.Faulty, m)
 		if retired {
 			p.alive[port] = false
 			p.aliveN--
+		}
+		if dominated {
+			p.dominated = true
 		}
 	}
 }
@@ -260,6 +316,7 @@ type ghaffariProcess struct {
 	marked    bool
 	joined    bool
 	dominated bool
+	lastRound int
 	// maxExp caps the exponent so the wire field stays bounded.
 	maxExp int
 }
@@ -276,19 +333,29 @@ func (p *ghaffariProcess) Init(info congest.NodeInfo) {
 }
 
 func (p *ghaffariProcess) Round(round int, recv []*congest.Message) ([]*congest.Message, bool) {
+	if p.lastRound != 0 && round != p.lastRound+1 {
+		p.marked = false // stale across a crash window
+	}
+	p.lastRound = round
+
 	switch phaseOf(round) {
 	case phaseMark:
 		for port, m := range recv { // retirements from previous iteration
 			if round > 1 && m != nil && p.alive[port] {
-				retired, _ := m.Reader().ReadBool()
+				retired, dominated := parseRetire(p.info.Faulty, m)
 				if retired {
 					p.alive[port] = false
 					p.aliveN--
 				}
+				if dominated {
+					p.dominated = true
+				}
 			}
 		}
 		p.marked = false
-		if p.aliveN == 0 {
+		if p.dominated {
+			// Known joined neighbour; never re-enter contention.
+		} else if p.aliveN == 0 {
 			p.marked = true
 		} else {
 			// Draw with probability 2^-pExp via pExp fair bits.
@@ -309,20 +376,31 @@ func (p *ghaffariProcess) Round(round int, recv []*congest.Message) ([]*congest.
 	case phaseJoin:
 		var effDeg float64
 		anyMarkedBeats := false
+		informed := true
 		for port, m := range recv {
-			if m == nil || !p.alive[port] {
+			if !p.alive[port] {
+				continue
+			}
+			if m == nil {
+				informed = false
 				continue
 			}
 			r := m.Reader()
-			nbrMarked, _ := r.ReadBool()
-			nbrExp, _ := r.ReadUint(uint64(p.maxExp))
-			nbrID, _ := r.ReadUint(p.info.MaxID)
+			nbrMarked, e1 := r.ReadBool()
+			nbrExp, e2 := r.ReadUint(uint64(p.maxExp))
+			nbrID, e3 := r.ReadUint(p.info.MaxID)
+			if e1 != nil || e2 != nil || e3 != nil {
+				informed = false
+				continue
+			}
 			effDeg += pow2neg(int(nbrExp))
 			if nbrMarked && nbrID > p.info.ID {
 				anyMarkedBeats = true
 			}
 		}
-		if p.marked && !anyMarkedBeats {
+		// Joining requires a parseable mark message from every live port: a
+		// missing one could hide a higher-ID marked neighbour.
+		if p.marked && informed && !anyMarkedBeats && !p.dominated {
 			p.joined = true
 		}
 		// Desire-level update for the next iteration.
@@ -342,15 +420,13 @@ func (p *ghaffariProcess) Round(round int, recv []*congest.Message) ([]*congest.
 			if m == nil || !p.alive[port] {
 				continue
 			}
-			nbrJoined, _ := m.Reader().ReadBool()
-			if nbrJoined {
+			nbrJoined, err := m.Reader().ReadBool()
+			if err == nil && nbrJoined {
 				p.dominated = true
 			}
 		}
 		retiring := p.joined || p.dominated
-		var w wire.Writer
-		w.WriteBool(retiring)
-		return p.broadcastAlive(congest.NewMessage(&w)), retiring
+		return p.broadcastAlive(retireMsg(p.info.Faulty, retiring, p.joined)), retiring
 	}
 }
 
@@ -400,6 +476,7 @@ type rankProcess struct {
 	joined    bool
 	dominated bool
 	wins      bool
+	lastRound int
 }
 
 func (p *rankProcess) Init(info congest.NodeInfo) {
@@ -414,14 +491,23 @@ func (p *rankProcess) Init(info congest.NodeInfo) {
 }
 
 func (p *rankProcess) Round(round int, recv []*congest.Message) ([]*congest.Message, bool) {
+	if p.lastRound != 0 && round != p.lastRound+1 {
+		p.rank = 0 // stale across a crash window; 0 never wins a comparison
+		p.wins = false
+	}
+	p.lastRound = round
+
 	switch phaseOf(round) {
 	case phaseMark:
 		for port, m := range recv {
 			if round > 1 && m != nil && p.alive[port] {
-				retired, _ := m.Reader().ReadBool()
+				retired, dominated := parseRetire(p.info.Faulty, m)
 				if retired {
 					p.alive[port] = false
 					p.aliveN--
+				}
+				if dominated {
+					p.dominated = true
 				}
 			}
 		}
@@ -434,17 +520,27 @@ func (p *rankProcess) Round(round int, recv []*congest.Message) ([]*congest.Mess
 	case phaseJoin:
 		p.wins = true
 		for port, m := range recv {
-			if m == nil || !p.alive[port] {
+			if !p.alive[port] {
+				continue
+			}
+			if m == nil {
+				// A live neighbour's rank is unknown; winning cannot be
+				// certified this iteration.
+				p.wins = false
 				continue
 			}
 			r := m.Reader()
-			nbrRank, _ := r.ReadUint(p.rankSpace)
-			nbrID, _ := r.ReadUint(p.info.MaxID)
+			nbrRank, e1 := r.ReadUint(p.rankSpace)
+			nbrID, e2 := r.ReadUint(p.info.MaxID)
+			if e1 != nil || e2 != nil {
+				p.wins = false
+				continue
+			}
 			if nbrRank > p.rank || (nbrRank == p.rank && nbrID > p.info.ID) {
 				p.wins = false
 			}
 		}
-		if p.wins {
+		if p.wins && !p.dominated {
 			p.joined = true
 		}
 		var w wire.Writer
@@ -456,15 +552,13 @@ func (p *rankProcess) Round(round int, recv []*congest.Message) ([]*congest.Mess
 			if m == nil || !p.alive[port] {
 				continue
 			}
-			nbrJoined, _ := m.Reader().ReadBool()
-			if nbrJoined {
+			nbrJoined, err := m.Reader().ReadBool()
+			if err == nil && nbrJoined {
 				p.dominated = true
 			}
 		}
 		retiring := p.joined || p.dominated
-		var w wire.Writer
-		w.WriteBool(retiring)
-		return p.broadcastAlive(congest.NewMessage(&w)), retiring
+		return p.broadcastAlive(retireMsg(p.info.Faulty, retiring, p.joined)), retiring
 	}
 }
 

@@ -70,3 +70,55 @@ func FuzzWriteReadMirror(f *testing.F) {
 		}
 	})
 }
+
+// FuzzChecksumBurst verifies the CRC-8 guarantee the fault layer's
+// corruption model relies on: flipping any burst of 1..ChecksumBits
+// consecutive bits inside the covered payload always changes the checksum,
+// so a corrupted message can never be mistaken for the original.
+func FuzzChecksumBurst(f *testing.F) {
+	f.Add([]byte{0x00}, 1, 0, 1)
+	f.Add([]byte{0xDE, 0xAD, 0xBE, 0xEF}, 32, 7, 8)
+	f.Add([]byte{0xFF, 0x00, 0xFF}, 20, 13, 5)
+	f.Fuzz(func(t *testing.T, data []byte, nbits, start, burst int) {
+		if len(data) == 0 {
+			return
+		}
+		if nbits < 1 {
+			nbits = 1
+		}
+		if nbits > len(data)*8 {
+			nbits = len(data) * 8
+		}
+		if burst < 1 {
+			burst = 1
+		}
+		if burst > ChecksumBits {
+			burst = ChecksumBits
+		}
+		if burst > nbits {
+			burst = nbits
+		}
+		if start < 0 {
+			start = -start
+		}
+		start %= nbits - burst + 1
+		orig := Checksum(data, nbits)
+		flipped := make([]byte, len(data))
+		copy(flipped, data)
+		for i := start; i < start+burst; i++ {
+			flipped[i>>3] ^= 1 << uint(i&7)
+		}
+		if Checksum(flipped, nbits) == orig {
+			t.Fatalf("burst of %d bits at %d (nbits %d) not detected", burst, start, nbits)
+		}
+		// And the checksum must ignore bits beyond nbits entirely.
+		if nbits < len(data)*8 {
+			tail := make([]byte, len(data))
+			copy(tail, data)
+			tail[nbits>>3] ^= 1 << uint(nbits&7)
+			if Checksum(tail, nbits) != orig {
+				t.Fatal("checksum depends on bits beyond nbits")
+			}
+		}
+	})
+}
