@@ -26,9 +26,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		runList = fs.String("run", "", "comma-separated experiment IDs (default: all)")
-		quick   = fs.Bool("quick", false, "smaller sweeps and trial counts")
-		seed    = fs.Uint64("seed", 1, "root random seed")
+		runList   = fs.String("run", "", "comma-separated experiment IDs (default: all)")
+		quick     = fs.Bool("quick", false, "smaller sweeps and trial counts")
+		seed      = fs.Uint64("seed", 1, "root random seed")
 		format    = fs.String("format", "markdown", "output format: markdown or csv")
 		outPath   = fs.String("o", "", "output file (default: stdout)")
 		faultRate = fs.Float64("fault-rate", 0, "E18: replace the loss sweep with this single loss rate")

@@ -16,6 +16,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 
 	"distmwis/internal/exact"
 	"distmwis/internal/fault"
@@ -23,6 +24,7 @@ import (
 	"distmwis/internal/graph/gen"
 	"distmwis/internal/maxis"
 	"distmwis/internal/mis"
+	"distmwis/internal/trace"
 )
 
 func main() {
@@ -46,6 +48,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		misName   = fs.String("mis", "luby", "MIS black box: luby|ghaffari|rank")
 		local     = fs.Bool("local", false, "LOCAL model (no bandwidth bound)")
 		showOpt   = fs.Bool("opt", false, "also compute exact OPT (small graphs only)")
+		doTrace   = fs.Bool("trace", false, "record a per-round trace and print the phase timeline")
+		traceOut  = fs.String("trace-out", "", "write the per-round trace to a file (.csv → CSV, else JSON lines); implies -trace")
 
 		faultRate    = fs.Float64("fault-rate", 0, "per-message loss probability (enables fault injection)")
 		faultDup     = fs.Float64("fault-dup", 0, "per-message duplication probability")
@@ -81,6 +85,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	cfg := maxis.Config{Seed: *seed, MIS: misAlg, Local: *local}
+	// The uniform and skewed generators bound their weights by -maxw, so
+	// the runtime can skip its own weight scan.
+	if *weights == "uniform" || *weights == "skewed" {
+		cfg.MaxWeight = *maxW
+	}
+	var ring *trace.Ring
+	if *doTrace || *traceOut != "" {
+		ring = trace.NewRing(0)
+		cfg.Tracer = ring
+		cfg.TraceLabel = *algName
+	}
 	sched := fault.Schedule{
 		Seed:      *faultSeed,
 		Loss:      *faultRate,
@@ -148,6 +163,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for _, key := range keys {
 		fmt.Fprintf(stdout, "  %s=%.2f\n", key, res.Extra[key])
 	}
+	if ring != nil {
+		if *doTrace {
+			fmt.Fprintf(stdout, "trace: %d runs, %d rounds recorded (%d evicted)\n",
+				len(ring.Runs()), len(ring.Rounds()), ring.Dropped())
+			fmt.Fprint(stdout, trace.Summarize(ring.Rounds()).String())
+		}
+		if *traceOut != "" {
+			if err := writeTrace(*traceOut, ring.Rounds()); err != nil {
+				fmt.Fprintf(stderr, "maxis: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "trace written to %s\n", *traceOut)
+		}
+	}
 	if *showOpt {
 		opt, _, err := exact.MWIS(g)
 		if err != nil {
@@ -159,6 +188,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "certified OPT upper bound (clique cover)=%d\n", exact.CliqueCoverUpperBound(g))
 	}
 	return 0
+}
+
+// writeTrace exports the recorded rounds: .csv files get RFC 4180 CSV,
+// anything else JSON lines (one Round per line).
+func writeTrace(path string, rounds []trace.Round) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".csv") {
+		err = trace.WriteCSV(f, rounds)
+	} else {
+		err = trace.WriteJSONL(f, rounds)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func buildGraph(kind string, n int, p float64, k int, seed uint64) (*graph.Graph, error) {

@@ -182,6 +182,14 @@ func (p *greedyColour) Round(round int, recv []*congest.Message) ([]*congest.Mes
 
 func (p *greedyColour) Output() any { return p.colour }
 
+// TracePhase labels the two-round trial cadence for tracers.
+func (p *greedyColour) TracePhase(round int) string {
+	if round%2 == 1 {
+		return "propose"
+	}
+	return "resolve"
+}
+
 func broadcast(m *congest.Message, deg int) []*congest.Message {
 	out := make([]*congest.Message, deg)
 	for i := range out {

@@ -29,8 +29,10 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"distmwis/internal/graph"
+	"distmwis/internal/trace"
 	"distmwis/internal/wire"
 )
 
@@ -192,6 +194,8 @@ type config struct {
 	maxWeight       int64
 	engine          Engine
 	hook            DeliveryHook
+	tracer          trace.Tracer
+	traceLabel      string
 }
 
 // Option configures Run.
@@ -221,9 +225,20 @@ func WithHardStop(r int) Option { return func(c *config) { c.hardStop = r } }
 // (default: the true n, the most charitable choice). It must be >= n.
 func WithNUpper(n int) Option { return func(c *config) { c.nUpper = n } }
 
-// WithWorkers sets the parallel engine's worker count; 1 selects the
-// sequential engine (default: GOMAXPROCS).
+// WithWorkers sets the worker count of the pool engine (default:
+// GOMAXPROCS; values below 1 are clamped to 1). Under EngineAuto a worker
+// count of 1 selects the sequential engine; with an explicit
+// WithEngine(EnginePool) the pool runs with however many workers are set.
 func WithWorkers(w int) Option { return func(c *config) { c.workers = w } }
+
+// WithMaxWeight sets the upper bound W ≥ max|w(v)| on node weights that
+// nodes are told (NodeInfo.MaxWeight), used to size wire fields for weight
+// exchange. Without this option Run scans the graph and hands every node
+// the exact global maximum — knowledge the paper's Section 3 assumptions
+// do not grant, and a confound in experiments that sweep W (wire fields
+// would be sized by the realized maximum instead of the nominal bound).
+// Run rejects a bound below the true maximum absolute weight.
+func WithMaxWeight(w int64) Option { return func(c *config) { c.maxWeight = w } }
 
 // WithEngine selects the execution engine explicitly (default EngineAuto).
 func WithEngine(e Engine) Option { return func(c *config) { c.engine = e } }
@@ -255,24 +270,33 @@ func Run(g *graph.Graph, newProcess func() Process, opts ...Option) (*Result, er
 	if cfg.nUpper < n {
 		return nil, fmt.Errorf("congest: NUpper %d below n %d", cfg.nUpper, n)
 	}
+	if cfg.workers < 1 {
+		// parallelFor would divide by zero on an explicit EnginePool with
+		// zero or negative workers; a floor of 1 keeps every engine valid.
+		cfg.workers = 1
+	}
 	bandwidth := 0
 	if cfg.model == ModelCongest {
 		bandwidth = Bandwidth(cfg.nUpper, cfg.bandwidthFactor)
 	}
+	var trueMaxWeight int64
+	for v := 0; v < n; v++ {
+		w := g.Weight(v)
+		if w < 0 {
+			w = -w
+		}
+		if w > trueMaxWeight {
+			trueMaxWeight = w
+		}
+	}
+	if trueMaxWeight == 0 {
+		trueMaxWeight = 1
+	}
 	maxWeight := cfg.maxWeight
 	if maxWeight == 0 {
-		for v := 0; v < n; v++ {
-			w := g.Weight(v)
-			if w < 0 {
-				w = -w
-			}
-			if w > maxWeight {
-				maxWeight = w
-			}
-		}
-		if maxWeight == 0 {
-			maxWeight = 1
-		}
+		maxWeight = trueMaxWeight
+	} else if maxWeight < trueMaxWeight {
+		return nil, fmt.Errorf("congest: MaxWeight %d below actual maximum |weight| %d", cfg.maxWeight, trueMaxWeight)
 	}
 	maxID := g.MaxID()
 	if maxID == 0 {
@@ -394,6 +418,40 @@ func (s *simulator) run() (*Result, error) {
 		s.cfg.hook.Begin(n)
 	}
 
+	// Tracing state. All tracer work is guarded by tr != nil: with no
+	// tracer installed the loop below does not read the clock or touch any
+	// of these variables, keeping the untraced hot path unchanged.
+	tr := s.cfg.tracer
+	var (
+		labeler  PhaseLabeler
+		runIdx   int
+		prev     traceCounters
+		phaseT0  time.Time
+		computeN int64
+	)
+	if tr != nil {
+		if n > 0 {
+			labeler, _ = s.procs[0].(PhaseLabeler)
+		}
+		runIdx = tr.BeginRun(trace.RunInfo{
+			Label:     s.cfg.traceLabel,
+			N:         n,
+			Bandwidth: s.bandwidth,
+			Engine:    engineName(engine),
+			Seed:      s.cfg.seed,
+		})
+		defer func() {
+			tr.EndRun(trace.Summary{
+				Run:       runIdx,
+				Label:     s.cfg.traceLabel,
+				Rounds:    s.res.Rounds,
+				Messages:  s.res.Messages,
+				Bits:      s.res.Bits,
+				Truncated: s.res.Truncated,
+			})
+		}()
+	}
+
 	for round := 1; live > 0; round++ {
 		if s.cfg.hardStop > 0 && round > s.cfg.hardStop {
 			s.res.Truncated = true
@@ -406,17 +464,30 @@ func (s *simulator) run() (*Result, error) {
 			return nil, &TruncationError{Limit: s.cfg.maxRounds, Partial: &partial}
 		}
 		s.res.Rounds = round
+		if tr != nil {
+			prev = s.snapshotCounters(live)
+			phaseT0 = time.Now()
+		}
 
 		switch engine {
 		case EngineSequential:
 			for v := 0; v < n; v++ {
 				step(v, round)
+				if errs[v] != nil {
+					// No point stepping the remaining nodes: the round is
+					// already doomed, and stopping here makes the reported
+					// error trivially the lowest-index one.
+					break
+				}
 			}
 		case EngineActors:
 			actors.runRound(round)
 		default:
 			parallelFor(n, s.cfg.workers, func(v int) { step(v, round) })
 		}
+		// Every engine reports the error of the lowest-index failing node,
+		// so error selection is deterministic and engine-independent even
+		// when parallel workers record several errors in the same round.
 		for v := 0; v < n; v++ {
 			if errs[v] != nil {
 				return nil, errs[v]
@@ -433,6 +504,11 @@ func (s *simulator) run() (*Result, error) {
 					live--
 				}
 			}
+		}
+
+		if tr != nil {
+			computeN = time.Since(phaseT0).Nanoseconds()
+			phaseT0 = time.Now()
 		}
 
 		// Delivery phase: clear next inboxes, move messages.
@@ -454,6 +530,7 @@ func (s *simulator) run() (*Result, error) {
 			}
 			s.pendingDups = s.pendingDups[:0]
 		}
+		roundMaxBits := 0
 		for v := 0; v < n; v++ {
 			if s.done[v] {
 				continue
@@ -466,8 +543,8 @@ func (s *simulator) run() (*Result, error) {
 				rport := int(s.reversePort[v][p])
 				s.res.Messages++
 				s.res.Bits += int64(m.bitN)
-				if m.bitN > s.res.MaxMessageBits {
-					s.res.MaxMessageBits = m.bitN
+				if m.bitN > roundMaxBits {
+					roundMaxBits = m.bitN
 				}
 				if s.cfg.hook != nil {
 					if m = s.deliverFaulty(round, v, u, rport, m); m == nil {
@@ -483,7 +560,31 @@ func (s *simulator) run() (*Result, error) {
 				live--
 			}
 		}
+		if roundMaxBits > s.res.MaxMessageBits {
+			s.res.MaxMessageBits = roundMaxBits
+		}
 		s.inbox, s.nextInbox = s.nextInbox, s.inbox
+
+		if tr != nil {
+			rec := trace.Round{
+				Run:             runIdx,
+				Round:           round,
+				Label:           s.cfg.traceLabel,
+				Messages:        s.res.Messages - prev.messages,
+				Bits:            s.res.Bits - prev.bits,
+				MaxMessageBits:  roundMaxBits,
+				Halts:           prev.live - live,
+				FaultLost:       s.res.FaultLost - prev.lost,
+				FaultCorrupted:  s.res.FaultCorrupted - prev.corrupted,
+				FaultDuplicated: s.res.FaultDuplicated - prev.duplicated,
+				ComputeNanos:    computeN,
+				DeliveryNanos:   time.Since(phaseT0).Nanoseconds(),
+			}
+			if labeler != nil {
+				rec.Phase = labeler.TracePhase(round)
+			}
+			tr.OnRound(rec)
+		}
 	}
 
 	s.collectOutputs()
@@ -582,8 +683,12 @@ func (p *actorPool) shutdown() {
 }
 
 // parallelFor runs fn(i) for i in [0, n) on up to workers goroutines and
-// waits for completion.
+// waits for completion. Worker counts below 1 are treated as 1 (Run also
+// clamps, so this is a second line of defence for direct callers).
 func parallelFor(n, workers int, fn func(int)) {
+	if workers < 1 {
+		workers = 1
+	}
 	if workers > n {
 		workers = n
 	}

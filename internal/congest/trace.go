@@ -1,0 +1,94 @@
+package congest
+
+import (
+	"fmt"
+
+	"distmwis/internal/graph"
+	"distmwis/internal/trace"
+)
+
+// WithTracer installs a round-level tracer (see internal/trace). The
+// simulator calls it from the single delivery goroutine: BeginRun before
+// round 1, OnRound after every completed round with that round's traffic
+// deltas and compute/delivery wall-clock split, EndRun on every exit path.
+//
+// Tracing is strictly observational — with or without a tracer, executions
+// on the same seed produce bit-identical Results — and costs nothing when
+// absent: the untraced round loop performs no clock reads and no extra
+// bookkeeping.
+func WithTracer(t trace.Tracer) Option { return func(c *config) { c.tracer = t } }
+
+// WithTraceLabel attributes this run's trace records to an orchestrator
+// phase label (e.g. "boost/push/goodnodes/mis"). A no-op without a tracer.
+func WithTraceLabel(label string) Option { return func(c *config) { c.traceLabel = label } }
+
+// PhaseLabeler is an optional interface a Process may implement to label
+// the protocol stage each round belongs to (e.g. Luby's mark/join/retire
+// cadence). The simulator samples node 0's process once per round, so the
+// label must be a pure function of the round number, identical across
+// nodes — never derived from per-node state.
+type PhaseLabeler interface {
+	TracePhase(round int) string
+}
+
+// traceCounters snapshots the running aggregates at the top of a round so
+// the tracer can record per-round deltas.
+type traceCounters struct {
+	messages   int64
+	bits       int64
+	lost       int64
+	corrupted  int64
+	duplicated int64
+	live       int
+}
+
+func (s *simulator) snapshotCounters(live int) traceCounters {
+	return traceCounters{
+		messages:   s.res.Messages,
+		bits:       s.res.Bits,
+		lost:       s.res.FaultLost,
+		corrupted:  s.res.FaultCorrupted,
+		duplicated: s.res.FaultDuplicated,
+		live:       live,
+	}
+}
+
+// engineName maps a resolved engine to its trace name.
+func engineName(e Engine) string {
+	switch e {
+	case EngineSequential:
+		return "sequential"
+	case EnginePool:
+		return "pool"
+	case EngineActors:
+		return "actors"
+	default:
+		return "auto"
+	}
+}
+
+// MeasureEngines runs the same protocol once per engine — sequential,
+// pool, actors — on identical seeds and returns the wall-clock comparison.
+// The executions are identical by construction (TestEnginesAgree pins
+// this), so the numbers isolate pure scheduling cost: the baseline future
+// performance work is judged against. opts apply to every run and must not
+// themselves select an engine or install a tracer.
+func MeasureEngines(g *graph.Graph, newProcess func() Process, opts ...Option) (*trace.EngineStats, error) {
+	stats := &trace.EngineStats{}
+	for _, e := range []Engine{EngineSequential, EnginePool, EngineActors} {
+		tot := &trace.Totals{}
+		runOpts := append(append([]Option{}, opts...), WithEngine(e), WithTracer(tot))
+		res, err := Run(g, newProcess, runOpts...)
+		if err != nil {
+			return nil, fmt.Errorf("congest: measuring %s engine: %w", engineName(e), err)
+		}
+		stats.Add(trace.EngineTiming{
+			Engine:        engineName(e),
+			Rounds:        res.Rounds,
+			ComputeNanos:  tot.ComputeNanos,
+			DeliveryNanos: tot.DeliveryNanos,
+			WallNanos:     tot.ComputeNanos + tot.DeliveryNanos,
+		})
+	}
+	return stats, nil
+}

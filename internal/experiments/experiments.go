@@ -49,24 +49,35 @@ func (t *Table) Markdown() string {
 	return b.String()
 }
 
-// CSV renders the table as comma-separated values (quotes are not needed
-// for the numeric content these tables carry; commas in cells are replaced).
+// CSV renders the table as RFC 4180 comma-separated values: cells
+// containing a comma, quote or newline are quoted, with embedded quotes
+// doubled, so column headers like "rounds, measured" survive a round-trip
+// through any standard CSV reader.
 func (t *Table) CSV() string {
 	var b strings.Builder
-	clean := func(s string) string { return strings.ReplaceAll(s, ",", ";") }
-	cols := make([]string, len(t.Columns))
-	for i, c := range t.Columns {
-		cols[i] = clean(c)
-	}
-	b.WriteString(strings.Join(cols, ",") + "\n")
-	for _, row := range t.Rows {
-		cells := make([]string, len(row))
-		for i, c := range row {
-			cells[i] = clean(c)
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(csvEscape(c))
 		}
-		b.WriteString(strings.Join(cells, ",") + "\n")
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
 	}
 	return b.String()
+}
+
+// csvEscape quotes a cell per RFC 4180 when it contains a separator,
+// quote or line break; plain cells pass through unchanged.
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\r\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
 }
 
 // Options configures a run of the suite.

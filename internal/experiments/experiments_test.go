@@ -1,16 +1,17 @@
 package experiments
 
 import (
+	"encoding/csv"
 	"strings"
 	"testing"
 )
 
 func TestIDsOrderedAndComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 18 {
-		t.Fatalf("registry has %d experiments, want 18", len(ids))
+	if len(ids) != 19 {
+		t.Fatalf("registry has %d experiments, want 19", len(ids))
 	}
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19"}
 	for i, id := range want {
 		if ids[i] != id {
 			t.Errorf("IDs()[%d] = %s, want %s", i, ids[i], id)
@@ -45,8 +46,38 @@ func TestTableRendering(t *testing.T) {
 		}
 	}
 	csv := tab.CSV()
-	if !strings.Contains(csv, "a,b\n1,2\n3,4;5\n") {
+	if !strings.Contains(csv, "a,b\n1,2\n3,\"4,5\"\n") {
 		t.Errorf("csv wrong:\n%s", csv)
+	}
+}
+
+// TestCSVRoundTrip feeds tables with every RFC 4180 special character
+// through encoding/csv and requires the cells back verbatim.
+func TestCSVRoundTrip(t *testing.T) {
+	tab := &Table{
+		Columns: []string{"plain", "comma, inside", `quote "q"`, "line\nbreak"},
+		Rows: [][]string{
+			{"1", "a,b", `say "hi"`, "x\ny"},
+			{"", ",", `""`, "\n"},
+		},
+	}
+	r := csv.NewReader(strings.NewReader(tab.CSV()))
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatalf("encoding/csv rejected Table.CSV output: %v", err)
+	}
+	want := append([][]string{tab.Columns}, tab.Rows...)
+	if len(recs) != len(want) {
+		t.Fatalf("got %d records, want %d", len(recs), len(want))
+	}
+	for i, rec := range recs {
+		for j, cell := range rec {
+			// encoding/csv normalizes \r\n to \n inside quoted fields; the
+			// table never emits \r so a direct compare is exact.
+			if cell != want[i][j] {
+				t.Errorf("record %d cell %d = %q, want %q", i, j, cell, want[i][j])
+			}
+		}
 	}
 }
 
@@ -57,7 +88,7 @@ func TestQuickExperimentsProduceRows(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiments are slow; skipped with -short")
 	}
-	for _, id := range []string{"E1", "E3", "E6", "E9", "E12"} {
+	for _, id := range []string{"E1", "E3", "E6", "E9", "E12", "E19"} {
 		t.Run(id, func(t *testing.T) {
 			tab, err := Run(id, Options{Quick: true, Seed: 2})
 			if err != nil {

@@ -21,4 +21,5 @@ var registry = map[string]entry{
 	"E16": {title: "LOCAL (1+ε)-approximation via LDD ([29] stand-in)", run: runE16},
 	"E17": {title: "Communication profile / CONGEST compliance", run: runE17},
 	"E18": {title: "Graceful degradation under fault injection", run: runE18},
+	"E19": {title: "Round-resolved bit profiles (trace layer)", run: runE19},
 }

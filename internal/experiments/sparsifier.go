@@ -146,7 +146,10 @@ func runE5(opts Options) (*Table, error) {
 	deltaH := maxis.DeltaHBound(topo.N(), 2.0)
 	for _, lw := range logWs {
 		g := gen.Weighted(topo, gen.UniformWeights(int64(1)<<uint(lw)), opts.seed())
-		cfg := maxis.Config{Seed: opts.seed(), MIS: alg}
+		// The sweep knows its own weight bound 2^lw, so declare it instead
+		// of letting the runtime re-scan the weights (and pin WithMaxWeight
+		// on a real call site).
+		cfg := maxis.Config{Seed: opts.seed(), MIS: alg, MaxWeight: int64(1) << uint(lw)}
 		base, err := maxis.BarYehuda(g, cfg)
 		if err != nil {
 			return nil, err

@@ -57,7 +57,9 @@ func BarYehuda(g *graph.Graph, cfg Config) (*Result, error) {
 			continue
 		}
 		scales++
-		set, _, err := dist.RunOnInduced(g, active, cfg.misAlg().NewProcess, &acc, cfg.opts(seeds.next())...)
+		// All ⌈log W⌉ scales share the "scale" label, mirroring boost's
+		// unindexed "push".
+		set, _, err := dist.RunOnInduced(g, active, cfg.misAlg().NewProcess, &acc, cfg.phase("scale").opts(seeds.next())...)
 		if err != nil {
 			return nil, fmt.Errorf("maxis: baseline scale 2^%d: %w", j, err)
 		}

@@ -95,7 +95,10 @@ func boostPush(g *graph.Graph, t int, inner Inner, cfg Config, seeds *seedSeq, a
 		for j, pv := range sub.ToParent {
 			subW[j] = cur[pv]
 		}
-		inSet, err := inner.Run(sub.G.WithWeights(subW), cfg, seeds, acc)
+		// Push phases share the unindexed "push" label so a Timeline
+		// aggregates all t of them into one stage (the per-round records
+		// still separate them by run index).
+		inSet, err := inner.Run(sub.G.WithWeights(subW), cfg.phase("push"), seeds, acc)
 		if err != nil {
 			return nil, 0, fmt.Errorf("maxis: boost phase %d: %w", i, err)
 		}

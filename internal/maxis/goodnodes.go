@@ -32,7 +32,7 @@ func goodNodesRun(g *graph.Graph, cfg Config, seeds *seedSeq, acc *dist.Accumula
 		return nil, nil, nil
 	}
 	// Phase 1: two-round good-node detection protocol.
-	res, err := dist.RunPhase(g, func() congest.Process { return &goodDetect{} }, acc, cfg.opts(seeds.next())...)
+	res, err := dist.RunPhase(g, func() congest.Process { return &goodDetect{} }, acc, cfg.phase("goodnodes/detect").opts(seeds.next())...)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -40,7 +40,7 @@ func goodNodesRun(g *graph.Graph, cfg Config, seeds *seedSeq, acc *dist.Accumula
 
 	// Phase 2: MIS over the good-node subgraph (Lemma 2: black-box MIS with
 	// the original NUpper works on any subgraph).
-	set, _, err = dist.RunOnInduced(g, good, cfg.misAlg().NewProcess, acc, cfg.opts(seeds.next())...)
+	set, _, err = dist.RunOnInduced(g, good, cfg.misAlg().NewProcess, acc, cfg.phase("goodnodes/mis").opts(seeds.next())...)
 	if err != nil {
 		return nil, nil, err
 	}

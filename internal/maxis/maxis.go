@@ -34,6 +34,7 @@ import (
 	"distmwis/internal/fault"
 	"distmwis/internal/graph"
 	"distmwis/internal/mis"
+	"distmwis/internal/trace"
 )
 
 // Result is the outcome of one MaxIS approximation run.
@@ -72,6 +73,12 @@ type Config struct {
 	Local bool
 	// Workers sets simulator parallelism (default GOMAXPROCS).
 	Workers int
+	// MaxWeight, when positive, is the nominal weight bound W handed to
+	// every protocol phase (congest.WithMaxWeight). Experiments that sweep
+	// W set it so wire fields are sized by the swept bound rather than by
+	// a graph scan's exact maximum — global knowledge the paper's
+	// Section 3 assumptions do not grant.
+	MaxWeight int64
 	// Faults, when enabled, installs a fault.Injector on every protocol
 	// phase (each phase reseeded deterministically from the phase seed) and
 	// caps every phase at Faults.HardStop rounds, because faults can block
@@ -82,6 +89,15 @@ type Config struct {
 	// FaultStats, if non-nil, accumulates the injectors' counters across
 	// all phases of the run.
 	FaultStats *fault.Stats
+	// Tracer, if non-nil, receives per-round records from every protocol
+	// phase of the run (see internal/trace). Algorithms label their phases
+	// at natural stage boundaries ("goodnodes/mis", "push/...", "scale"),
+	// so a Timeline built from the trace attributes rounds and bits to
+	// pipeline stages.
+	Tracer trace.Tracer
+	// TraceLabel prefixes every phase label this config emits; algorithms
+	// descend from it via Config.phase. Ignored without a Tracer.
+	TraceLabel string
 }
 
 func (c Config) misAlg() mis.Algorithm {
@@ -127,6 +143,20 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
+// phase returns a copy of c whose trace label descends into label;
+// algorithms call it at stage boundaries so trace records attribute rounds
+// to pipeline stages. Without a tracer it is the identity.
+func (c Config) phase(label string) Config {
+	if c.Tracer == nil {
+		return c
+	}
+	if c.TraceLabel != "" {
+		label = c.TraceLabel + "/" + label
+	}
+	c.TraceLabel = label
+	return c
+}
+
 // opts assembles the congest options for one phase.
 func (c Config) opts(phaseSeed uint64) []congest.Option {
 	out := []congest.Option{
@@ -141,6 +171,12 @@ func (c Config) opts(phaseSeed uint64) []congest.Option {
 	}
 	if c.Workers > 0 {
 		out = append(out, congest.WithWorkers(c.Workers))
+	}
+	if c.MaxWeight > 0 {
+		out = append(out, congest.WithMaxWeight(c.MaxWeight))
+	}
+	if c.Tracer != nil {
+		out = append(out, congest.WithTracer(c.Tracer), congest.WithTraceLabel(c.TraceLabel))
 	}
 	if c.Faults.Enabled() {
 		inj := fault.NewInjector(c.Faults.WithSeed(phaseSeed))

@@ -64,7 +64,7 @@ func EstimateDegeneracy(g *graph.Graph, cfg Config) (*DegeneracyEstimate, error)
 		est.Metrics.AddRounds(1) // survivors exchange liveness flags
 		res, err := dist.RunPhase(sub.G, func() congest.Process {
 			return &peelProcess{threshold: threshold, budget: peelRounds}
-		}, &est.Metrics, cfg.opts(seeds.next())...)
+		}, &est.Metrics, cfg.phase("peel").opts(seeds.next())...)
 		if err != nil {
 			return nil, fmt.Errorf("maxis: peel threshold %d: %w", threshold, err)
 		}

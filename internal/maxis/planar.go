@@ -38,7 +38,7 @@ func PlanarConstantRound(g *graph.Graph, cfg Config) (*Result, error) {
 
 	// One round to learn which neighbours are low-degree (each node
 	// broadcasts a single bit).
-	res, err := dist.RunPhase(g, func() congest.Process { return &degreeCapFlag{cap: planarDegreeCap} }, &acc, cfg.opts(seeds.next())...)
+	res, err := dist.RunPhase(g, func() congest.Process { return &degreeCapFlag{cap: planarDegreeCap} }, &acc, cfg.phase("lowdeg-flag").opts(seeds.next())...)
 	if err != nil {
 		return nil, err
 	}

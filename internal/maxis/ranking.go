@@ -63,7 +63,7 @@ func rankingRun(g *graph.Graph, c int, cfg Config, seeds *seedSeq, acc *dist.Acc
 		return nil, nil
 	}
 	space := rankSpace(cfg.NUpper, c)
-	res, err := dist.RunPhase(g, func() congest.Process { return &rankingProcess{space: space} }, acc, cfg.opts(seeds.next())...)
+	res, err := dist.RunPhase(g, func() congest.Process { return &rankingProcess{space: space} }, acc, cfg.phase("ranking").opts(seeds.next())...)
 	if err != nil {
 		return nil, err
 	}

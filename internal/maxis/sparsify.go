@@ -71,7 +71,7 @@ func SampleSparsifier(g *graph.Graph, cfg Config, seeds *seedSeq, acc *dist.Accu
 		acc = &dist.Accumulator{}
 	}
 	lam := cfg.lambda()
-	res, err := dist.RunPhase(g, func() congest.Process { return &sparsifySample{lambda: lam} }, acc, cfg.opts(seeds.next())...)
+	res, err := dist.RunPhase(g, func() congest.Process { return &sparsifySample{lambda: lam} }, acc, cfg.phase("sparsify/sample").opts(seeds.next())...)
 	if err != nil {
 		return nil, err
 	}

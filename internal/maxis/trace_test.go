@@ -1,0 +1,113 @@
+package maxis
+
+import (
+	"strings"
+	"testing"
+
+	"distmwis/internal/graph/gen"
+	"distmwis/internal/mis"
+	"distmwis/internal/trace"
+)
+
+// TestPipelineTraceReconciles runs full MaxIS pipelines under a ring tracer
+// and reconciles the trace against the pipeline's own accounting: per-round
+// bits and messages must sum exactly to Metrics.Bits / Metrics.Messages,
+// and the number of traced runs must equal Metrics.Phases. Traced rounds
+// are a lower bound on Metrics.Rounds because host-side AddRounds
+// bookkeeping (set pushes, liveness exchanges) never reaches the tracer.
+func TestPipelineTraceReconciles(t *testing.T) {
+	g := gen.Weighted(gen.GNP(160, 0.06, 21), gen.UniformWeights(1000), 22)
+	pipelines := map[string]func(cfg Config) (*Result, error){
+		"goodnodes": func(cfg Config) (*Result, error) { return GoodNodes(g, cfg) },
+		"baseline":  func(cfg Config) (*Result, error) { return BarYehuda(g, cfg) },
+		"theorem2": func(cfg Config) (*Result, error) {
+			r, err := Theorem2(g, 1, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return &r.Result, nil
+		},
+	}
+	for name, run := range pipelines {
+		t.Run(name, func(t *testing.T) {
+			ring := trace.NewRing(0)
+			res, err := run(Config{Seed: 7, MIS: mis.Luby{}, Tracer: ring, TraceLabel: name})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var bits, msgs int64
+			rounds := 0
+			for _, rec := range ring.Rounds() {
+				bits += rec.Bits
+				msgs += rec.Messages
+				rounds++
+			}
+			if bits != res.Metrics.Bits {
+				t.Errorf("traced bits %d != Metrics.Bits %d", bits, res.Metrics.Bits)
+			}
+			if msgs != res.Metrics.Messages {
+				t.Errorf("traced messages %d != Metrics.Messages %d", msgs, res.Metrics.Messages)
+			}
+			if rounds > res.Metrics.Rounds {
+				t.Errorf("traced rounds %d exceed Metrics.Rounds %d", rounds, res.Metrics.Rounds)
+			}
+			if got := len(ring.Runs()); got != res.Metrics.Phases {
+				t.Errorf("traced runs %d != Metrics.Phases %d", got, res.Metrics.Phases)
+			}
+			for _, info := range ring.Runs() {
+				if !strings.HasPrefix(info.Label, name) {
+					t.Errorf("run label %q missing pipeline prefix %q", info.Label, name)
+				}
+			}
+		})
+	}
+}
+
+// TestPipelinePhaseAnnotations checks that protocol-emitted phases survive
+// the plumbing: a GoodNodes run must contain detect-phase rounds and
+// MIS-phase rounds annotated with the mark/join/retire cadence.
+func TestPipelinePhaseAnnotations(t *testing.T) {
+	g := gen.Weighted(gen.GNP(120, 0.08, 31), gen.UniformWeights(500), 32)
+	ring := trace.NewRing(0)
+	if _, err := GoodNodes(g, Config{Seed: 3, MIS: mis.Luby{}, Tracer: ring}); err != nil {
+		t.Fatal(err)
+	}
+	labels := map[string]bool{}
+	phases := map[string]bool{}
+	for _, rec := range ring.Rounds() {
+		labels[rec.Label] = true
+		phases[rec.Phase] = true
+	}
+	for _, want := range []string{"goodnodes/detect", "goodnodes/mis"} {
+		if !labels[want] {
+			t.Errorf("missing traced label %q (have %v)", want, labels)
+		}
+	}
+	for _, want := range []string{"mark", "join"} {
+		if !phases[want] {
+			t.Errorf("missing MIS phase annotation %q (have %v)", want, phases)
+		}
+	}
+}
+
+// TestPipelineTraceOffUnchanged pins the zero-overhead contract at the
+// pipeline level: results with and without a tracer are identical.
+func TestPipelineTraceOffUnchanged(t *testing.T) {
+	g := gen.Weighted(gen.GNP(100, 0.07, 41), gen.UniformWeights(300), 42)
+	plain, err := GoodNodes(g, Config{Seed: 5, MIS: mis.Luby{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := GoodNodes(g, Config{Seed: 5, MIS: mis.Luby{}, Tracer: trace.NewRing(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Weight != traced.Weight || plain.Metrics != traced.Metrics {
+		t.Errorf("tracer changed results: %+v vs %+v", plain.Metrics, traced.Metrics)
+	}
+	for v, in := range plain.Set {
+		if in != traced.Set[v] {
+			t.Fatalf("set differs at node %d", v)
+		}
+	}
+}

@@ -112,6 +112,18 @@ const (
 
 func phaseOf(round int) phase { return phase((round-1)%3 + 1) }
 
+// phaseName labels the 3-round iteration cadence for tracing.
+func phaseName(round int) string {
+	switch phaseOf(round) {
+	case phaseMark:
+		return "mark"
+	case phaseJoin:
+		return "join"
+	default:
+		return "retire"
+	}
+}
+
 // parseRetire interprets a mark-slot message as a retirement announcement.
 // Fault-free it is a single bit. Under faults (NodeInfo.Faulty) it carries
 // the sender's joined flag too, so a node that lost the join announcement
@@ -284,6 +296,9 @@ func (p *lubyProcess) broadcastAlive(m *congest.Message) []*congest.Message {
 
 func (p *lubyProcess) Output() any { return p.joined }
 
+// TracePhase implements congest.PhaseLabeler.
+func (p *lubyProcess) TracePhase(round int) string { return phaseName(round) }
+
 // Ghaffari is the desire-level MIS algorithm of Ghaffari [25].
 type Ghaffari struct{}
 
@@ -450,6 +465,9 @@ func (p *ghaffariProcess) broadcastAlive(m *congest.Message) []*congest.Message 
 
 func (p *ghaffariProcess) Output() any { return p.joined }
 
+// TracePhase implements congest.PhaseLabeler.
+func (p *ghaffariProcess) TracePhase(round int) string { return phaseName(round) }
+
 // Rank is the iterated ranking MIS: every iteration each active node draws
 // a fresh uniform rank; strict local maxima join, dominated nodes retire.
 type Rank struct{}
@@ -573,6 +591,9 @@ func (p *rankProcess) broadcastAlive(m *congest.Message) []*congest.Message {
 }
 
 func (p *rankProcess) Output() any { return p.joined }
+
+// TracePhase implements congest.PhaseLabeler.
+func (p *rankProcess) TracePhase(round int) string { return phaseName(round) }
 
 // GreedySequential computes the canonical greedy MIS in identifier order.
 // It is a centralized reference implementation used to validate the

@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// EngineTiming is one engine's cost on a fixed workload.
+type EngineTiming struct {
+	// Engine names the engine ("sequential", "pool", "actors").
+	Engine string
+	// Rounds is the number of synchronous rounds executed.
+	Rounds int
+	// ComputeNanos and DeliveryNanos split the engine's wall-clock into
+	// node-step dispatch and message movement; WallNanos is their sum.
+	ComputeNanos  int64
+	DeliveryNanos int64
+	WallNanos     int64
+}
+
+// EngineStats compares the execution engines on one protocol, graph and
+// seed — the timing baseline perf work is judged against (the executions
+// are identical by construction, so only wall-clock differs). Populated by
+// congest.MeasureEngines.
+type EngineStats struct {
+	// Timings holds one entry per engine, in measurement order.
+	Timings []EngineTiming
+}
+
+// Add appends one engine's measurement.
+func (s *EngineStats) Add(t EngineTiming) { s.Timings = append(s.Timings, t) }
+
+// Speedup returns engine's wall-clock speedup over the first (reference)
+// entry, or 0 if unknown.
+func (s *EngineStats) Speedup(engine string) float64 {
+	if len(s.Timings) == 0 || s.Timings[0].WallNanos == 0 {
+		return 0
+	}
+	for _, t := range s.Timings {
+		if t.Engine == engine && t.WallNanos > 0 {
+			return float64(s.Timings[0].WallNanos) / float64(t.WallNanos)
+		}
+	}
+	return 0
+}
+
+// String renders an aligned comparison table, with speedups relative to
+// the first engine measured.
+func (s *EngineStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %8s %12s %12s %12s %8s\n",
+		"engine", "rounds", "compute", "delivery", "wall", "speedup")
+	for _, t := range s.Timings {
+		speed := "-"
+		if v := s.Speedup(t.Engine); v > 0 {
+			speed = fmt.Sprintf("%.2fx", v)
+		}
+		fmt.Fprintf(&b, "%-12s %8d %12v %12v %12v %8s\n",
+			t.Engine, t.Rounds,
+			time.Duration(t.ComputeNanos), time.Duration(t.DeliveryNanos),
+			time.Duration(t.WallNanos), speed)
+	}
+	return b.String()
+}

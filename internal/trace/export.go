@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteJSONL writes one JSON object per line for each record, the format
+// emitted by `maxis -trace-out file.jsonl` and consumed by ReadJSONL.
+func WriteJSONL(w io.Writer, rounds []Round) error {
+	enc := json.NewEncoder(w)
+	for i := range rounds {
+		if err := enc.Encode(&rounds[i]); err != nil {
+			return fmt.Errorf("trace: jsonl record %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ReadJSONL parses records written by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]Round, error) {
+	dec := json.NewDecoder(r)
+	var out []Round
+	for {
+		var rec Round
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: jsonl record %d: %w", len(out), err)
+		}
+		out = append(out, rec)
+	}
+}
+
+// csvHeader is the column order of WriteCSV.
+var csvHeader = []string{
+	"run", "round", "label", "phase", "messages", "bits", "maxMessageBits",
+	"halts", "faultLost", "faultCorrupted", "faultDuplicated",
+	"computeNanos", "deliveryNanos",
+}
+
+// WriteCSV writes the records as RFC 4180 CSV with a header row.
+func WriteCSV(w io.Writer, rounds []Round) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("trace: csv header: %w", err)
+	}
+	for i, r := range rounds {
+		row := []string{
+			strconv.Itoa(r.Run), strconv.Itoa(r.Round), r.Label, r.Phase,
+			strconv.FormatInt(r.Messages, 10), strconv.FormatInt(r.Bits, 10),
+			strconv.Itoa(r.MaxMessageBits), strconv.Itoa(r.Halts),
+			strconv.FormatInt(r.FaultLost, 10),
+			strconv.FormatInt(r.FaultCorrupted, 10),
+			strconv.FormatInt(r.FaultDuplicated, 10),
+			strconv.FormatInt(r.ComputeNanos, 10),
+			strconv.FormatInt(r.DeliveryNanos, 10),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: csv record %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

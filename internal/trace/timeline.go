@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// PhaseTotal aggregates all rounds sharing one (run label, protocol phase)
+// pair, in first-appearance order — the per-phase cost breakdown the
+// paper's phase-structured round bounds (Algorithms 1 and 6) talk about.
+type PhaseTotal struct {
+	// Label is the orchestrator phase label; Phase the protocol stage.
+	Label string
+	Phase string
+	// Rounds, Messages, Bits and MaxMessageBits total the group.
+	Rounds         int
+	Messages       int64
+	Bits           int64
+	MaxMessageBits int
+	// ComputeNanos and DeliveryNanos total the group's wall-clock.
+	ComputeNanos  int64
+	DeliveryNanos int64
+}
+
+// Key renders the group identity as "label:phase" (omitting empty parts).
+func (p PhaseTotal) Key() string {
+	switch {
+	case p.Label == "":
+		return p.Phase
+	case p.Phase == "":
+		return p.Label
+	default:
+		return p.Label + ":" + p.Phase
+	}
+}
+
+// HistBucket is one bin of a bits-per-round histogram: rounds whose bit
+// total b satisfies Lo <= b < Hi (the zero bucket has Lo = Hi = 0).
+type HistBucket struct {
+	Lo, Hi int64
+	Count  int
+}
+
+// Timeline is the summarized view of a trace: ordered per-phase totals,
+// run-wide aggregates, and a round-over-round bit histogram.
+type Timeline struct {
+	// Totals holds one entry per (label, phase) group in first-appearance
+	// order.
+	Totals []PhaseTotal
+	// Rounds, Messages and Bits aggregate every record summarized.
+	Rounds   int
+	Messages int64
+	Bits     int64
+	// MaxMessageBits is the largest single message across all records.
+	MaxMessageBits int
+	// ComputeNanos and DeliveryNanos total the engine wall-clock split.
+	ComputeNanos  int64
+	DeliveryNanos int64
+	// BitsHist bins rounds by their bit totals in power-of-two buckets
+	// (first bucket: silent rounds).
+	BitsHist []HistBucket
+}
+
+// Summarize folds round records into a Timeline. Records must be in
+// chronological order, as returned by Ring.Rounds.
+func Summarize(rounds []Round) *Timeline {
+	tl := &Timeline{}
+	idx := map[[2]string]int{}
+	var maxBits int64
+	for _, r := range rounds {
+		key := [2]string{r.Label, r.Phase}
+		i, ok := idx[key]
+		if !ok {
+			i = len(tl.Totals)
+			idx[key] = i
+			tl.Totals = append(tl.Totals, PhaseTotal{Label: r.Label, Phase: r.Phase})
+		}
+		pt := &tl.Totals[i]
+		pt.Rounds++
+		pt.Messages += r.Messages
+		pt.Bits += r.Bits
+		if r.MaxMessageBits > pt.MaxMessageBits {
+			pt.MaxMessageBits = r.MaxMessageBits
+		}
+		pt.ComputeNanos += r.ComputeNanos
+		pt.DeliveryNanos += r.DeliveryNanos
+
+		tl.Rounds++
+		tl.Messages += r.Messages
+		tl.Bits += r.Bits
+		if r.MaxMessageBits > tl.MaxMessageBits {
+			tl.MaxMessageBits = r.MaxMessageBits
+		}
+		tl.ComputeNanos += r.ComputeNanos
+		tl.DeliveryNanos += r.DeliveryNanos
+		if r.Bits > maxBits {
+			maxBits = r.Bits
+		}
+	}
+	tl.BitsHist = bitsHistogram(rounds, maxBits)
+	return tl
+}
+
+// bitsHistogram bins rounds by bit totals: a zero bucket, then
+// [2^k, 2^(k+1)) buckets up to the observed maximum.
+func bitsHistogram(rounds []Round, maxBits int64) []HistBucket {
+	if len(rounds) == 0 {
+		return nil
+	}
+	buckets := []HistBucket{{Lo: 0, Hi: 0}}
+	for lo := int64(1); lo <= maxBits; lo *= 2 {
+		buckets = append(buckets, HistBucket{Lo: lo, Hi: lo * 2})
+	}
+	for _, r := range rounds {
+		if r.Bits == 0 {
+			buckets[0].Count++
+			continue
+		}
+		i := 1
+		for lo := int64(1); lo*2 <= r.Bits; lo *= 2 {
+			i++
+		}
+		buckets[i].Count++
+	}
+	return buckets
+}
+
+// String renders the timeline as an aligned text table followed by the
+// histogram — the `maxis -trace` output.
+func (tl *Timeline) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline: %d rounds, %d messages, %d bits, compute %v, delivery %v\n",
+		tl.Rounds, tl.Messages, tl.Bits,
+		time.Duration(tl.ComputeNanos), time.Duration(tl.DeliveryNanos))
+	width := len("phase")
+	for _, pt := range tl.Totals {
+		if l := len(pt.Key()); l > width {
+			width = l
+		}
+	}
+	fmt.Fprintf(&b, "  %-*s %8s %12s %14s %8s %12s\n", width, "phase", "rounds", "messages", "bits", "bits/rnd", "compute")
+	for _, pt := range tl.Totals {
+		perRound := int64(0)
+		if pt.Rounds > 0 {
+			perRound = pt.Bits / int64(pt.Rounds)
+		}
+		fmt.Fprintf(&b, "  %-*s %8d %12d %14d %8d %12v\n",
+			width, pt.Key(), pt.Rounds, pt.Messages, pt.Bits, perRound,
+			time.Duration(pt.ComputeNanos))
+	}
+	if len(tl.BitsHist) > 0 {
+		b.WriteString("  bits/round histogram:\n")
+		peak := 0
+		for _, h := range tl.BitsHist {
+			if h.Count > peak {
+				peak = h.Count
+			}
+		}
+		for _, h := range tl.BitsHist {
+			label := "0"
+			if h.Hi > 0 {
+				label = fmt.Sprintf("[%d,%d)", h.Lo, h.Hi)
+			}
+			bar := ""
+			if peak > 0 {
+				bar = strings.Repeat("#", h.Count*40/peak)
+			}
+			fmt.Fprintf(&b, "    %-22s %6d %s\n", label, h.Count, bar)
+		}
+	}
+	return b.String()
+}
