@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race fuzz experiments clean
+.PHONY: all vet build test race fuzz experiments recovery-sweep clean
 
 all: vet build test
 
@@ -22,9 +22,15 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzWriteReadMirror -fuzztime=10s ./internal/wire/
 	$(GO) test -run='^$$' -fuzz=FuzzChecksumBurst -fuzztime=10s ./internal/wire/
 	$(GO) test -run='^$$' -fuzz=FuzzInjectorCorruptDetect -fuzztime=10s ./internal/fault/
+	$(GO) test -run='^$$' -fuzz=FuzzEngineFaultDeterminism -fuzztime=10s ./internal/fault/
 
 experiments:
 	$(GO) run ./cmd/experiments -o EXPERIMENTS.md
+
+# E20: reliable-transport recovery sweep (retention and overhead vs the
+# passive fault layer on the E18 grid).
+recovery-sweep:
+	$(GO) run ./cmd/experiments -run E20
 
 clean:
 	$(GO) clean ./...

@@ -55,7 +55,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		faultDup     = fs.Float64("fault-dup", 0, "per-message duplication probability")
 		faultCorrupt = fs.Float64("fault-corrupt", 0, "per-message corruption probability (detected via CRC-8)")
 		faultCrash   = fs.Float64("fault-crash", 0, "fraction of nodes crash-stopped at round 3 of each phase")
+		faultBack    = fs.Int("fault-back", 0, "round crashed nodes recover at (0 = crash-stop)")
 		faultSeed    = fs.Uint64("fault-seed", 0, "adversary seed (0 = derive from -seed)")
+
+		reliableOn = fs.Bool("reliable", false, "install the ARQ transport: retransmit lost/corrupted messages until the execution matches the fault-free run")
+		cpEvery    = fs.Int("checkpoint-every", 0, "with -reliable, snapshot process state every N logical rounds so crash-recovered nodes resync by replay")
+		repair     = fs.Bool("repair", false, "run the self-healing monitor on the final set: conflicting edges withdraw their lower-weight endpoint")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -103,12 +108,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Corrupt:   *faultCorrupt,
 		CrashFrac: *faultCrash,
 		CrashAt:   3,
+		CrashBack: *faultBack,
 	}
 	if sched.Seed == 0 {
 		sched.Seed = *seed + 77
 	}
 	var stats fault.Stats
-	if err := sched.Validate(); err != nil {
+	if err := sched.ValidateFor(g.N()); err != nil {
 		fmt.Fprintf(stderr, "maxis: %v\n", err)
 		return 1
 	}
@@ -116,6 +122,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cfg.Faults = sched
 		cfg.FaultStats = &stats
 	}
+	cfg.Reliable = *reliableOn
+	cfg.CheckpointEvery = *cpEvery
+	cfg.Repair = *repair
 
 	fmt.Fprintf(stdout, "graph: %s  n=%d m=%d Δ=%d W=%d w(V)=%d\n",
 		*graphKind, g.N(), g.M(), g.MaxDegree(), g.MaxWeight(), g.TotalWeight())
@@ -148,6 +157,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "faults: lost=%d corrupted=%d duplicated=%d truncatedPhases=%d\n",
 			res.Metrics.FaultLost, res.Metrics.FaultCorrupted, res.Metrics.FaultDuplicated,
 			res.Metrics.Truncations)
+		if *reliableOn {
+			fmt.Fprintf(stdout, "transport: retransmits=%d acks=%d recoveries=%d replayedRounds=%d deadPorts=%d\n",
+				res.Metrics.Retransmits, res.Metrics.TransportAcks,
+				res.Metrics.Recoveries, res.Metrics.ReplayedRounds, res.Metrics.DeadPorts)
+		}
 		fmt.Fprintf(stdout, "safety: independent=%t weight=%d fault-free=%d retention=%.3f\n",
 			rep.Independent, rep.Weight, rep.Baseline, rep.Retention)
 		if err := rep.Err(); err != nil {

@@ -1,0 +1,41 @@
+package coloring
+
+// Checkpoint/Restore implement the reliable transport's Checkpointer
+// interface (internal/reliable) for the coloring processes: a snapshot is a
+// value copy of the process struct with its mutable slices deep-copied, and
+// Restore copies back out of the snapshot so the same snapshot can serve
+// repeated crashes. Read-only configuration slices shared across nodes
+// (succPorts, colors) stay shared. The embedded NodeInfo's Rand pointer
+// also deliberately stays shared — the transport snapshots and restores the
+// underlying randomness stream itself.
+
+func (p *coleVishkin) Checkpoint() any {
+	s := *p
+	return &s
+}
+
+func (p *coleVishkin) Restore(state any) {
+	*p = *state.(*coleVishkin)
+}
+
+func (p *greedyColour) Checkpoint() any {
+	s := *p
+	s.taken = append([]bool(nil), p.taken...)
+	return &s
+}
+
+func (p *greedyColour) Restore(state any) {
+	s := state.(*greedyColour)
+	taken := append([]bool(nil), s.taken...)
+	*p = *s
+	p.taken = taken
+}
+
+func (p *colourClassMIS) Checkpoint() any {
+	s := *p
+	return &s
+}
+
+func (p *colourClassMIS) Restore(state any) {
+	*p = *state.(*colourClassMIS)
+}

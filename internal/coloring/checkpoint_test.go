@@ -1,0 +1,33 @@
+package coloring
+
+import (
+	"testing"
+
+	"distmwis/internal/reliable"
+)
+
+// The coloring processes must satisfy the reliable transport's
+// Checkpointer interface so crash recovery can snapshot them.
+var (
+	_ reliable.Checkpointer = (*coleVishkin)(nil)
+	_ reliable.Checkpointer = (*greedyColour)(nil)
+	_ reliable.Checkpointer = (*colourClassMIS)(nil)
+)
+
+func TestCheckpointIsolation(t *testing.T) {
+	p := &greedyColour{taken: []bool{true, false}, colour: 3, proposal: 1}
+	snap := p.Checkpoint()
+	p.taken[1] = true
+	p.colour = 7
+	p.Restore(snap)
+	if p.colour != 3 || p.taken[1] {
+		t.Errorf("restore did not rewind state: %+v", p)
+	}
+	// Mutating after restore must not corrupt the snapshot for a second
+	// restore.
+	p.taken[0] = false
+	p.Restore(snap)
+	if !p.taken[0] {
+		t.Error("snapshot aliased live state")
+	}
+}

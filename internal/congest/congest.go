@@ -163,6 +163,22 @@ type Result struct {
 	// FaultDuplicated counts duplicate copies placed into inboxes by the
 	// fault layer (a fresh message on the same port overwrites the copy).
 	FaultDuplicated int64
+	// Retransmits counts data frames re-sent by the reliable transport
+	// (WithReliable); zero without one.
+	Retransmits int64
+	// TransportAcks counts the transport's pure control frames (standalone
+	// ACKs and keep-alive pokes). These frames are also included in
+	// Messages and Bits.
+	TransportAcks int64
+	// Recoveries counts checkpoint-restore crash recoveries performed by
+	// the transport.
+	Recoveries int64
+	// ReplayedRounds counts logical rounds re-executed from receive logs
+	// during those recoveries.
+	ReplayedRounds int64
+	// DeadPorts counts transport ports whose failure detector gave up on
+	// the far end.
+	DeadPorts int64
 }
 
 // Engine selects how node steps are executed. All engines produce
@@ -196,6 +212,7 @@ type config struct {
 	hook            DeliveryHook
 	tracer          trace.Tracer
 	traceLabel      string
+	reliable        Reliability
 }
 
 // Option configures Run.
@@ -303,7 +320,13 @@ func Run(g *graph.Graph, newProcess func() Process, opts ...Option) (*Result, er
 		maxID = 1
 	}
 
-	sim := &simulator{g: g, cfg: cfg, bandwidth: bandwidth}
+	sim := &simulator{g: g, cfg: cfg, bandwidth: bandwidth, physBandwidth: bandwidth}
+	if cfg.reliable != nil && bandwidth > 0 {
+		// Transport framing (seq/ack headers) rides above the CONGEST bound:
+		// inner processes still budget against B, physical frames may carry
+		// the exact header on top. See Reliability.HeaderBits.
+		sim.physBandwidth = bandwidth + cfg.reliable.HeaderBits()
+	}
 	sim.procs = make([]Process, n)
 	sim.done = make([]bool, n)
 	sim.inbox = make([][]*Message, n)
@@ -313,7 +336,11 @@ func Run(g *graph.Graph, newProcess func() Process, opts ...Option) (*Result, er
 		deg := g.Degree(v)
 		sim.inbox[v] = make([]*Message, deg)
 		sim.nextInbox[v] = make([]*Message, deg)
-		sim.procs[v] = newProcess()
+		proc := newProcess()
+		if cfg.reliable != nil {
+			proc = cfg.reliable.Wrap(proc)
+		}
+		sim.procs[v] = proc
 		sim.procs[v].Init(NodeInfo{
 			Index:     v,
 			ID:        g.ID(v),
@@ -335,6 +362,9 @@ type simulator struct {
 	g           *graph.Graph
 	cfg         config
 	bandwidth   int
+	// physBandwidth is the enforced per-frame limit: bandwidth plus the
+	// reliable transport's header headroom (equal to bandwidth without one).
+	physBandwidth int
 	procs       []Process
 	done        []bool
 	inbox       [][]*Message
@@ -372,6 +402,23 @@ func (s *simulator) run() (*Result, error) {
 	n := s.g.N()
 	live := n
 	s.res.Bandwidth = s.bandwidth
+	// Transport counters are cumulative per Reliability instance; snapshot a
+	// base so Result reports this run's deltas even if the instance is shared.
+	var relBase ReliabilityCounters
+	if s.cfg.reliable != nil {
+		relBase = s.cfg.reliable.Counters()
+	}
+	finishReliable := func() {
+		if s.cfg.reliable == nil {
+			return
+		}
+		c := s.cfg.reliable.Counters()
+		s.res.Retransmits = c.Retransmits - relBase.Retransmits
+		s.res.TransportAcks = c.AckFrames - relBase.AckFrames
+		s.res.Recoveries = c.Recoveries - relBase.Recoveries
+		s.res.ReplayedRounds = c.ReplayedRounds - relBase.ReplayedRounds
+		s.res.DeadPorts = c.DeadPorts - relBase.DeadPorts
+	}
 	outboxes := make([][]*Message, n)
 	doneNow := make([]bool, n)
 	errs := make([]error, n)
@@ -388,10 +435,10 @@ func (s *simulator) run() (*Result, error) {
 			errs[v] = fmt.Errorf("congest: node %d sent on %d ports but has degree %d", v, len(send), s.g.Degree(v))
 			return
 		}
-		if s.bandwidth > 0 {
+		if s.physBandwidth > 0 {
 			for p, m := range send {
-				if m != nil && m.bitN > s.bandwidth {
-					errs[v] = fmt.Errorf("congest: node %d port %d message of %d bits exceeds bandwidth %d", v, p, m.bitN, s.bandwidth)
+				if m != nil && m.bitN > s.physBandwidth {
+					errs[v] = fmt.Errorf("congest: node %d port %d message of %d bits exceeds bandwidth %d", v, p, m.bitN, s.physBandwidth)
 					return
 				}
 			}
@@ -459,6 +506,7 @@ func (s *simulator) run() (*Result, error) {
 		}
 		if round > s.cfg.maxRounds {
 			s.res.Truncated = true
+			finishReliable()
 			s.collectOutputs()
 			partial := s.res
 			return nil, &TruncationError{Limit: s.cfg.maxRounds, Partial: &partial}
@@ -566,6 +614,10 @@ func (s *simulator) run() (*Result, error) {
 		s.inbox, s.nextInbox = s.nextInbox, s.inbox
 
 		if tr != nil {
+			var retransmitsNow int64
+			if s.cfg.reliable != nil {
+				retransmitsNow = s.cfg.reliable.Counters().Retransmits
+			}
 			rec := trace.Round{
 				Run:             runIdx,
 				Round:           round,
@@ -577,6 +629,7 @@ func (s *simulator) run() (*Result, error) {
 				FaultLost:       s.res.FaultLost - prev.lost,
 				FaultCorrupted:  s.res.FaultCorrupted - prev.corrupted,
 				FaultDuplicated: s.res.FaultDuplicated - prev.duplicated,
+				Retransmits:     retransmitsNow - prev.retransmits,
 				ComputeNanos:    computeN,
 				DeliveryNanos:   time.Since(phaseT0).Nanoseconds(),
 			}
@@ -587,6 +640,7 @@ func (s *simulator) run() (*Result, error) {
 		}
 	}
 
+	finishReliable()
 	s.collectOutputs()
 	out := s.res
 	return &out, nil

@@ -34,16 +34,17 @@ type PhaseLabeler interface {
 // traceCounters snapshots the running aggregates at the top of a round so
 // the tracer can record per-round deltas.
 type traceCounters struct {
-	messages   int64
-	bits       int64
-	lost       int64
-	corrupted  int64
-	duplicated int64
-	live       int
+	messages    int64
+	bits        int64
+	lost        int64
+	corrupted   int64
+	duplicated  int64
+	retransmits int64
+	live        int
 }
 
 func (s *simulator) snapshotCounters(live int) traceCounters {
-	return traceCounters{
+	c := traceCounters{
 		messages:   s.res.Messages,
 		bits:       s.res.Bits,
 		lost:       s.res.FaultLost,
@@ -51,6 +52,12 @@ func (s *simulator) snapshotCounters(live int) traceCounters {
 		duplicated: s.res.FaultDuplicated,
 		live:       live,
 	}
+	if s.cfg.reliable != nil {
+		// Raw cumulative value: the per-round delta subtracts two snapshots,
+		// so the run-start base cancels.
+		c.retransmits = s.cfg.reliable.Counters().Retransmits
+	}
+	return c
 }
 
 // engineName maps a resolved engine to its trace name.

@@ -37,6 +37,14 @@ type Accumulator struct {
 	FaultLost       int64
 	FaultCorrupted  int64
 	FaultDuplicated int64
+	// Retransmits, TransportAcks, Recoveries, ReplayedRounds and DeadPorts
+	// total the reliable transport's work across phases (zero when the
+	// transport is not installed).
+	Retransmits    int64
+	TransportAcks  int64
+	Recoveries     int64
+	ReplayedRounds int64
+	DeadPorts      int64
 }
 
 // Absorb adds one congest execution's metrics.
@@ -54,6 +62,11 @@ func (a *Accumulator) Absorb(res *congest.Result) {
 	a.FaultLost += res.FaultLost
 	a.FaultCorrupted += res.FaultCorrupted
 	a.FaultDuplicated += res.FaultDuplicated
+	a.Retransmits += res.Retransmits
+	a.TransportAcks += res.TransportAcks
+	a.Recoveries += res.Recoveries
+	a.ReplayedRounds += res.ReplayedRounds
+	a.DeadPorts += res.DeadPorts
 }
 
 // AddRounds accounts constant-round bookkeeping (e.g. a one-round exchange
@@ -74,6 +87,11 @@ func (a *Accumulator) Add(b Accumulator) {
 	a.FaultLost += b.FaultLost
 	a.FaultCorrupted += b.FaultCorrupted
 	a.FaultDuplicated += b.FaultDuplicated
+	a.Retransmits += b.Retransmits
+	a.TransportAcks += b.TransportAcks
+	a.Recoveries += b.Recoveries
+	a.ReplayedRounds += b.ReplayedRounds
+	a.DeadPorts += b.DeadPorts
 }
 
 func (a Accumulator) String() string {

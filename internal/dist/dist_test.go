@@ -11,17 +11,24 @@ import (
 
 func TestAccumulatorAbsorbAndAdd(t *testing.T) {
 	var a Accumulator
-	a.Absorb(&congest.Result{Rounds: 5, Messages: 10, Bits: 100, MaxMessageBits: 12})
+	a.Absorb(&congest.Result{Rounds: 5, Messages: 10, Bits: 100, MaxMessageBits: 12,
+		Retransmits: 7, TransportAcks: 4, Recoveries: 1, ReplayedRounds: 3, DeadPorts: 2})
 	a.Absorb(&congest.Result{Rounds: 3, Messages: 2, Bits: 20, MaxMessageBits: 30})
 	a.AddRounds(2)
 	if a.Rounds != 10 || a.Messages != 12 || a.Bits != 120 || a.MaxMessageBits != 30 || a.Phases != 2 {
 		t.Errorf("accumulator wrong: %+v", a)
+	}
+	if a.Retransmits != 7 || a.TransportAcks != 4 || a.Recoveries != 1 || a.ReplayedRounds != 3 || a.DeadPorts != 2 {
+		t.Errorf("transport counters not absorbed: %+v", a)
 	}
 	var b Accumulator
 	b.Add(a)
 	b.Add(a)
 	if b.Rounds != 20 || b.Phases != 4 || b.MaxMessageBits != 30 {
 		t.Errorf("Add wrong: %+v", b)
+	}
+	if b.Retransmits != 14 || b.TransportAcks != 8 || b.Recoveries != 2 || b.ReplayedRounds != 6 || b.DeadPorts != 4 {
+		t.Errorf("transport counters not merged: %+v", b)
 	}
 	if b.String() == "" {
 		t.Error("empty String()")

@@ -22,4 +22,5 @@ var registry = map[string]entry{
 	"E17": {title: "Communication profile / CONGEST compliance", run: runE17},
 	"E18": {title: "Graceful degradation under fault injection", run: runE18},
 	"E19": {title: "Round-resolved bit profiles (trace layer)", run: runE19},
+	"E20": {title: "Reliable transport vs passive degradation (recovery sweep)", run: runE20},
 }

@@ -101,13 +101,43 @@ func (s Schedule) Validate() error {
 	if err := check("crash-fraction", s.CrashFrac); err != nil {
 		return err
 	}
+	seen := make(map[int]bool, len(s.Crashes))
 	for _, c := range s.Crashes {
+		if c.Node < 0 {
+			return fmt.Errorf("fault: crash names negative node %d", c.Node)
+		}
+		if c.At < 0 {
+			return fmt.Errorf("fault: crash of node %d at negative round %d", c.Node, c.At)
+		}
 		if c.Back != 0 && c.Back <= c.At {
 			return fmt.Errorf("fault: crash of node %d recovers at round %d, not after its crash round %d", c.Node, c.Back, c.At)
 		}
+		if seen[c.Node] {
+			return fmt.Errorf("fault: node %d has more than one crash entry", c.Node)
+		}
+		seen[c.Node] = true
+	}
+	if s.CrashAt < 0 {
+		return fmt.Errorf("fault: crash round %d is negative", s.CrashAt)
 	}
 	if s.CrashBack != 0 && s.CrashBack <= s.CrashAt {
 		return fmt.Errorf("fault: crash recovery round %d not after crash round %d", s.CrashBack, s.CrashAt)
+	}
+	return nil
+}
+
+// ValidateFor runs Validate and additionally rejects crash entries naming
+// nodes outside [0, n). Callers that know the graph size should prefer it:
+// an out-of-range crash entry silently never fires, which almost always
+// means a typo in the schedule rather than intent.
+func (s Schedule) ValidateFor(n int) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	for _, c := range s.Crashes {
+		if c.Node >= n {
+			return fmt.Errorf("fault: crash names node %d, but the graph has only %d nodes", c.Node, n)
+		}
 	}
 	return nil
 }

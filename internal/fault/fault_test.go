@@ -187,6 +187,32 @@ func TestValidate(t *testing.T) {
 	if err := (Schedule{Loss: 0.5, Dup: 1, CrashAt: 2, CrashBack: 3}).Validate(); err != nil {
 		t.Errorf("rejected valid schedule: %v", err)
 	}
+	if err := (Schedule{Crashes: []Crash{{Node: -1, At: 2}}}).Validate(); err == nil {
+		t.Error("accepted negative crash node")
+	}
+	if err := (Schedule{Crashes: []Crash{{Node: 0, At: -3}}}).Validate(); err == nil {
+		t.Error("accepted negative crash round")
+	}
+	if err := (Schedule{Crashes: []Crash{{Node: 2, At: 1}, {Node: 2, At: 5}}}).Validate(); err == nil {
+		t.Error("accepted duplicate crash entries for one node")
+	}
+	if err := (Schedule{CrashAt: -1}).Validate(); err == nil {
+		t.Error("accepted negative global crash round")
+	}
+}
+
+func TestValidateFor(t *testing.T) {
+	s := Schedule{Crashes: []Crash{{Node: 7, At: 2}}}
+	if err := s.ValidateFor(8); err != nil {
+		t.Errorf("rejected in-range crash node: %v", err)
+	}
+	if err := s.ValidateFor(7); err == nil {
+		t.Error("accepted out-of-range crash node")
+	}
+	// ValidateFor must also run the plain checks.
+	if err := (Schedule{Loss: 2}).ValidateFor(10); err == nil {
+		t.Error("ValidateFor skipped probability checks")
+	}
 }
 
 func TestScheduleEnabled(t *testing.T) {

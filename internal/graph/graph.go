@@ -372,6 +372,19 @@ func SetSize(set []bool) int {
 	return n
 }
 
+// SameSet reports whether two node sets have identical membership.
+func SameSet(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for v := range a {
+		if a[v] != b[v] {
+			return false
+		}
+	}
+	return true
+}
+
 // Components returns the connected components as a component index per node
 // and the number of components.
 func (g *Graph) Components() (comp []int32, count int) {

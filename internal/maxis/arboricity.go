@@ -137,7 +137,7 @@ func Arboricity(g *graph.Graph, alpha int, eps float64, inner Inner, cfg Config)
 		}
 	}
 	set := PopStack(g, stack, &acc)
-	res, err := finish(g, set, acc, "arboricity", map[string]float64{
+	res, err := finish(g, set, cfg, acc, "arboricity", map[string]float64{
 		"alpha":       float64(alpha),
 		"phases":      float64(phases),
 		"stack_value": float64(stackValue),

@@ -83,7 +83,7 @@ func BarYehuda(g *graph.Graph, cfg Config) (*Result, error) {
 		}
 	}
 	set := PopStack(g, stack, &acc)
-	res, err := finish(g, set, acc, "bar-yehuda", map[string]float64{
+	res, err := finish(g, set, cfg, acc, "bar-yehuda", map[string]float64{
 		"scales":      float64(scales),
 		"stack_value": float64(stackValue),
 		"log_w":       float64(bits.Len64(uint64(maxW))),

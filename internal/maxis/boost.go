@@ -42,7 +42,7 @@ func Boost(g *graph.Graph, eps float64, inner Inner, cfg Config) (*BoostResult, 
 	if err != nil {
 		return nil, err
 	}
-	res, err := finish(g, set, acc, "boost("+inner.Name()+")", map[string]float64{
+	res, err := finish(g, set, cfg, acc, "boost("+inner.Name()+")", map[string]float64{
 		"stack_value": float64(stackValue),
 		"phases":      float64(phases),
 	})

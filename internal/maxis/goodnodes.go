@@ -22,7 +22,7 @@ func GoodNodes(g *graph.Graph, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return finish(g, set, acc, "goodnodes", nil)
+	return finish(g, set, cfg, acc, "goodnodes", nil)
 }
 
 // goodNodesRun is the reusable core shared with the sparsified pipeline and

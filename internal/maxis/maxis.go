@@ -34,6 +34,7 @@ import (
 	"distmwis/internal/fault"
 	"distmwis/internal/graph"
 	"distmwis/internal/mis"
+	"distmwis/internal/reliable"
 	"distmwis/internal/trace"
 )
 
@@ -89,6 +90,25 @@ type Config struct {
 	// FaultStats, if non-nil, accumulates the injectors' counters across
 	// all phases of the run.
 	FaultStats *fault.Stats
+	// Reliable installs the ARQ transport of internal/reliable on every
+	// protocol phase. Under any message-fault schedule with Loss, Dup and
+	// Corrupt below 1 the logical execution is then bit-identical to the
+	// fault-free run (at the cost of extra physical rounds and header
+	// bits); combined with CheckpointEvery it also recovers
+	// crash-recovery faults exactly.
+	Reliable bool
+	// CheckpointEvery, when positive with Reliable, snapshots each
+	// process every that-many logical rounds so a crashed-and-recovered
+	// node resynchronises by replay instead of staying frozen.
+	CheckpointEvery int
+	// Repair runs the self-healing monitor (reliable.Repair) on the final
+	// set before the independence check: under crash-stop schedules even
+	// the reliable transport cannot extract information from a dead
+	// neighbour, and passive (non-reliable) fault runs can leave
+	// conflicting joins. The monitor deterministically withdraws the
+	// lower-weight endpoint of every conflicting edge. Repaired runs
+	// report repair_conflicts/repair_withdrawn_weight in Result.Extra.
+	Repair bool
 	// Tracer, if non-nil, receives per-round records from every protocol
 	// phase of the run (see internal/trace). Algorithms label their phases
 	// at natural stage boundaries ("goodnodes/mis", "push/...", "scale"),
@@ -185,6 +205,20 @@ func (c Config) opts(phaseSeed uint64) []congest.Option {
 		}
 		out = append(out, congest.WithFaults(inj), congest.WithHardStop(c.Faults.HardStop(c.NUpper)))
 	}
+	if c.Reliable {
+		// Retransmission stretches a logical round over several physical
+		// rounds, so the phase budget grows accordingly; the round bound
+		// sizes the transport's sequence-number fields and caps runaway
+		// inner executions under crash-stop.
+		hs := c.Faults.HardStop(c.NUpper)
+		out = append(out, congest.WithReliable(reliable.New(reliable.Options{
+			RoundBound:      16 * hs,
+			CheckpointEvery: c.CheckpointEvery,
+		})))
+		if c.Faults.Enabled() {
+			out = append(out, congest.WithHardStop(16*hs))
+		}
+	}
 	return out
 }
 
@@ -208,8 +242,22 @@ func verifyIndependent(g *graph.Graph, set []bool, alg string) error {
 	return nil
 }
 
-// finish assembles a Result and validates independence.
-func finish(g *graph.Graph, set []bool, acc dist.Accumulator, alg string, extra map[string]float64) (*Result, error) {
+// finish assembles a Result and validates independence. With cfg.Repair the
+// self-healing monitor first withdraws the lower-weight endpoint of every
+// conflicting edge, so fault runs whose degraded execution broke
+// independence still return a safe set (annotated in Extra) instead of an
+// error.
+func finish(g *graph.Graph, set []bool, cfg Config, acc dist.Accumulator, alg string, extra map[string]float64) (*Result, error) {
+	if cfg.Repair {
+		if rep := reliable.Repair(g, set); rep.Conflicts > 0 {
+			if extra == nil {
+				extra = make(map[string]float64)
+			}
+			extra["repair_conflicts"] = float64(rep.Conflicts)
+			extra["repair_withdrawn"] = float64(rep.Withdrawn)
+			extra["repair_withdrawn_weight"] = float64(rep.WithdrawnWeight)
+		}
+	}
 	if err := verifyIndependent(g, set, alg); err != nil {
 		return nil, err
 	}

@@ -46,14 +46,14 @@ func PlanarConstantRound(g *graph.Graph, cfg Config) (*Result, error) {
 	sub := g.Induce(low)
 	acc.AddRounds(1)
 	if sub.G.N() == 0 {
-		return finish(g, make([]bool, g.N()), acc, "planar-constant", nil)
+		return finish(g, make([]bool, g.N()), cfg, acc, "planar-constant", nil)
 	}
 	set, err := rankingRun(sub.G, 2, cfg, seeds, &acc)
 	if err != nil {
 		return nil, err
 	}
 	lifted := sub.LiftSet(set)
-	return finish(g, lifted, acc, "planar-constant", map[string]float64{
+	return finish(g, lifted, cfg, acc, "planar-constant", map[string]float64{
 		"low_degree_nodes": float64(sub.G.N()),
 		"size_bound":       float64(sub.G.N()) / (8 * float64(planarDegreeCap+1)),
 	})

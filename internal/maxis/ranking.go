@@ -28,7 +28,7 @@ func Ranking(g *graph.Graph, c int, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return finish(g, set, acc, "ranking", map[string]float64{
+	return finish(g, set, cfg, acc, "ranking", map[string]float64{
 		"rank_bits": float64(rankBits(cfg.NUpper, c)),
 	})
 }

@@ -1,0 +1,63 @@
+package maxis
+
+import (
+	"testing"
+
+	"distmwis/internal/fault"
+	"distmwis/internal/graph/gen"
+)
+
+// TestReliableRecoversFaultFreeWeight pins the PR's headline guarantee at
+// the pipeline level: with the ARQ transport installed, a lossy/corrupting
+// schedule yields the exact fault-free execution, so the returned set (not
+// just its weight) matches the fault-free run. Passive fault mode has no
+// such guarantee — it merely degrades gracefully.
+func TestReliableRecoversFaultFreeWeight(t *testing.T) {
+	g := gen.Weighted(gen.GNP(256, 8.0/256, 5), gen.PolyWeights(2), 6)
+	base, err := GoodNodes(g, Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := GoodNodes(g, Config{
+		Seed:     7,
+		Faults:   fault.Schedule{Seed: 1, Loss: 0.2, Corrupt: 0.1},
+		Reliable: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Weight < (base.Weight*99+99)/100 {
+		t.Fatalf("reliable run recovered %d of fault-free weight %d (<99%%)", rel.Weight, base.Weight)
+	}
+	for v := range base.Set {
+		if base.Set[v] != rel.Set[v] {
+			t.Fatalf("reliable run diverged from fault-free run at node %d", v)
+		}
+	}
+	if rel.Metrics.Retransmits == 0 {
+		t.Error("lossy schedule but no retransmissions recorded")
+	}
+	if rel.Metrics.DeadPorts != 0 {
+		t.Errorf("message-fault-only schedule declared %d ports dead", rel.Metrics.DeadPorts)
+	}
+}
+
+// TestRepairHealsPassiveFaultRun: under a crash-stop schedule the passive
+// fault mode may return conflicting joins, which finish() normally rejects;
+// with cfg.Repair the monitor withdraws the lower-weight endpoints and the
+// run succeeds with a safe set.
+func TestRepairHealsPassiveFaultRun(t *testing.T) {
+	g := gen.Weighted(gen.GNP(128, 0.08, 15), gen.PolyWeights(1), 16)
+	cfg := Config{
+		Seed:   11,
+		Faults: fault.Schedule{Seed: 3, Loss: 0.3, Corrupt: 0.2, CrashFrac: 0.2, CrashAt: 2},
+		Repair: true,
+	}
+	res, err := GoodNodes(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsIndependentSet(res.Set) {
+		t.Fatal("repaired set not independent")
+	}
+}

@@ -30,7 +30,7 @@ func Sparsified(g *graph.Graph, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return finish(g, set, acc, "sparsified", ext)
+	return finish(g, set, cfg, acc, "sparsified", ext)
 }
 
 func sparsifiedRun(g *graph.Graph, cfg Config, seeds *seedSeq, acc *dist.Accumulator) ([]bool, map[string]float64, error) {

@@ -1,0 +1,68 @@
+package mis
+
+// Checkpoint/Restore implement the reliable transport's Checkpointer
+// interface (internal/reliable) for every MIS process: a snapshot is a
+// value copy of the process struct with its slices deep-copied, and Restore
+// copies back out of the snapshot so the same snapshot can serve repeated
+// crashes. The embedded NodeInfo is copied by value too; its Rand pointer
+// deliberately stays shared — the transport snapshots and restores the
+// underlying randomness stream itself (it substitutes a serializable PCG
+// when checkpointing is on), so duplicating it here would double-restore.
+
+func (p *lubyProcess) Checkpoint() any {
+	s := *p
+	s.alive = append([]bool(nil), p.alive...)
+	return &s
+}
+
+func (p *lubyProcess) Restore(state any) {
+	s := state.(*lubyProcess)
+	alive := append([]bool(nil), s.alive...)
+	*p = *s
+	p.alive = alive
+}
+
+func (p *ghaffariProcess) Checkpoint() any {
+	s := *p
+	s.alive = append([]bool(nil), p.alive...)
+	return &s
+}
+
+func (p *ghaffariProcess) Restore(state any) {
+	s := state.(*ghaffariProcess)
+	alive := append([]bool(nil), s.alive...)
+	*p = *s
+	p.alive = alive
+}
+
+func (p *rankProcess) Checkpoint() any {
+	s := *p
+	s.alive = append([]bool(nil), p.alive...)
+	return &s
+}
+
+func (p *rankProcess) Restore(state any) {
+	s := state.(*rankProcess)
+	alive := append([]bool(nil), s.alive...)
+	*p = *s
+	p.alive = alive
+}
+
+func (p *greedyIDProcess) Checkpoint() any {
+	s := *p
+	s.nbrID = append([]uint64(nil), p.nbrID...)
+	s.nbrKnown = append([]bool(nil), p.nbrKnown...)
+	s.nbrActive = append([]bool(nil), p.nbrActive...)
+	return &s
+}
+
+func (p *greedyIDProcess) Restore(state any) {
+	s := state.(*greedyIDProcess)
+	nbrID := append([]uint64(nil), s.nbrID...)
+	nbrKnown := append([]bool(nil), s.nbrKnown...)
+	nbrActive := append([]bool(nil), s.nbrActive...)
+	*p = *s
+	p.nbrID = nbrID
+	p.nbrKnown = nbrKnown
+	p.nbrActive = nbrActive
+}

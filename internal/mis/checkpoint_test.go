@@ -1,0 +1,13 @@
+package mis
+
+import "distmwis/internal/reliable"
+
+// The MIS processes must satisfy the reliable transport's Checkpointer
+// interface so crash recovery can snapshot them; the behavioural
+// crash/restore tests live in internal/reliable.
+var (
+	_ reliable.Checkpointer = (*lubyProcess)(nil)
+	_ reliable.Checkpointer = (*ghaffariProcess)(nil)
+	_ reliable.Checkpointer = (*rankProcess)(nil)
+	_ reliable.Checkpointer = (*greedyIDProcess)(nil)
+)

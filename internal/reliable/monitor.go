@@ -1,0 +1,62 @@
+package reliable
+
+import "distmwis/internal/graph"
+
+// RepairReport summarises one self-healing pass over a candidate set.
+type RepairReport struct {
+	// Conflicts counts edges found with both endpoints in the set.
+	Conflicts int
+	// Withdrawn counts nodes removed to restore independence.
+	Withdrawn int
+	// WithdrawnWeight is the total weight of the withdrawn nodes.
+	WithdrawnWeight int64
+}
+
+// Merge folds another pass into this report (a pipeline repairs after each
+// phase and aggregates).
+func (r *RepairReport) Merge(o RepairReport) {
+	r.Conflicts += o.Conflicts
+	r.Withdrawn += o.Withdrawn
+	r.WithdrawnWeight += o.WithdrawnWeight
+}
+
+// Repair is the runtime self-healing monitor: it checks the independence
+// invariant over the candidate set and performs local repair in place —
+// for every conflicting edge the lower-weight endpoint withdraws, with a
+// deterministic tie-break (the higher-index endpoint withdraws, keeping the
+// lower index). Each decision looks only at the two endpoints of one edge,
+// so the repair is a local rule a real deployment would run as a one-round
+// distributed check; here it runs on the host after output collection,
+// where it heals the residual failure modes the transport cannot mask — a
+// crash-stop neighbour declared dead mid-protocol can leave both endpoints
+// of an edge believing they joined.
+//
+// Repair only ever shrinks the set, so every guarantee that survives a
+// passive degraded run (independence after CheckIndependence-style
+// filtering) is preserved, and the result is always independent. Edges are
+// scanned in ascending (v, u) order and decisions apply immediately, which
+// makes the outcome deterministic and engine-independent.
+func Repair(g *graph.Graph, set []bool) RepairReport {
+	var rep RepairReport
+	n := g.N()
+	for v := 0; v < n; v++ {
+		if !set[v] {
+			continue
+		}
+		for _, un := range g.Neighbors(v) {
+			u := int(un)
+			if u <= v || !set[v] || !set[u] {
+				continue
+			}
+			rep.Conflicts++
+			loser := u
+			if g.Weight(v) < g.Weight(u) {
+				loser = v
+			}
+			set[loser] = false
+			rep.Withdrawn++
+			rep.WithdrawnWeight += g.Weight(loser)
+		}
+	}
+	return rep
+}

@@ -38,7 +38,7 @@ func ReadJSONL(r io.Reader) ([]Round, error) {
 // csvHeader is the column order of WriteCSV.
 var csvHeader = []string{
 	"run", "round", "label", "phase", "messages", "bits", "maxMessageBits",
-	"halts", "faultLost", "faultCorrupted", "faultDuplicated",
+	"halts", "faultLost", "faultCorrupted", "faultDuplicated", "retransmits",
 	"computeNanos", "deliveryNanos",
 }
 
@@ -56,6 +56,7 @@ func WriteCSV(w io.Writer, rounds []Round) error {
 			strconv.FormatInt(r.FaultLost, 10),
 			strconv.FormatInt(r.FaultCorrupted, 10),
 			strconv.FormatInt(r.FaultDuplicated, 10),
+			strconv.FormatInt(r.Retransmits, 10),
 			strconv.FormatInt(r.ComputeNanos, 10),
 			strconv.FormatInt(r.DeliveryNanos, 10),
 		}

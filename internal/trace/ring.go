@@ -119,6 +119,8 @@ type Totals struct {
 	Rounds   int
 	Messages int64
 	Bits     int64
+	// Retransmits totals the reliable transport's re-sent data frames.
+	Retransmits int64
 	// ComputeNanos and DeliveryNanos total the two wall-clock phases.
 	ComputeNanos  int64
 	DeliveryNanos int64
@@ -139,6 +141,7 @@ func (t *Totals) OnRound(r Round) {
 	t.Rounds++
 	t.Messages += r.Messages
 	t.Bits += r.Bits
+	t.Retransmits += r.Retransmits
 	t.ComputeNanos += r.ComputeNanos
 	t.DeliveryNanos += r.DeliveryNanos
 }

@@ -18,6 +18,8 @@ type PhaseTotal struct {
 	Messages       int64
 	Bits           int64
 	MaxMessageBits int
+	// Retransmits totals the reliable transport's re-sent data frames.
+	Retransmits int64
 	// ComputeNanos and DeliveryNanos total the group's wall-clock.
 	ComputeNanos  int64
 	DeliveryNanos int64
@@ -54,6 +56,8 @@ type Timeline struct {
 	Bits     int64
 	// MaxMessageBits is the largest single message across all records.
 	MaxMessageBits int
+	// Retransmits totals the reliable transport's re-sent data frames.
+	Retransmits int64
 	// ComputeNanos and DeliveryNanos total the engine wall-clock split.
 	ComputeNanos  int64
 	DeliveryNanos int64
@@ -83,6 +87,7 @@ func Summarize(rounds []Round) *Timeline {
 		if r.MaxMessageBits > pt.MaxMessageBits {
 			pt.MaxMessageBits = r.MaxMessageBits
 		}
+		pt.Retransmits += r.Retransmits
 		pt.ComputeNanos += r.ComputeNanos
 		pt.DeliveryNanos += r.DeliveryNanos
 
@@ -92,6 +97,7 @@ func Summarize(rounds []Round) *Timeline {
 		if r.MaxMessageBits > tl.MaxMessageBits {
 			tl.MaxMessageBits = r.MaxMessageBits
 		}
+		tl.Retransmits += r.Retransmits
 		tl.ComputeNanos += r.ComputeNanos
 		tl.DeliveryNanos += r.DeliveryNanos
 		if r.Bits > maxBits {

@@ -65,6 +65,10 @@ type Round struct {
 	FaultLost       int64 `json:"faultLost,omitempty"`
 	FaultCorrupted  int64 `json:"faultCorrupted,omitempty"`
 	FaultDuplicated int64 `json:"faultDuplicated,omitempty"`
+	// Retransmits counts data frames re-sent by the reliable transport this
+	// round (zero without congest.WithReliable). Rounds where it is positive
+	// are recovery work the fault-free execution would not have performed.
+	Retransmits int64 `json:"retransmits,omitempty"`
 	// ComputeNanos is the wall-clock spent running node steps (the engine
 	// dispatch); DeliveryNanos is the wall-clock of the delivery phase
 	// that moves messages into next-round inboxes.
