@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race fuzz experiments recovery-sweep clean
+.PHONY: all vet build build-cmds test race fuzz experiments recovery-sweep serve loadtest smoke bench-serve clean
 
 all: vet build test
 
@@ -23,6 +23,27 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzChecksumBurst -fuzztime=10s ./internal/wire/
 	$(GO) test -run='^$$' -fuzz=FuzzInjectorCorruptDetect -fuzztime=10s ./internal/fault/
 	$(GO) test -run='^$$' -fuzz=FuzzEngineFaultDeterminism -fuzztime=10s ./internal/fault/
+
+build-cmds:
+	$(GO) build -o bin/ ./cmd/...
+
+# Run the MaxIS service daemon on :8080 (see cmd/maxisd for flags).
+serve:
+	$(GO) run ./cmd/maxisd -addr :8080 -workers 4
+
+# Push a 10-second closed-loop load burst at a running daemon.
+loadtest:
+	$(GO) run ./cmd/loadgen -addr http://localhost:8080 -rps 1000 \
+		-concurrency 16 -duration 10s -repeat 0.9
+
+# End-to-end serving smoke: boot maxisd, probe health + metrics, 5s loadgen
+# burst with zero failures, clean SIGTERM drain. Used by CI.
+smoke:
+	./scripts/smoke.sh
+
+# Serving-layer benchmarks: cache hit vs cold solve, scheduler overhead.
+bench-serve:
+	$(GO) test -run='^$$' -bench=BenchmarkServe -benchtime=10x .
 
 experiments:
 	$(GO) run ./cmd/experiments -o EXPERIMENTS.md

@@ -7,7 +7,11 @@
 package distmwis
 
 import (
+	"bytes"
+	"encoding/json"
 	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"distmwis/internal/coloring"
@@ -19,6 +23,7 @@ import (
 	"distmwis/internal/lowerbound"
 	"distmwis/internal/maxis"
 	"distmwis/internal/mis"
+	"distmwis/internal/server"
 )
 
 // BenchmarkE1GoodNodes measures the Theorem 8 O(Δ)-approximation.
@@ -284,5 +289,88 @@ func BenchmarkTableE3(b *testing.B) {
 		if _, err := experiments.Run("E3", experiments.Options{Quick: true, Seed: uint64(i + 1)}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func benchSolve(b *testing.B, h http.Handler, raw []byte) server.SolveResponse {
+	b.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/solve", bytes.NewReader(raw))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		b.Fatalf("solve: code=%d body=%s", w.Code, w.Body.String())
+	}
+	var resp server.SolveResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		b.Fatal(err)
+	}
+	return resp
+}
+
+// BenchmarkServeColdVsCacheHit compares a cold 10k-node GNP solve through
+// the full maxisd request path (decode → admit → schedule → engine) against
+// a content-addressed cache hit for the identical request. The serving
+// layer's design target is ≥100× on hits; compare the two sub-benchmark
+// ns/op figures.
+func BenchmarkServeColdVsCacheHit(b *testing.B) {
+	s := server.New(server.Options{Workers: 1})
+	defer func() { _ = s.Drain() }()
+	h := s.Handler()
+	mk := func(noCache bool) []byte {
+		raw, err := json.Marshal(server.SolveRequest{
+			Gen:     &server.GenSpec{Kind: "gnp", N: 10_000, P: 10.0 / 10_000, Weights: "poly2", Seed: 7},
+			Alg:     "goodnodes",
+			Seed:    7,
+			NoCache: noCache,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return raw
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		raw := mk(true) // bypass the cache: every iteration pays the engine
+		for i := 0; i < b.N; i++ {
+			if resp := benchSolve(b, h, raw); resp.Cached {
+				b.Fatal("cold path unexpectedly served from cache")
+			}
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		raw := mk(false)
+		warm := benchSolve(b, h, raw) // populate the cache line
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp := benchSolve(b, h, raw)
+			if !resp.Cached {
+				b.Fatal("expected a cache hit")
+			}
+			if resp.Weight != warm.Weight {
+				b.Fatalf("hit weight %d != cold weight %d", resp.Weight, warm.Weight)
+			}
+		}
+	})
+}
+
+// BenchmarkServeSchedulerDepth1 measures per-request serving overhead at
+// queue depth 1: a closed loop of uncacheable single-node solves, so the
+// figure is dominated by scheduling, admission and JSON plumbing rather
+// than engine time.
+func BenchmarkServeSchedulerDepth1(b *testing.B) {
+	s := server.New(server.Options{Workers: 1})
+	defer func() { _ = s.Drain() }()
+	h := s.Handler()
+	raw, err := json.Marshal(server.SolveRequest{
+		Gen:     &server.GenSpec{Kind: "path", N: 1},
+		Alg:     "goodnodes",
+		Seed:    1,
+		NoCache: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		benchSolve(b, h, raw)
 	}
 }

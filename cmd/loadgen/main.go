@@ -1,0 +1,268 @@
+// Command loadgen is a closed-loop load generator for maxisd. It drives a
+// target request rate from a fixed worker pool over a mix of seeded
+// generator graphs, reuses a bounded seed pool to exercise the result
+// cache, and reports throughput plus p50/p95/p99 latency.
+//
+// Usage:
+//
+//	loadgen -addr http://localhost:8080 -rps 1000 -concurrency 32 \
+//	        -duration 10s -repeat 0.9 -graphs gnp,cycle,tree -n 200
+//
+// The exit code is non-zero if any request failed, which makes a short
+// loadgen burst a usable CI smoke assertion.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand/v2"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"distmwis/internal/stats"
+)
+
+type genSpec struct {
+	Kind    string  `json:"kind"`
+	N       int     `json:"n"`
+	P       float64 `json:"p,omitempty"`
+	Weights string  `json:"weights,omitempty"`
+	Seed    uint64  `json:"seed,omitempty"`
+}
+
+type solveRequest struct {
+	Gen      *genSpec `json:"gen"`
+	Alg      string   `json:"alg"`
+	Seed     uint64   `json:"seed"`
+	Priority string   `json:"priority,omitempty"`
+}
+
+type solveResponse struct {
+	Status   string `json:"status"`
+	Weight   int64  `json:"weight"`
+	Cached   bool   `json:"cached"`
+	Shared   bool   `json:"shared"`
+	Degraded bool   `json:"degraded"`
+	Error    string `json:"error"`
+}
+
+type tally struct {
+	sent, ok, failed, cached, shared, degraded atomic.Int64
+
+	mu        sync.Mutex
+	latencies []float64 // seconds
+}
+
+func (t *tally) observe(seconds float64) {
+	t.mu.Lock()
+	t.latencies = append(t.latencies, seconds)
+	t.mu.Unlock()
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr        = fs.String("addr", "http://localhost:8080", "maxisd base URL")
+		rps         = fs.Float64("rps", 500, "target request rate (0 = as fast as the loop allows)")
+		concurrency = fs.Int("concurrency", 16, "closed-loop worker count")
+		duration    = fs.Duration("duration", 10*time.Second, "run length")
+		repeat      = fs.Float64("repeat", 0.9, "fraction of requests drawn from the repeated-seed pool (cache exercise)")
+		poolSize    = fs.Int("pool", 8, "size of the repeated-seed pool")
+		graphs      = fs.String("graphs", "gnp,cycle,tree", "comma-separated generator mix")
+		n           = fs.Int("n", 150, "nodes per generated graph")
+		p           = fs.Float64("p", 0.05, "gnp edge probability")
+		weights     = fs.String("weights", "poly2", "weight family for generated graphs")
+		alg         = fs.String("alg", "goodnodes", "algorithm to request")
+		batchFrac   = fs.Float64("batch", 0, "fraction of requests submitted at batch priority")
+		seed        = fs.Uint64("seed", 1, "load-generator randomness seed")
+		timeout     = fs.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *concurrency < 1 {
+		fmt.Fprintln(stderr, "loadgen: -concurrency must be positive")
+		return 1
+	}
+	if *repeat < 0 || *repeat > 1 || *batchFrac < 0 || *batchFrac > 1 {
+		fmt.Fprintln(stderr, "loadgen: -repeat and -batch must be in [0,1]")
+		return 1
+	}
+	kinds := strings.Split(*graphs, ",")
+	for i := range kinds {
+		kinds[i] = strings.TrimSpace(kinds[i])
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	var t tally
+	// Rate pacing: a token channel fed at the target rate. Closed-loop:
+	// when the server lags, tokens back up to the channel bound and the
+	// offered rate drops instead of piling unbounded requests.
+	var tokens chan struct{}
+	stopFill := make(chan struct{})
+	if *rps > 0 {
+		// Sub-millisecond tickers lose ticks under load, so pace in batches:
+		// tick no faster than every 2ms and emit enough tokens per tick to
+		// hold the target rate.
+		interval := time.Duration(float64(time.Second) / *rps)
+		batch := 1
+		if minTick := 2 * time.Millisecond; interval < minTick {
+			batch = int(math.Ceil(float64(minTick) / float64(interval)))
+			interval = time.Duration(float64(time.Second) * float64(batch) / *rps)
+		}
+		tokens = make(chan struct{}, *concurrency+batch)
+		for i := 0; i < batch; i++ {
+			tokens <- struct{}{} // prime one batch so the ramp doesn't undershoot
+		}
+		go func() {
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			begin := time.Now()
+			issued := int64(batch)
+			for {
+				select {
+				case <-tick.C:
+					// Time-based top-up rather than per-tick batches: ticker
+					// drift would otherwise shave a few percent off the rate.
+					due := int64(*rps*time.Since(begin).Seconds()) + int64(batch)
+					for issued < due {
+						select {
+						case tokens <- struct{}{}:
+							issued++
+						default: // workers saturated; shed the backlog
+							issued = due
+						}
+					}
+				case <-stopFill:
+					return
+				}
+			}
+		}()
+	}
+
+	stop := make(chan struct{})
+	time.AfterFunc(*duration, func() { close(stop) })
+	var wg sync.WaitGroup
+	var uniqueSeed atomic.Uint64
+	uniqueSeed.Store(1_000_000) // disjoint from the repeated pool
+
+	start := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(workerID int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(*seed, uint64(workerID)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if tokens != nil {
+					select {
+					case <-tokens:
+					case <-stop:
+						return
+					}
+				}
+				req := solveRequest{Alg: *alg}
+				kind := kinds[rng.IntN(len(kinds))]
+				gs := genSpec{Kind: kind, N: *n, P: *p, Weights: *weights}
+				if kind == "cycle" || kind == "path" || kind == "star" {
+					gs.P = 0
+				}
+				if rng.Float64() < *repeat {
+					gs.Seed = 1 + uint64(rng.IntN(*poolSize))
+				} else {
+					gs.Seed = uniqueSeed.Add(1)
+				}
+				req.Gen = &gs
+				req.Seed = gs.Seed
+				if rng.Float64() < *batchFrac {
+					req.Priority = "batch"
+				}
+				issue(client, *addr, req, &t)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stopFill)
+	elapsed := time.Since(start)
+
+	report(stdout, &t, elapsed)
+	if t.failed.Load() > 0 {
+		fmt.Fprintf(stderr, "loadgen: %d requests failed\n", t.failed.Load())
+		return 1
+	}
+	return 0
+}
+
+func issue(client *http.Client, addr string, req solveRequest, t *tally) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.failed.Add(1)
+		return
+	}
+	t.sent.Add(1)
+	reqStart := time.Now()
+	resp, err := client.Post(addr+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.failed.Add(1)
+		return
+	}
+	defer resp.Body.Close()
+	var sr solveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.failed.Add(1)
+		return
+	}
+	t.observe(time.Since(reqStart).Seconds())
+	if resp.StatusCode != http.StatusOK || sr.Status != "done" {
+		t.failed.Add(1)
+		return
+	}
+	t.ok.Add(1)
+	if sr.Cached {
+		t.cached.Add(1)
+	}
+	if sr.Shared {
+		t.shared.Add(1)
+	}
+	if sr.Degraded {
+		t.degraded.Add(1)
+	}
+}
+
+func report(w io.Writer, t *tally, elapsed time.Duration) {
+	t.mu.Lock()
+	lat := append([]float64(nil), t.latencies...)
+	t.mu.Unlock()
+	sort.Float64s(lat)
+	ms := func(q float64) float64 {
+		if len(lat) == 0 {
+			return 0
+		}
+		return stats.Quantile(lat, q) * 1000
+	}
+	sent := t.sent.Load()
+	fmt.Fprintf(w, "loadgen: %d requests in %.2fs → %.1f req/s\n",
+		sent, elapsed.Seconds(), float64(sent)/elapsed.Seconds())
+	fmt.Fprintf(w, "  ok=%d failed=%d cached=%d shared=%d degraded=%d\n",
+		t.ok.Load(), t.failed.Load(), t.cached.Load(), t.shared.Load(), t.degraded.Load())
+	fmt.Fprintf(w, "  latency ms: p50=%.2f p95=%.2f p99=%.2f max=%.2f\n",
+		ms(0.50), ms(0.95), ms(0.99), ms(1.0))
+}

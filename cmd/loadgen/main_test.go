@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"distmwis/internal/server"
+)
+
+// TestLoadgenAgainstRealServer runs a short closed-loop burst against an
+// in-process maxisd and asserts zero failures plus real cache traffic —
+// the same assertion the CI smoke job makes over a socket.
+func TestLoadgenAgainstRealServer(t *testing.T) {
+	s := server.New(server.Options{Workers: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer func() { _ = s.Drain() }()
+
+	var out, errBuf bytes.Buffer
+	code := run([]string{
+		"-addr", ts.URL,
+		"-duration", "2s",
+		"-rps", "300",
+		"-concurrency", "8",
+		"-repeat", "0.9",
+		"-graphs", "gnp,cycle",
+		"-n", "80",
+		"-alg", "goodnodes",
+	}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("loadgen exit %d\nstdout: %s\nstderr: %s", code, out.String(), errBuf.String())
+	}
+	report := out.String()
+	for _, want := range []string{"req/s", "failed=0", "p99="} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	// With a 90% repeated mix over a small pool the cache must be hit.
+	if strings.Contains(report, "cached=0 ") {
+		t.Errorf("expected cache hits in report:\n%s", report)
+	}
+}
+
+func TestLoadgenFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-concurrency", "0"},
+		{"-repeat", "1.5"},
+		{"-batch", "-0.1"},
+	}
+	for _, args := range cases {
+		var out, errBuf bytes.Buffer
+		if code := run(args, &out, &errBuf); code == 0 {
+			t.Errorf("args %v: expected non-zero exit", args)
+		}
+	}
+}
+
+func TestLoadgenReportsFailuresNonZero(t *testing.T) {
+	// Point at a dead endpoint: every request fails, exit must be 1.
+	var out, errBuf bytes.Buffer
+	code := run([]string{
+		"-addr", "http://127.0.0.1:1",
+		"-duration", "200ms",
+		"-rps", "50",
+		"-concurrency", "2",
+		"-timeout", "100ms",
+	}, &out, &errBuf)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout: %s", code, out.String())
+	}
+	if !strings.Contains(errBuf.String(), "requests failed") {
+		t.Fatalf("missing failure message: %s", errBuf.String())
+	}
+}

@@ -65,6 +65,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if err := validateFlags(flagValues{
+		alg: *algName, weights: *weights, eps: *eps, n: *n, maxW: *maxW,
+		alpha: *alpha, checkpointEvery: *cpEvery, reliable: *reliableOn,
+		faultBack: *faultBack, faultCrash: *faultCrash,
+	}); err != nil {
+		fmt.Fprintf(stderr, "maxis: %v\n", err)
+		return 1
+	}
 
 	g, err := buildGraph(*graphKind, *n, *p, *k, *seed)
 	if err != nil {
@@ -202,6 +210,53 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "certified OPT upper bound (clique cover)=%d\n", exact.CliqueCoverUpperBound(g))
 	}
 	return 0
+}
+
+// flagValues carries the flags that interact; validateFlags rejects
+// combinations that would previously be silently ignored.
+type flagValues struct {
+	alg, weights    string
+	eps             float64
+	n               int
+	maxW            int64
+	alpha           int
+	checkpointEvery int
+	reliable        bool
+	faultBack       int
+	faultCrash      float64
+}
+
+// validateFlags fails fast on flag combinations that have no effect or no
+// meaning, instead of running with them silently dropped.
+func validateFlags(v flagValues) error {
+	if v.n <= 0 {
+		return fmt.Errorf("-n must be positive, got %d", v.n)
+	}
+	if v.checkpointEvery < 0 {
+		return fmt.Errorf("-checkpoint-every must be non-negative, got %d", v.checkpointEvery)
+	}
+	if v.checkpointEvery > 0 && !v.reliable {
+		return fmt.Errorf("-checkpoint-every only takes effect with -reliable; add -reliable or drop -checkpoint-every")
+	}
+	if v.faultBack < 0 {
+		return fmt.Errorf("-fault-back must be non-negative, got %d", v.faultBack)
+	}
+	if v.faultBack > 0 && v.faultCrash == 0 {
+		return fmt.Errorf("-fault-back only takes effect with -fault-crash > 0; set a crash fraction or drop -fault-back")
+	}
+	if v.alpha < 0 {
+		return fmt.Errorf("-alpha must be non-negative, got %d", v.alpha)
+	}
+	switch v.alg {
+	case "theorem1", "theorem2", "theorem3", "theorem5":
+		if v.eps <= 0 {
+			return fmt.Errorf("-eps must be positive for %s, got %g", v.alg, v.eps)
+		}
+	}
+	if (v.weights == "uniform" || v.weights == "skewed") && v.maxW <= 0 {
+		return fmt.Errorf("-maxw must be positive for -weights %s, got %d", v.weights, v.maxW)
+	}
+	return nil
 }
 
 // writeTrace exports the recorded rounds: .csv files get RFC 4180 CSV,

@@ -91,3 +91,80 @@ func TestCLIErrors(t *testing.T) {
 		})
 	}
 }
+
+func TestCLIFlagValidation(t *testing.T) {
+	// Combinations that used to be silently ignored must now exit non-zero
+	// with a message naming the offending flag.
+	tests := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{
+			name:    "checkpoint-without-reliable",
+			args:    []string{"-graph", "cycle", "-n", "32", "-checkpoint-every", "4"},
+			wantErr: "-checkpoint-every only takes effect with -reliable",
+		},
+		{
+			name:    "negative-checkpoint",
+			args:    []string{"-graph", "cycle", "-n", "32", "-reliable", "-checkpoint-every", "-2"},
+			wantErr: "-checkpoint-every must be non-negative",
+		},
+		{
+			name:    "fault-back-without-crash",
+			args:    []string{"-graph", "cycle", "-n", "32", "-fault-back", "6"},
+			wantErr: "-fault-back only takes effect with -fault-crash",
+		},
+		{
+			name:    "negative-fault-back",
+			args:    []string{"-graph", "cycle", "-n", "32", "-fault-back", "-1"},
+			wantErr: "-fault-back must be non-negative",
+		},
+		{
+			name:    "nonpositive-eps",
+			args:    []string{"-graph", "cycle", "-n", "32", "-alg", "theorem2", "-eps", "0"},
+			wantErr: "-eps must be positive",
+		},
+		{
+			name:    "negative-eps-theorem5",
+			args:    []string{"-graph", "cycle", "-n", "32", "-alg", "theorem5", "-eps", "-0.5"},
+			wantErr: "-eps must be positive",
+		},
+		{
+			name:    "nonpositive-n",
+			args:    []string{"-graph", "cycle", "-n", "0"},
+			wantErr: "-n must be positive",
+		},
+		{
+			name:    "negative-alpha",
+			args:    []string{"-graph", "apollonian", "-n", "64", "-alg", "theorem3", "-alpha", "-3"},
+			wantErr: "-alpha must be non-negative",
+		},
+		{
+			name:    "nonpositive-maxw-uniform",
+			args:    []string{"-graph", "cycle", "-n", "32", "-weights", "uniform", "-maxw", "0"},
+			wantErr: "-maxw must be positive",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			code, _, errOut := runCLI(t, tt.args...)
+			if code == 0 {
+				t.Fatal("expected nonzero exit")
+			}
+			if !strings.Contains(errOut, tt.wantErr) {
+				t.Errorf("stderr missing %q:\n%s", tt.wantErr, errOut)
+			}
+		})
+	}
+	// The valid counterparts still run.
+	valid := [][]string{
+		{"-graph", "cycle", "-n", "32", "-alg", "goodnodes", "-reliable", "-checkpoint-every", "4"},
+		{"-graph", "cycle", "-n", "32", "-alg", "goodnodes", "-fault-crash", "0.1", "-fault-back", "6"},
+	}
+	for _, args := range valid {
+		if code, _, errOut := runCLI(t, args...); code != 0 {
+			t.Errorf("valid args %v exited %d: %s", args, code, errOut)
+		}
+	}
+}

@@ -1,0 +1,9 @@
+package main
+
+import "net"
+
+// newListener binds addr. Split out so tests can pass ":0" and read back
+// the chosen port via the ready channel.
+func newListener(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}

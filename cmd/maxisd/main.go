@@ -1,0 +1,116 @@
+// Command maxisd is the MaxIS service daemon: it exposes the solvers of
+// internal/maxis over an HTTP JSON API with a batching scheduler, a
+// content-addressed result cache, admission control and Prometheus-style
+// metrics (see internal/server).
+//
+// Endpoints:
+//
+//	POST /v1/solve      solve a graph (sync, or async with "async": true)
+//	GET  /v1/jobs/{id}  poll an async job
+//	GET  /healthz       liveness (200 while the process runs)
+//	GET  /readyz        readiness (503 once draining)
+//	GET  /metrics       Prometheus text exposition
+//
+// Usage:
+//
+//	maxisd -addr :8080 -workers 4 -cache-bytes 67108864 -rate 2000
+//
+// SIGINT/SIGTERM start a graceful shutdown: new requests get 503, accepted
+// jobs finish, and the process exits within -drain-timeout.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"distmwis/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run wires flags into a server and serves until a signal or until ready
+// (a test channel) is told to stop. ready, when non-nil, receives the bound
+// address once the listener is up.
+func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("maxisd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr         = fs.String("addr", ":8080", "listen address")
+		workers      = fs.Int("workers", 4, "scheduler worker pool size")
+		solveWorkers = fs.Int("solve-workers", 1, "congest engine parallelism per solve")
+		queueDepth   = fs.Int("queue", 256, "per-priority submission queue depth")
+		cacheBytes   = fs.Int64("cache-bytes", 64<<20, "result cache byte budget (negative disables)")
+		rate         = fs.Float64("rate", 0, "token-bucket admission rate in req/s (0 = unlimited)")
+		burst        = fs.Int("burst", 0, "token-bucket burst (default 2×rate)")
+		shedDepth    = fs.Int("shed-depth", 0, "queue depth beyond which requests degrade to the greedy tier (default queue/2)")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *workers < 1 || *solveWorkers < 1 || *queueDepth < 1 {
+		fmt.Fprintln(stderr, "maxisd: -workers, -solve-workers and -queue must be positive")
+		return 1
+	}
+
+	s := server.New(server.Options{
+		Workers:      *workers,
+		SolveWorkers: *solveWorkers,
+		QueueDepth:   *queueDepth,
+		CacheBytes:   *cacheBytes,
+		Rate:         *rate,
+		Burst:        *burst,
+		ShedDepth:    *shedDepth,
+		DrainTimeout: *drainTimeout,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	ln, err := newListener(*addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "maxisd: listen: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "maxisd: serving on %s (workers=%d cache=%dB rate=%g)\n",
+		ln.Addr(), *workers, *cacheBytes, *rate)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(stdout, "maxisd: shutdown signal received, draining")
+	case err := <-errCh:
+		fmt.Fprintf(stderr, "maxisd: serve: %v\n", err)
+		return 1
+	}
+
+	// Stop accepting at the service level first so /readyz flips and new
+	// solves are rejected while the listener finishes in-flight handlers.
+	s.BeginShutdown()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(stderr, "maxisd: http shutdown: %v\n", err)
+	}
+	if err := s.Drain(); err != nil {
+		fmt.Fprintf(stderr, "maxisd: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "maxisd: drained, exiting")
+	return 0
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestDaemonLifecycle boots the daemon on an ephemeral port, probes the
+// health and solve endpoints, then delivers SIGTERM and expects a clean
+// drain and zero exit.
+func TestDaemonLifecycle(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	ready := make(chan string, 1)
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-workers", "2"}, &out, &errBuf, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("daemon never became ready; stderr: %s", errBuf.String())
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", err, resp)
+	}
+	resp.Body.Close()
+
+	body := `{"gen":{"kind":"gnp","n":80,"p":0.1,"weights":"poly2","seed":4},"alg":"goodnodes","seed":4}`
+	resp, err = http.Post(base+"/v1/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var solved bytes.Buffer
+	_, _ = solved.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(solved.String(), `"status":"done"`) {
+		t.Fatalf("solve: code=%d body=%s", resp.StatusCode, solved.String())
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics bytes.Buffer
+	_, _ = metrics.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(metrics.String(), "maxisd_requests_total 1") {
+		t.Fatalf("metrics missing request counter:\n%s", metrics.String())
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit code %d; stderr: %s", code, errBuf.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+	if !strings.Contains(out.String(), "drained, exiting") {
+		t.Fatalf("missing drain message in output:\n%s", out.String())
+	}
+}
+
+func TestDaemonFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-workers", "0"},
+		{"-queue", "-1"},
+		{"-solve-workers", "0"},
+	}
+	for _, args := range cases {
+		var out, errBuf bytes.Buffer
+		if code := run(append(args, "-addr", "127.0.0.1:0"), &out, &errBuf, nil); code == 0 {
+			t.Errorf("args %v: expected non-zero exit", args)
+		}
+		if errBuf.Len() == 0 {
+			t.Errorf("args %v: expected an error message", args)
+		}
+	}
+}
+
+func TestDaemonBadFlag(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errBuf, nil); code != 2 {
+		t.Fatalf("unknown flag: exit %d, want 2", code)
+	}
+}

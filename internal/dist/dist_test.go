@@ -2,6 +2,7 @@ package dist
 
 import (
 	"errors"
+	"math"
 	"testing"
 
 	"distmwis/internal/congest"
@@ -105,5 +106,62 @@ func TestRunOnInducedEmptyActive(t *testing.T) {
 	}
 	if acc.Rounds != 1 {
 		t.Errorf("empty phase should charge exactly the flag round, got %d", acc.Rounds)
+	}
+}
+
+// TestAccumulatorEmptyAbsorb: absorbing a zero Result must count the phase
+// but leave every metric untouched — the paper's phase composition charges
+// nothing for a protocol that sends nothing.
+func TestAccumulatorEmptyAbsorb(t *testing.T) {
+	var a Accumulator
+	a.Absorb(&congest.Result{})
+	if a.Phases != 1 {
+		t.Fatalf("Phases = %d, want 1", a.Phases)
+	}
+	if a.Rounds != 0 || a.Messages != 0 || a.Bits != 0 || a.MaxMessageBits != 0 ||
+		a.Truncations != 0 || a.FaultLost != 0 || a.Retransmits != 0 {
+		t.Errorf("zero result perturbed metrics: %+v", a)
+	}
+	var b Accumulator
+	b.Add(Accumulator{})
+	if b != (Accumulator{}) {
+		t.Errorf("Add(zero) perturbed metrics: %+v", b)
+	}
+}
+
+// TestAccumulatorOverflowAdjacentSums: the int64 traffic counters must
+// survive sums adjacent to math.MaxInt64 without losing precision. A long
+// experiment sweep can legitimately accumulate huge bit totals; this pins
+// that the halves recombine exactly below the overflow boundary.
+func TestAccumulatorOverflowAdjacentSums(t *testing.T) {
+	const half = math.MaxInt64 / 2 // 2^62 - 1
+	var a Accumulator
+	a.Absorb(&congest.Result{Messages: half, Bits: half, FaultLost: half, Retransmits: half})
+	a.Absorb(&congest.Result{Messages: half, Bits: half, FaultLost: half, Retransmits: half})
+	want := int64(2 * half) // MaxInt64 - 1: the largest even sum below overflow
+	if a.Messages != want || a.Bits != want || a.FaultLost != want || a.Retransmits != want {
+		t.Fatalf("overflow-adjacent absorb lost precision: %+v", a)
+	}
+	// One more unit lands exactly on MaxInt64.
+	a.Add(Accumulator{Messages: 1, Bits: 1, FaultLost: 1, Retransmits: 1})
+	if a.Messages != math.MaxInt64 || a.Bits != math.MaxInt64 ||
+		a.FaultLost != math.MaxInt64 || a.Retransmits != math.MaxInt64 {
+		t.Fatalf("sum to MaxInt64 wrong: %+v", a)
+	}
+	if a.String() == "" {
+		t.Error("empty String() on saturated accumulator")
+	}
+}
+
+// TestAccumulatorMaxMessageBitsIsMaxNotSum: MaxMessageBits takes the max
+// across phases rather than summing — regression guard for the reporting
+// contract.
+func TestAccumulatorMaxMessageBitsIsMaxNotSum(t *testing.T) {
+	var a Accumulator
+	a.Absorb(&congest.Result{MaxMessageBits: 40})
+	a.Absorb(&congest.Result{MaxMessageBits: 8})
+	a.Add(Accumulator{MaxMessageBits: 25})
+	if a.MaxMessageBits != 40 {
+		t.Errorf("MaxMessageBits = %d, want 40", a.MaxMessageBits)
 	}
 }

@@ -1,0 +1,137 @@
+package graph
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+)
+
+// canonicalMagic versions the canonical encoding. Bump it whenever the byte
+// layout changes: content hashes are cache keys, and a silent layout change
+// would alias old and new entries.
+var canonicalMagic = []byte("DMWG1")
+
+// Canonical returns a stable, self-contained binary serialization of g:
+// magic, n, m, identifiers, weights, then every undirected edge once as
+// (u, v) with u < v in lexicographic order. Two graphs have equal canonical
+// forms iff they have identical node counts, identifiers, weights and edge
+// sets — regardless of the order edges were added to the Builder. It is the
+// preimage of Hash and round-trips through FromCanonical.
+func (g *Graph) Canonical() []byte {
+	n := g.N()
+	buf := make([]byte, 0, len(canonicalMagic)+binary.MaxVarintLen64*(2+2*n)+8*len(g.adj))
+	buf = append(buf, canonicalMagic...)
+	buf = binary.AppendUvarint(buf, uint64(n))
+	buf = binary.AppendUvarint(buf, uint64(g.M()))
+	for v := 0; v < n; v++ {
+		buf = binary.AppendUvarint(buf, g.ids[v])
+	}
+	for v := 0; v < n; v++ {
+		buf = binary.AppendVarint(buf, g.weights[v])
+	}
+	// Neighbour lists are sorted, so emitting the v < u half in node order
+	// yields lexicographically sorted edges with no further work.
+	for v := 0; v < n; v++ {
+		for _, u := range g.Neighbors(v) {
+			if int(u) > v {
+				buf = binary.AppendUvarint(buf, uint64(v))
+				buf = binary.AppendUvarint(buf, uint64(u))
+			}
+		}
+	}
+	return buf
+}
+
+// Hash returns the SHA-256 content hash of Canonical(). Equal hashes mean
+// (up to SHA-256 collisions) equal labelled graphs; isomorphic graphs with
+// different labellings hash differently by design, because every algorithm
+// in this repository is identifier- and index-sensitive.
+func (g *Graph) Hash() [sha256.Size]byte {
+	return sha256.Sum256(g.Canonical())
+}
+
+// HashString returns Hash as lowercase hex, the form used in cache keys,
+// logs and the HTTP API.
+func (g *Graph) HashString() string {
+	h := g.Hash()
+	return hex.EncodeToString(h[:])
+}
+
+// FromCanonical decodes a graph serialized by Canonical. The decoded graph
+// satisfies FromCanonical(g.Canonical()).Hash() == g.Hash().
+func FromCanonical(data []byte) (*Graph, error) {
+	if len(data) < len(canonicalMagic) || string(data[:len(canonicalMagic)]) != string(canonicalMagic) {
+		return nil, fmt.Errorf("graph: canonical: bad magic")
+	}
+	rest := data[len(canonicalMagic):]
+	pos := 0
+	uvarint := func(what string) (uint64, error) {
+		x, k := binary.Uvarint(rest[pos:])
+		if k <= 0 {
+			return 0, fmt.Errorf("graph: canonical: truncated %s", what)
+		}
+		pos += k
+		return x, nil
+	}
+	varint := func(what string) (int64, error) {
+		x, k := binary.Varint(rest[pos:])
+		if k <= 0 {
+			return 0, fmt.Errorf("graph: canonical: truncated %s", what)
+		}
+		pos += k
+		return x, nil
+	}
+	nU, err := uvarint("node count")
+	if err != nil {
+		return nil, err
+	}
+	mU, err := uvarint("edge count")
+	if err != nil {
+		return nil, err
+	}
+	if nU > uint64(1)<<31 || mU > uint64(1)<<33 {
+		return nil, fmt.Errorf("graph: canonical: implausible sizes n=%d m=%d", nU, mU)
+	}
+	n, m := int(nU), int(mU)
+	ids := make([]uint64, n)
+	for v := range ids {
+		if ids[v], err = uvarint("identifier"); err != nil {
+			return nil, err
+		}
+	}
+	weights := make([]int64, n)
+	for v := range weights {
+		if weights[v], err = varint("weight"); err != nil {
+			return nil, err
+		}
+	}
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.SetID(v, ids[v])
+	}
+	for i := 0; i < m; i++ {
+		u, err := uvarint("edge endpoint")
+		if err != nil {
+			return nil, err
+		}
+		v, err := uvarint("edge endpoint")
+		if err != nil {
+			return nil, err
+		}
+		if u >= v || v >= uint64(n) {
+			return nil, fmt.Errorf("graph: canonical: bad edge {%d,%d}", u, v)
+		}
+		b.AddEdge(int(u), int(v))
+	}
+	if pos != len(rest) {
+		return nil, fmt.Errorf("graph: canonical: %d trailing bytes", len(rest)-pos)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("graph: canonical: %w", err)
+	}
+	// Weights bypass the builder: canonical forms may legitimately carry the
+	// zero or negative weights of local-ratio-derived graphs.
+	return g.WithWeights(weights), nil
+}

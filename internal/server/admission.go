@@ -1,0 +1,92 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"distmwis/internal/graph"
+)
+
+// tokenBucket is a classic rate limiter: capacity burst tokens, refilled at
+// rate tokens/second. A zero rate disables limiting (allow always).
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time // injectable clock for tests
+}
+
+func newTokenBucket(rate float64, burst int) *tokenBucket {
+	if burst < 1 {
+		burst = 1
+	}
+	b := &tokenBucket{
+		rate:   rate,
+		burst:  float64(burst),
+		tokens: float64(burst),
+		now:    time.Now,
+	}
+	b.last = b.now()
+	return b
+}
+
+// allow consumes one token if available.
+func (b *tokenBucket) allow() bool {
+	if b.rate <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// greedyDegraded is the load-shedding tier: a host-side weight-ordered
+// greedy (heaviest node first, identifier ascending as the tie break). It
+// is the classic Δ+1-approximation — every rejected node charges its weight
+// to a heavier chosen neighbour, and a node has at most Δ neighbours — and
+// costs O(n log n + m) with no CONGEST simulation at all, so a saturated
+// server can still answer every request with a valid independent set. The
+// order is deterministic, keeping even degraded responses reproducible.
+func greedyDegraded(g *graph.Graph) ([]bool, int64) {
+	n := g.N()
+	order := make([]int32, n)
+	for v := range order {
+		order[v] = int32(v)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		u, v := order[i], order[j]
+		wu, wv := g.Weight(int(u)), g.Weight(int(v))
+		if wu != wv {
+			return wu > wv
+		}
+		return g.ID(int(u)) < g.ID(int(v))
+	})
+	set := make([]bool, n)
+	blocked := make([]bool, n)
+	var weight int64
+	for _, v := range order {
+		if blocked[v] {
+			continue
+		}
+		set[v] = true
+		weight += g.Weight(int(v))
+		blocked[v] = true
+		for _, u := range g.Neighbors(int(v)) {
+			blocked[u] = true
+		}
+	}
+	return set, weight
+}

@@ -1,0 +1,91 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"distmwis/internal/graph"
+	"distmwis/internal/graph/gen"
+)
+
+func TestTokenBucketRefill(t *testing.T) {
+	b := newTokenBucket(10, 2) // 10 tokens/s, burst 2
+	now := time.Unix(0, 0)
+	b.now = func() time.Time { return now }
+	b.last = now
+	if !b.allow() || !b.allow() {
+		t.Fatal("burst of 2 should be allowed")
+	}
+	if b.allow() {
+		t.Fatal("third immediate request should be rejected")
+	}
+	now = now.Add(100 * time.Millisecond) // refills exactly one token
+	if !b.allow() {
+		t.Fatal("token should have refilled after 100ms at 10/s")
+	}
+	if b.allow() {
+		t.Fatal("bucket should be empty again")
+	}
+}
+
+func TestTokenBucketBurstCap(t *testing.T) {
+	b := newTokenBucket(10, 2)
+	now := time.Unix(0, 0)
+	b.now = func() time.Time { return now }
+	b.last = now
+	now = now.Add(time.Hour) // long idle must not accumulate beyond burst
+	allowed := 0
+	for i := 0; i < 10; i++ {
+		if b.allow() {
+			allowed++
+		}
+	}
+	if allowed != 2 {
+		t.Fatalf("allowed %d after long idle, want burst cap 2", allowed)
+	}
+}
+
+func TestTokenBucketDisabled(t *testing.T) {
+	b := newTokenBucket(0, 1)
+	for i := 0; i < 1000; i++ {
+		if !b.allow() {
+			t.Fatal("rate 0 must disable limiting")
+		}
+	}
+}
+
+func TestGreedyDegradedIsIndependentAndMaximal(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		g := gen.Weighted(gen.GNP(300, 0.05, seed), gen.PolyWeights(2), seed)
+		set, weight := greedyDegraded(g)
+		if !g.IsIndependentSet(set) {
+			t.Fatalf("seed %d: degraded set not independent", seed)
+		}
+		if !g.IsMaximalIS(set) {
+			t.Fatalf("seed %d: greedy set should be maximal", seed)
+		}
+		if weight != g.SetWeight(set) {
+			t.Fatalf("seed %d: reported weight %d != actual %d", seed, weight, g.SetWeight(set))
+		}
+	}
+}
+
+func TestGreedyDegradedGuarantee(t *testing.T) {
+	// Weight-ordered greedy is a (Δ+1)-approximation; since OPT ≤ w(V),
+	// w(greedy) ≥ w(V)/(Δ+1) is the checkable relaxation.
+	g := gen.Weighted(gen.GNP(500, 0.02, 3), gen.UniformWeights(1000), 3)
+	_, weight := greedyDegraded(g)
+	bound := float64(g.TotalWeight()) / float64(g.MaxDegree()+1)
+	if float64(weight) < bound {
+		t.Fatalf("greedy weight %d below w(V)/(Δ+1) = %.1f", weight, bound)
+	}
+}
+
+func TestGreedyDegradedDeterministic(t *testing.T) {
+	g := gen.Weighted(gen.GNP(200, 0.05, 9), gen.UniformWeights(50), 9)
+	a, _ := greedyDegraded(g)
+	b, _ := greedyDegraded(g)
+	if !graph.SameSet(a, b) {
+		t.Fatal("degraded greedy must be deterministic")
+	}
+}

@@ -1,0 +1,324 @@
+// Package server is the MaxIS-as-a-service layer: a long-running daemon
+// that turns the single-shot solvers of internal/maxis into a shared,
+// observable, overload-safe HTTP service.
+//
+// The stack has three tiers, crossed in order by every request:
+//
+//   - admission control (admission.go): a token bucket rejects traffic
+//     beyond the configured rate with 429; beyond a queue-depth threshold
+//     accepted requests are downgraded to a host-side greedy
+//     Δ+1-approximation (the cheap tier of Bar-Yehuda et al. [8]) and
+//     marked degraded.
+//   - content-addressed cache (cache.go): the canonical graph hash plus a
+//     config fingerprint keys an LRU with a byte budget; single-flight
+//     collapses concurrent identical requests into one solve.
+//   - batching scheduler (scheduler.go): a bounded two-priority queue
+//     feeding a worker pool; per-job deadlines via context; graceful
+//     shutdown drains in-flight solves.
+//
+// Determinism is the service's correctness contract: for a given graph,
+// algorithm and seed the returned independent set is bit-identical to what
+// cmd/maxis computes with the same flags, whether the result came from a
+// cold solve, the cache, or a deduplicated concurrent request.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"distmwis/internal/fault"
+	"distmwis/internal/graph"
+	"distmwis/internal/graph/gen"
+	"distmwis/internal/maxis"
+	"distmwis/internal/mis"
+)
+
+// GenSpec asks the server to build one of the seeded generator graphs
+// instead of shipping an explicit edge list. The same (spec) always builds
+// the same graph, so repeated specs are cache hits.
+type GenSpec struct {
+	// Kind is one of cycle|path|clique|star|grid|torus|gnp|tree|forests|
+	// apollonian|caterpillar|coc — the cmd/maxis -graph vocabulary.
+	Kind string `json:"kind"`
+	// N is the node count (or per-dimension size for grid/torus).
+	N int `json:"n"`
+	// P is the edge probability for gnp.
+	P float64 `json:"p,omitempty"`
+	// K is the forest count / caterpillar legs / coc clique size.
+	K int `json:"k,omitempty"`
+	// Weights is unit|uniform|poly2|poly3|expspread|skewed (default unit).
+	Weights string `json:"weights,omitempty"`
+	// MaxW bounds uniform/skewed weights (default 1000).
+	MaxW int64 `json:"maxw,omitempty"`
+	// Seed drives the generator (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// FaultSpec mirrors the cmd/maxis fault flags; see internal/fault.
+type FaultSpec struct {
+	Loss    float64 `json:"loss,omitempty"`
+	Dup     float64 `json:"dup,omitempty"`
+	Corrupt float64 `json:"corrupt,omitempty"`
+	Crash   float64 `json:"crash,omitempty"`
+	Back    int     `json:"back,omitempty"`
+	Seed    uint64  `json:"seed,omitempty"`
+}
+
+// SolveRequest is the body of POST /v1/solve. Exactly one of Graph and Gen
+// must be set.
+type SolveRequest struct {
+	// Graph is an inline graph in the cmd/graphgen JSON format
+	// (graph.ReadJSON): {"n":..., "ids":[...], "weights":[...], "edges":[[u,v],...]}.
+	Graph json.RawMessage `json:"graph,omitempty"`
+	// Gen builds a generator graph server-side.
+	Gen *GenSpec `json:"gen,omitempty"`
+	// Alg selects the algorithm (maxis.AlgorithmNames; default theorem2).
+	Alg string `json:"alg,omitempty"`
+	// Eps is the boosting parameter (default 0.5).
+	Eps float64 `json:"eps,omitempty"`
+	// Alpha is the theorem3 arboricity bound (0 = degeneracy).
+	Alpha int `json:"alpha,omitempty"`
+	// Seed is the root randomness seed (default 1). Identical requests with
+	// identical seeds return bit-identical sets.
+	Seed uint64 `json:"seed,omitempty"`
+	// MIS selects the MIS black box: luby|ghaffari|rank|greedyid (default luby).
+	MIS string `json:"mis,omitempty"`
+	// Priority is interactive (default) or batch; interactive jobs are
+	// scheduled strictly first.
+	Priority string `json:"priority,omitempty"`
+	// DeadlineMS bounds queue wait plus solve time; expired jobs fail with
+	// status "deadline" (HTTP 504 on the sync path).
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Async enqueues and returns a job id immediately; poll GET /v1/jobs/{id}.
+	Async bool `json:"async,omitempty"`
+	// NoCache bypasses the result cache (still deduplicated in flight).
+	NoCache bool `json:"no_cache,omitempty"`
+
+	// Reliable, CheckpointEvery, Repair and Fault pass through to
+	// maxis.Config exactly as the cmd/maxis flags of the same names.
+	Reliable        bool       `json:"reliable,omitempty"`
+	CheckpointEvery int        `json:"checkpoint_every,omitempty"`
+	Repair          bool       `json:"repair,omitempty"`
+	Fault           *FaultSpec `json:"fault,omitempty"`
+}
+
+// SolveResponse is the body returned by POST /v1/solve and GET /v1/jobs/{id}.
+type SolveResponse struct {
+	ID     string `json:"id"`
+	Status string `json:"status"` // queued|running|done|failed|deadline
+	// Set lists the members of the independent set as ascending node
+	// indices (present when Status == done).
+	Set    []int32 `json:"set,omitempty"`
+	Size   int     `json:"size,omitempty"`
+	Weight int64   `json:"weight,omitempty"`
+	// GraphHash is the canonical content hash of the solved graph.
+	GraphHash string `json:"graph_hash,omitempty"`
+	Rounds    int    `json:"rounds,omitempty"`
+	Messages  int64  `json:"messages,omitempty"`
+	Bits      int64  `json:"bits,omitempty"`
+	// Cached reports the result came from the content-addressed cache;
+	// Shared reports it was computed once for several concurrent requests.
+	Cached bool `json:"cached,omitempty"`
+	Shared bool `json:"shared,omitempty"`
+	// Degraded reports the admission layer downgraded this request to the
+	// greedy Δ+1-approximation instead of the requested algorithm.
+	Degraded  bool    `json:"degraded,omitempty"`
+	Error     string  `json:"error,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// normalize fills defaults and validates the request shape.
+func (r *SolveRequest) normalize() error {
+	if (r.Graph == nil) == (r.Gen == nil) {
+		return fmt.Errorf("exactly one of graph and gen must be set")
+	}
+	if r.Alg == "" {
+		r.Alg = "theorem2"
+	}
+	if r.Eps == 0 {
+		r.Eps = 0.5
+	}
+	if r.Eps < 0 {
+		return fmt.Errorf("eps must be positive, got %g", r.Eps)
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	if r.MIS == "" {
+		r.MIS = "luby"
+	}
+	if _, err := misByName(r.MIS); err != nil {
+		return err
+	}
+	switch r.Priority {
+	case "":
+		r.Priority = "interactive"
+	case "interactive", "batch":
+	default:
+		return fmt.Errorf("priority must be interactive or batch, got %q", r.Priority)
+	}
+	if r.DeadlineMS < 0 {
+		return fmt.Errorf("deadline_ms must be non-negative")
+	}
+	if r.CheckpointEvery < 0 {
+		return fmt.Errorf("checkpoint_every must be non-negative")
+	}
+	if r.CheckpointEvery > 0 && !r.Reliable {
+		return fmt.Errorf("checkpoint_every requires reliable")
+	}
+	found := false
+	for _, name := range maxis.AlgorithmNames() {
+		if name == r.Alg {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown algorithm %q (known: %s)", r.Alg, strings.Join(maxis.AlgorithmNames(), ", "))
+	}
+	return nil
+}
+
+func misByName(name string) (mis.Algorithm, error) {
+	switch name {
+	case "luby":
+		return mis.Luby{}, nil
+	case "ghaffari":
+		return mis.Ghaffari{}, nil
+	case "rank":
+		return mis.Rank{}, nil
+	case "greedyid":
+		return mis.GreedyByID{}, nil
+	default:
+		return nil, fmt.Errorf("unknown MIS algorithm %q", name)
+	}
+}
+
+// buildGraph materialises the request's graph. The generator vocabulary is
+// deliberately identical to cmd/maxis so loadgen mixes and CLI runs agree.
+func (r *SolveRequest) buildGraph() (*graph.Graph, error) {
+	if r.Graph != nil {
+		g, err := graph.ReadJSON(bytes.NewReader(r.Graph))
+		if err != nil {
+			return nil, err
+		}
+		return g, nil
+	}
+	s := *r.Gen
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.N <= 0 {
+		return nil, fmt.Errorf("gen.n must be positive, got %d", s.N)
+	}
+	var g *graph.Graph
+	switch s.Kind {
+	case "cycle":
+		g = gen.Cycle(s.N)
+	case "path":
+		g = gen.Path(s.N)
+	case "clique":
+		g = gen.Clique(s.N)
+	case "star":
+		g = gen.Star(s.N)
+	case "grid":
+		g = gen.Grid(s.N, s.N)
+	case "torus":
+		g = gen.Torus(s.N, s.N)
+	case "gnp":
+		g = gen.GNP(s.N, s.P, s.Seed)
+	case "tree":
+		g = gen.RandomTree(s.N, s.Seed)
+	case "forests":
+		g = gen.UnionOfForests(s.N, s.K, s.Seed)
+	case "apollonian":
+		g = gen.Apollonian(s.N, s.Seed)
+	case "caterpillar":
+		g = gen.Caterpillar(s.N, s.K)
+	case "coc":
+		g = gen.CycleOfCliques(s.N, s.K)
+	default:
+		return nil, fmt.Errorf("unknown graph kind %q", s.Kind)
+	}
+	maxW := s.MaxW
+	if maxW <= 0 {
+		maxW = 1000
+	}
+	switch s.Weights {
+	case "", "unit":
+	case "uniform":
+		g = gen.Weighted(g, gen.UniformWeights(maxW), s.Seed)
+	case "poly2":
+		g = gen.Weighted(g, gen.PolyWeights(2), s.Seed)
+	case "poly3":
+		g = gen.Weighted(g, gen.PolyWeights(3), s.Seed)
+	case "expspread":
+		g = gen.Weighted(g, gen.ExponentialSpreadWeights(24), s.Seed)
+	case "skewed":
+		g = gen.Weighted(g, gen.SkewedWeights(0.05, maxW), s.Seed)
+	default:
+		return nil, fmt.Errorf("unknown weight kind %q", s.Weights)
+	}
+	return g, nil
+}
+
+// maxisConfig assembles the maxis.Config for this request, mirroring the
+// cmd/maxis flag wiring (including the seed+77 fault-seed derivation) so
+// service results are bit-identical to CLI runs.
+func (r *SolveRequest) maxisConfig(solveWorkers int) (maxis.Config, error) {
+	misAlg, err := misByName(r.MIS)
+	if err != nil {
+		return maxis.Config{}, err
+	}
+	cfg := maxis.Config{
+		Seed:            r.Seed,
+		MIS:             misAlg,
+		Workers:         solveWorkers,
+		Reliable:        r.Reliable,
+		CheckpointEvery: r.CheckpointEvery,
+		Repair:          r.Repair,
+	}
+	if f := r.Fault; f != nil {
+		sched := fault.Schedule{
+			Seed:      f.Seed,
+			Loss:      f.Loss,
+			Dup:       f.Dup,
+			Corrupt:   f.Corrupt,
+			CrashFrac: f.Crash,
+			CrashAt:   3,
+			CrashBack: f.Back,
+		}
+		if sched.Seed == 0 {
+			sched.Seed = r.Seed + 77
+		}
+		if sched.Enabled() {
+			cfg.Faults = sched
+		}
+	}
+	return cfg, nil
+}
+
+// fingerprint is the config part of the cache key: every field that can
+// change the output set must appear here. The graph itself is covered by
+// its canonical hash.
+func (r *SolveRequest) fingerprint() string {
+	var f FaultSpec
+	if r.Fault != nil {
+		f = *r.Fault
+	}
+	return fmt.Sprintf("v1|alg=%s|eps=%g|alpha=%d|seed=%d|mis=%s|rel=%t|cp=%d|rep=%t|fault=%g,%g,%g,%g,%d,%d",
+		r.Alg, r.Eps, r.Alpha, r.Seed, r.MIS, r.Reliable, r.CheckpointEvery, r.Repair,
+		f.Loss, f.Dup, f.Corrupt, f.Crash, f.Back, f.Seed)
+}
+
+// specFingerprint identifies a generator-spec request up to everything that
+// affects its output: two requests with equal spec fingerprints build
+// identical graphs and solve them under identical configs. Only defined for
+// requests with a Gen spec.
+func (r *SolveRequest) specFingerprint() string {
+	g := r.Gen
+	return fmt.Sprintf("gen|kind=%s|n=%d|p=%g|k=%d|w=%s|maxw=%d|gseed=%d|%s",
+		g.Kind, g.N, g.P, g.K, g.Weights, g.MaxW, g.Seed, r.fingerprint())
+}

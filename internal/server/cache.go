@@ -1,0 +1,193 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+)
+
+// cacheEntry is one stored solve outcome. Entries store the member indices
+// rather than the full bool vector: independent sets returned by the Δ-ish
+// approximations are small, and the byte budget should reflect reality.
+type cacheEntry struct {
+	key      string
+	set      []int32
+	weight   int64
+	rounds   int
+	messages int64
+	bits     int64
+	degraded bool
+}
+
+func (e *cacheEntry) bytes() int64 {
+	// key string + indices + fixed fields; close enough for budgeting.
+	return int64(len(e.key)) + int64(4*len(e.set)) + 64
+}
+
+// resultCache is a content-addressed LRU with a byte budget and
+// single-flight deduplication. The key is sha256(canonical graph bytes ‖
+// config fingerprint): two requests share an entry iff they would provably
+// compute the identical set.
+type resultCache struct {
+	mu       sync.Mutex
+	budget   int64
+	used     int64
+	order    *list.List               // front = most recently used
+	entries  map[string]*list.Element // key → element holding *cacheEntry
+	inflight map[string]*flight
+
+	hits, misses, evictions, dedups int64
+}
+
+// flight is one in-progress solve other requests can attach to.
+type flight struct {
+	done chan struct{}
+	// entry/err are valid once done is closed.
+	entry *cacheEntry
+	err   error
+}
+
+func newResultCache(budget int64) *resultCache {
+	return &resultCache{
+		budget:   budget,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// cacheKey combines the canonical graph bytes with the config fingerprint.
+func cacheKey(canonical []byte, fingerprint string) string {
+	h := sha256.New()
+	h.Write(canonical)
+	h.Write([]byte{0})
+	h.Write([]byte(fingerprint))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// get returns the cached entry for key, refreshing its recency.
+func (c *resultCache) get(key string) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry), true
+	}
+	c.misses++
+	return nil, false
+}
+
+// put stores an entry, evicting least-recently-used entries until the byte
+// budget holds. Entries larger than the whole budget are not stored.
+func (c *resultCache) put(e *cacheEntry) {
+	sz := e.bytes()
+	if c.budget > 0 && sz > c.budget {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[e.key]; ok {
+		c.used -= el.Value.(*cacheEntry).bytes()
+		c.order.Remove(el)
+		delete(c.entries, e.key)
+	}
+	for c.budget > 0 && c.used+sz > c.budget {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(*cacheEntry)
+		c.used -= victim.bytes()
+		c.order.Remove(back)
+		delete(c.entries, victim.key)
+		c.evictions++
+	}
+	c.entries[e.key] = c.order.PushFront(e)
+	c.used += sz
+}
+
+// do runs solve for key exactly once across concurrent callers: the first
+// caller becomes the leader and executes solve; followers block until the
+// leader finishes (or their own ctx expires) and share its outcome. The
+// bool result reports whether this caller was a follower (the solve was
+// shared).
+func (c *resultCache) do(ctx context.Context, key string, solve func() (*cacheEntry, error)) (*cacheEntry, bool, error) {
+	c.mu.Lock()
+	if f, ok := c.inflight[key]; ok {
+		c.dedups++
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.entry, true, f.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.mu.Unlock()
+
+	f.entry, f.err = solve()
+	c.mu.Lock()
+	delete(c.inflight, key)
+	c.mu.Unlock()
+	close(f.done)
+	return f.entry, false, f.err
+}
+
+// stats returns a snapshot of the counters for /metrics.
+func (c *resultCache) stats() (hits, misses, evictions, dedups, used int64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions, c.dedups, c.used, len(c.entries)
+}
+
+// specTarget is what a generator-spec fingerprint resolves to: the
+// content-addressed cache key of the solve and the graph's hash.
+type specTarget struct {
+	key  string
+	hash string
+}
+
+// specMemo maps a generator-spec request fingerprint to its specTarget so
+// repeat spec requests skip graph construction and canonicalization on the
+// hot path. It is a pure accelerator: the result cache stays authoritative
+// (a memo hit whose cache line was evicted falls back to the full path),
+// so stale entries cost a rebuild, never a wrong answer. Bounded FIFO —
+// specs are tiny and uniform, recency tracking isn't worth the churn.
+type specMemo struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // of string (spec fingerprint), front = oldest
+	m     map[string]specTarget
+}
+
+func newSpecMemo(capacity int) *specMemo {
+	return &specMemo{cap: capacity, order: list.New(), m: make(map[string]specTarget)}
+}
+
+func (s *specMemo) get(spec string) (specTarget, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.m[spec]
+	return t, ok
+}
+
+func (s *specMemo) put(spec string, t specTarget) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[spec]; ok {
+		s.m[spec] = t
+		return
+	}
+	s.m[spec] = t
+	s.order.PushBack(spec)
+	for s.cap > 0 && len(s.m) > s.cap {
+		oldest := s.order.Front()
+		s.order.Remove(oldest)
+		delete(s.m, oldest.Value.(string))
+	}
+}

@@ -1,0 +1,177 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func entryOf(key string, n int) *cacheEntry {
+	e := &cacheEntry{key: key}
+	for i := 0; i < n; i++ {
+		e.set = append(e.set, int32(i))
+	}
+	return e
+}
+
+func TestCacheLRUEvictionByBytes(t *testing.T) {
+	// Each entry: len(key)=4 + 4*10 indices + 64 = 108 bytes. Budget for
+	// exactly three.
+	c := newResultCache(3 * 108)
+	for i := 0; i < 4; i++ {
+		c.put(entryOf(fmt.Sprintf("k%03d", i), 10))
+	}
+	if _, ok := c.get("k000"); ok {
+		t.Fatal("oldest entry should have been evicted")
+	}
+	for i := 1; i < 4; i++ {
+		if _, ok := c.get(fmt.Sprintf("k%03d", i)); !ok {
+			t.Fatalf("entry k%03d missing", i)
+		}
+	}
+	_, _, evictions, _, used, entries := c.stats()
+	if evictions != 1 || entries != 3 {
+		t.Fatalf("evictions=%d entries=%d, want 1 and 3", evictions, entries)
+	}
+	if used != 3*108 {
+		t.Fatalf("used=%d, want %d", used, 3*108)
+	}
+}
+
+func TestCacheLRURecencyOrder(t *testing.T) {
+	c := newResultCache(3 * 108)
+	c.put(entryOf("k000", 10))
+	c.put(entryOf("k001", 10))
+	c.put(entryOf("k002", 10))
+	// Touch k000 so k001 becomes the LRU victim.
+	if _, ok := c.get("k000"); !ok {
+		t.Fatal("k000 should be present")
+	}
+	c.put(entryOf("k003", 10))
+	if _, ok := c.get("k001"); ok {
+		t.Fatal("k001 should have been evicted (least recently used)")
+	}
+	if _, ok := c.get("k000"); !ok {
+		t.Fatal("recently used k000 should survive")
+	}
+}
+
+func TestCacheRejectsOversizedEntry(t *testing.T) {
+	c := newResultCache(100)
+	c.put(entryOf("big0", 1000))
+	if _, ok := c.get("big0"); ok {
+		t.Fatal("entry larger than the whole budget must not be stored")
+	}
+}
+
+func TestCacheOverwriteSameKey(t *testing.T) {
+	c := newResultCache(1 << 20)
+	c.put(entryOf("same", 10))
+	c.put(entryOf("same", 20))
+	e, ok := c.get("same")
+	if !ok || len(e.set) != 20 {
+		t.Fatalf("overwrite failed: ok=%t len=%d", ok, len(e.set))
+	}
+	_, _, _, _, used, entries := c.stats()
+	if entries != 1 {
+		t.Fatalf("entries=%d, want 1", entries)
+	}
+	want := entryOf("same", 20).bytes()
+	if used != want {
+		t.Fatalf("used=%d, want %d (stale size leaked)", used, want)
+	}
+}
+
+func TestSingleFlightDeduplicates(t *testing.T) {
+	c := newResultCache(1 << 20)
+	var solves atomic.Int64
+	release := make(chan struct{})
+	const callers = 8
+	var wg sync.WaitGroup
+	leaders := int64(0)
+	var mu sync.Mutex
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e, shared, err := c.do(context.Background(), "dup", func() (*cacheEntry, error) {
+				solves.Add(1)
+				<-release
+				return entryOf("dup", 5), nil
+			})
+			if err != nil {
+				t.Errorf("do: %v", err)
+				return
+			}
+			if len(e.set) != 5 {
+				t.Errorf("wrong entry shared")
+			}
+			if !shared {
+				mu.Lock()
+				leaders++
+				mu.Unlock()
+			}
+		}()
+	}
+	// Give followers time to attach before releasing the leader.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if got := solves.Load(); got != 1 {
+		t.Fatalf("%d solves for %d concurrent identical requests, want 1", got, callers)
+	}
+	if leaders != 1 {
+		t.Fatalf("%d leaders, want exactly 1", leaders)
+	}
+}
+
+func TestSingleFlightFollowerDeadline(t *testing.T) {
+	c := newResultCache(1 << 20)
+	release := make(chan struct{})
+	defer close(release)
+	started := make(chan struct{})
+	go func() {
+		_, _, _ = c.do(context.Background(), "slow", func() (*cacheEntry, error) {
+			close(started)
+			<-release
+			return entryOf("slow", 1), nil
+		})
+	}()
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, shared, err := c.do(ctx, "slow", func() (*cacheEntry, error) {
+		t.Error("follower must not start its own solve")
+		return nil, nil
+	})
+	if !shared || err == nil {
+		t.Fatalf("follower should time out waiting: shared=%t err=%v", shared, err)
+	}
+}
+
+func TestSpecMemoBoundedFIFO(t *testing.T) {
+	m := newSpecMemo(2)
+	m.put("a", specTarget{key: "k1", hash: "h1"})
+	m.put("b", specTarget{key: "k2", hash: "h2"})
+	if got, ok := m.get("a"); !ok || got.key != "k1" || got.hash != "h1" {
+		t.Fatalf("get(a) = %+v, %v", got, ok)
+	}
+	// Update in place must not grow the memo or change eviction order.
+	m.put("a", specTarget{key: "k1b", hash: "h1b"})
+	if got, _ := m.get("a"); got.key != "k1b" {
+		t.Fatalf("update lost: %+v", got)
+	}
+	// Third insert evicts the oldest ("a": FIFO, recency is not tracked).
+	m.put("c", specTarget{key: "k3", hash: "h3"})
+	if _, ok := m.get("a"); ok {
+		t.Error("oldest entry not evicted at capacity")
+	}
+	for _, want := range []string{"b", "c"} {
+		if _, ok := m.get(want); !ok {
+			t.Errorf("entry %q missing after eviction", want)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"distmwis/internal/stats"
+	"distmwis/internal/trace"
+)
+
+// latencySampler keeps a bounded reservoir of recent latencies per label and
+// reports quantiles at scrape time via stats.Quantile. A plain ring of the
+// last maxSamples observations is deliberate: the service cares about
+// recent tail latency, not all-time.
+type latencySampler struct {
+	mu      sync.Mutex
+	samples map[string][]float64 // label → ring of seconds
+	next    map[string]int       // label → next write position
+	count   map[string]int64     // label → total observations
+	sum     map[string]float64   // label → total seconds
+	cap     int
+}
+
+func newLatencySampler(capPerLabel int) *latencySampler {
+	if capPerLabel < 16 {
+		capPerLabel = 16
+	}
+	return &latencySampler{
+		samples: make(map[string][]float64),
+		next:    make(map[string]int),
+		count:   make(map[string]int64),
+		sum:     make(map[string]float64),
+		cap:     capPerLabel,
+	}
+}
+
+func (l *latencySampler) observe(label string, seconds float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ring := l.samples[label]
+	if len(ring) < l.cap {
+		l.samples[label] = append(ring, seconds)
+	} else {
+		ring[l.next[label]%l.cap] = seconds
+		l.next[label] = (l.next[label] + 1) % l.cap
+	}
+	l.count[label]++
+	l.sum[label] += seconds
+}
+
+// quantiles returns per-label p50/p95/p99 snapshots, labels sorted.
+func (l *latencySampler) quantiles() []latencyQuantiles {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	labels := make([]string, 0, len(l.samples))
+	for label := range l.samples {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	out := make([]latencyQuantiles, 0, len(labels))
+	for _, label := range labels {
+		sorted := append([]float64(nil), l.samples[label]...)
+		sort.Float64s(sorted)
+		out = append(out, latencyQuantiles{
+			Label: label,
+			Count: l.count[label],
+			Sum:   l.sum[label],
+			P50:   stats.Quantile(sorted, 0.50),
+			P95:   stats.Quantile(sorted, 0.95),
+			P99:   stats.Quantile(sorted, 0.99),
+		})
+	}
+	return out
+}
+
+type latencyQuantiles struct {
+	Label         string
+	Count         int64
+	Sum           float64
+	P50, P95, P99 float64
+}
+
+// metrics aggregates every service counter exposed on /metrics. Engine
+// totals come from a trace.Totals installed as the Tracer of every solve.
+type metrics struct {
+	requests  atomic.Int64 // POST /v1/solve accepted for processing
+	rejected  atomic.Int64 // 429 token-bucket rejections
+	shed      atomic.Int64 // degraded (greedy) responses
+	failures  atomic.Int64 // solves that returned an error
+	deadlines atomic.Int64 // jobs expired before or during solve wait
+
+	latency *latencySampler
+	engine  *trace.Totals
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		latency: newLatencySampler(4096),
+		engine:  &trace.Totals{},
+	}
+}
+
+// write renders the Prometheus text exposition format. Only the subset of
+// the format the ecosystem's scrapers need: HELP/TYPE comments, counters,
+// gauges and summary quantiles.
+func (m *metrics) write(w io.Writer, srv *Server) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("maxisd_requests_total", "Solve requests accepted for processing.", m.requests.Load())
+	counter("maxisd_rejected_total", "Requests rejected by the token bucket (429).", m.rejected.Load())
+	counter("maxisd_degraded_total", "Requests answered by the degraded greedy tier.", m.shed.Load())
+	counter("maxisd_failures_total", "Solves that returned an error.", m.failures.Load())
+	counter("maxisd_deadline_total", "Jobs that missed their deadline.", m.deadlines.Load())
+
+	hits, misses, evictions, dedups, used, entries := srv.cache.stats()
+	counter("maxisd_cache_hits_total", "Content-addressed cache hits.", hits)
+	counter("maxisd_cache_misses_total", "Content-addressed cache misses.", misses)
+	counter("maxisd_cache_evictions_total", "Entries evicted by the byte budget.", evictions)
+	counter("maxisd_singleflight_shared_total", "Requests served by another request's in-flight solve.", dedups)
+	gauge("maxisd_cache_bytes", "Bytes currently held by the result cache.", used)
+	gauge("maxisd_cache_entries", "Entries currently held by the result cache.", int64(entries))
+
+	gauge("maxisd_queue_depth", "Jobs queued and not yet started.", int64(srv.sched.depth()))
+	gauge("maxisd_jobs_inflight", "Jobs currently being solved.", srv.sched.inflight.Load())
+	counter("maxisd_jobs_done_total", "Jobs completed by the worker pool.", srv.sched.done.Load())
+	counter("maxisd_jobs_expired_total", "Jobs skipped because their deadline passed in queue.", srv.sched.expired.Load())
+
+	// Engine totals from the shared trace.Totals tracer.
+	eng := m.engine.Snapshot()
+	counter("maxisd_engine_runs_total", "CONGEST protocol phases executed.", int64(eng.Runs))
+	counter("maxisd_engine_rounds_total", "Synchronous rounds simulated.", int64(eng.Rounds))
+	counter("maxisd_engine_messages_total", "Messages delivered across all rounds.", eng.Messages)
+	counter("maxisd_engine_bits_total", "Payload bits delivered across all rounds.", eng.Bits)
+	counter("maxisd_engine_retransmits_total", "Reliable-transport retransmissions.", eng.Retransmits)
+
+	fmt.Fprintf(w, "# HELP maxisd_solve_latency_seconds Recent solve latency quantiles per algorithm.\n")
+	fmt.Fprintf(w, "# TYPE maxisd_solve_latency_seconds summary\n")
+	for _, q := range m.latency.quantiles() {
+		fmt.Fprintf(w, "maxisd_solve_latency_seconds{alg=%q,quantile=\"0.5\"} %g\n", q.Label, q.P50)
+		fmt.Fprintf(w, "maxisd_solve_latency_seconds{alg=%q,quantile=\"0.95\"} %g\n", q.Label, q.P95)
+		fmt.Fprintf(w, "maxisd_solve_latency_seconds{alg=%q,quantile=\"0.99\"} %g\n", q.Label, q.P99)
+		fmt.Fprintf(w, "maxisd_solve_latency_seconds_sum{alg=%q} %g\n", q.Label, q.Sum)
+		fmt.Fprintf(w, "maxisd_solve_latency_seconds_count{alg=%q} %d\n", q.Label, q.Count)
+	}
+}

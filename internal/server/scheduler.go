@@ -1,0 +1,174 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// errQueueFull is returned by submit when the job's priority queue is at
+// capacity; the HTTP layer maps it to 503.
+var errQueueFull = errors.New("server: submission queue full")
+
+// errDraining is returned by submit once shutdown has begun.
+var errDraining = errors.New("server: draining, not accepting jobs")
+
+// job is one unit of scheduler work. The run closure performs the solve;
+// the scheduler owns queueing, priority, deadline and drain semantics.
+type job struct {
+	id       string
+	priority string
+	// ctx carries the job deadline (and, for sync requests, client
+	// disconnect). A job whose context is already done at dequeue time is
+	// skipped without solving.
+	ctx context.Context
+	// run executes the solve. It must honour nothing beyond its argument:
+	// the scheduler calls it exactly once or never.
+	run func(ctx context.Context)
+	// skipped is closed instead of run when the deadline expired in queue.
+	skipped chan struct{}
+}
+
+// scheduler is a bounded two-priority queue feeding a fixed worker pool.
+// Interactive jobs are scheduled strictly before batch jobs; within a
+// class, FIFO. Shutdown stops admissions immediately and drains everything
+// already accepted.
+type scheduler struct {
+	interactive chan *job
+	batch       chan *job
+
+	draining atomic.Bool
+	wg       sync.WaitGroup // live workers
+	stop     chan struct{}  // closed to let idle workers exit during drain
+
+	inflight atomic.Int64 // jobs currently being solved
+	done     atomic.Int64 // jobs completed (run returned)
+	expired  atomic.Int64 // jobs skipped because their deadline passed in queue
+}
+
+func newScheduler(workers, queueDepth int) *scheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 1 {
+		queueDepth = 1
+	}
+	s := &scheduler{
+		interactive: make(chan *job, queueDepth),
+		batch:       make(chan *job, queueDepth),
+		stop:        make(chan struct{}),
+	}
+	s.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// depth reports queued (not yet started) jobs across both classes.
+func (s *scheduler) depth() int {
+	return len(s.interactive) + len(s.batch)
+}
+
+// submit enqueues j without blocking. Full queue or active drain fail fast
+// so the admission layer can shed instead of stalling the client.
+func (s *scheduler) submit(j *job) error {
+	if s.draining.Load() {
+		return errDraining
+	}
+	q := s.interactive
+	if j.priority == "batch" {
+		q = s.batch
+	}
+	select {
+	case q <- j:
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
+// worker pulls jobs with strict priority: interactive first, then batch.
+func (s *scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		// Fast path: an interactive job is waiting.
+		select {
+		case j := <-s.interactive:
+			s.execute(j)
+			continue
+		default:
+		}
+		select {
+		case j := <-s.interactive:
+			s.execute(j)
+		case j := <-s.batch:
+			s.execute(j)
+		case <-s.stop:
+			// Drain: consume whatever is still queued, then exit.
+			for {
+				select {
+				case j := <-s.interactive:
+					s.execute(j)
+				case j := <-s.batch:
+					s.execute(j)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (s *scheduler) execute(j *job) {
+	select {
+	case <-j.ctx.Done():
+		// Deadline or disconnect while queued: never start the solve.
+		s.expired.Add(1)
+		close(j.skipped)
+		return
+	default:
+	}
+	s.inflight.Add(1)
+	j.run(j.ctx)
+	s.inflight.Add(-1)
+	s.done.Add(1)
+}
+
+// drain stops admissions, lets the workers finish every accepted job, and
+// returns nil once all workers exited — or an error if that took longer
+// than timeout. In-flight solves are never abandoned; on timeout they keep
+// running but the caller is free to exit.
+func (s *scheduler) drain(timeout time.Duration) error {
+	if s.draining.CompareAndSwap(false, true) {
+		close(s.stop)
+	}
+	finished := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		// A submit racing the drain flag can land a job after the workers
+		// exited; fail those jobs rather than leaving their clients hanging.
+		for {
+			select {
+			case j := <-s.interactive:
+				s.expired.Add(1)
+				close(j.skipped)
+			case j := <-s.batch:
+				s.expired.Add(1)
+				close(j.skipped)
+			default:
+				return nil
+			}
+		}
+	case <-time.After(timeout):
+		return fmt.Errorf("server: drain timed out after %v with %d jobs in flight",
+			timeout, s.inflight.Load())
+	}
+}

@@ -1,0 +1,200 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func newTestJob(priority string, run func()) *job {
+	return &job{
+		id:       "t",
+		priority: priority,
+		ctx:      context.Background(),
+		skipped:  make(chan struct{}),
+		run:      func(context.Context) { run() },
+	}
+}
+
+func TestSchedulerRunsJobs(t *testing.T) {
+	s := newScheduler(2, 8)
+	var done sync.WaitGroup
+	var count atomic.Int64
+	for i := 0; i < 6; i++ {
+		done.Add(1)
+		j := newTestJob("interactive", func() {
+			count.Add(1)
+			done.Done()
+		})
+		if err := s.submit(j); err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+	}
+	done.Wait()
+	if count.Load() != 6 {
+		t.Fatalf("ran %d jobs, want 6", count.Load())
+	}
+	if err := s.drain(time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchedulerQueueBound(t *testing.T) {
+	s := newScheduler(1, 2)
+	block := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	if err := s.submit(newTestJob("interactive", func() { <-block; wg.Done() })); err != nil {
+		t.Fatalf("submit blocker: %v", err)
+	}
+	// Wait until the worker picked up the blocker so the queue is empty.
+	deadline := time.Now().Add(time.Second)
+	for s.inflight.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	accepted := 0
+	for i := 0; i < 5; i++ {
+		wg.Add(1)
+		if err := s.submit(newTestJob("interactive", func() { wg.Done() })); err != nil {
+			wg.Done()
+			if err != errQueueFull {
+				t.Fatalf("unexpected submit error: %v", err)
+			}
+			continue
+		}
+		accepted++
+	}
+	if accepted != 2 {
+		t.Fatalf("accepted %d jobs beyond in-flight, want queue depth 2", accepted)
+	}
+	close(block)
+	wg.Wait()
+	if err := s.drain(time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchedulerStrictPriority(t *testing.T) {
+	s := newScheduler(1, 16)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	var order []string
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(1)
+	if err := s.submit(newTestJob("interactive", func() { close(started); <-block; wg.Done() })); err != nil {
+		t.Fatal(err)
+	}
+	<-started // worker is busy; everything below queues up
+	record := func(class string) func() {
+		return func() {
+			mu.Lock()
+			order = append(order, class)
+			mu.Unlock()
+			wg.Done()
+		}
+	}
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		if err := s.submit(newTestJob("batch", record("batch"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		if err := s.submit(newTestJob("interactive", record("interactive"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(block)
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	// All interactive jobs must run before any batch job even though the
+	// batch jobs were enqueued first.
+	for i, class := range order {
+		if class == "interactive" && i >= 3 {
+			t.Fatalf("interactive job ran at position %d: order %v", i, order)
+		}
+	}
+	_ = s.drain(time.Second)
+}
+
+func TestSchedulerSkipsExpiredJobs(t *testing.T) {
+	s := newScheduler(1, 8)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	if err := s.submit(newTestJob("interactive", func() { close(started); <-block })); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{
+		id:       "expired",
+		priority: "interactive",
+		ctx:      ctx,
+		skipped:  make(chan struct{}),
+		run: func(context.Context) {
+			t.Error("expired job must not run")
+		},
+	}
+	if err := s.submit(j); err != nil {
+		t.Fatal(err)
+	}
+	cancel() // expire while queued
+	close(block)
+	select {
+	case <-j.skipped:
+	case <-time.After(time.Second):
+		t.Fatal("expired job was not skipped")
+	}
+	if s.expired.Load() != 1 {
+		t.Fatalf("expired counter = %d, want 1", s.expired.Load())
+	}
+	_ = s.drain(time.Second)
+}
+
+func TestSchedulerDrainCompletesQueuedJobs(t *testing.T) {
+	s := newScheduler(1, 8)
+	var count atomic.Int64
+	block := make(chan struct{})
+	started := make(chan struct{})
+	if err := s.submit(newTestJob("interactive", func() { close(started); <-block; count.Add(1) })); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	for i := 0; i < 4; i++ {
+		if err := s.submit(newTestJob("batch", func() { count.Add(1) })); err != nil {
+			t.Fatal(err)
+		}
+	}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(block)
+	}()
+	if err := s.drain(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 5 {
+		t.Fatalf("drain completed %d jobs, want all 5", count.Load())
+	}
+	if err := s.submit(newTestJob("interactive", func() {})); err != errDraining {
+		t.Fatalf("submit after drain: %v, want errDraining", err)
+	}
+}
+
+func TestSchedulerDrainTimeout(t *testing.T) {
+	s := newScheduler(1, 2)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	if err := s.submit(newTestJob("interactive", func() { close(started); <-block })); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if err := s.drain(30 * time.Millisecond); err == nil {
+		t.Fatal("drain should time out while a job is stuck")
+	}
+	close(block)
+}

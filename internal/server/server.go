@@ -1,0 +1,459 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"distmwis/internal/graph"
+	"distmwis/internal/maxis"
+)
+
+// Options configures a Server. The zero value is usable; every field has a
+// sane default.
+type Options struct {
+	// Workers is the scheduler worker pool size (default 4).
+	Workers int
+	// SolveWorkers is the congest engine parallelism per solve (default 1:
+	// the service parallelises across requests, not within one).
+	SolveWorkers int
+	// QueueDepth bounds each priority queue (default 256).
+	QueueDepth int
+	// CacheBytes is the result cache byte budget (default 64 MiB; negative
+	// disables the cache).
+	CacheBytes int64
+	// Rate and Burst configure the admission token bucket in requests per
+	// second (Rate <= 0 disables rate limiting; Burst defaults to 2×Rate).
+	Rate  float64
+	Burst int
+	// ShedDepth is the queued-job count beyond which new requests are
+	// downgraded to the degraded greedy tier (default QueueDepth/2).
+	ShedDepth int
+	// DrainTimeout bounds graceful shutdown (default 30s).
+	DrainTimeout time.Duration
+	// JobHistory bounds the GET /v1/jobs records kept (default 4096).
+	JobHistory int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.SolveWorkers <= 0 {
+		o.SolveWorkers = 1
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 256
+	}
+	if o.CacheBytes == 0 {
+		o.CacheBytes = 64 << 20
+	}
+	if o.Burst <= 0 {
+		o.Burst = int(2 * o.Rate)
+	}
+	if o.ShedDepth <= 0 {
+		o.ShedDepth = o.QueueDepth / 2
+		if o.ShedDepth < 1 {
+			o.ShedDepth = 1
+		}
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 30 * time.Second
+	}
+	if o.JobHistory <= 0 {
+		o.JobHistory = 4096
+	}
+	return o
+}
+
+// Server is the MaxIS service: scheduler + cache + admission + HTTP API.
+type Server struct {
+	opts    Options
+	sched   *scheduler
+	cache   *resultCache
+	specs   *specMemo
+	bucket  *tokenBucket
+	metrics *metrics
+
+	jobs     *jobStore
+	jobSeq   atomic.Int64
+	shutdown atomic.Bool
+}
+
+// New assembles a Server; Handler exposes it over HTTP.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	return &Server{
+		opts:    opts,
+		sched:   newScheduler(opts.Workers, opts.QueueDepth),
+		cache:   newResultCache(opts.CacheBytes),
+		specs:   newSpecMemo(1 << 16),
+		bucket:  newTokenBucket(opts.Rate, opts.Burst),
+		metrics: newMetrics(),
+		jobs:    newJobStore(opts.JobHistory),
+	}
+}
+
+// Handler returns the HTTP API mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.shutdown.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s.metrics.write(w, s)
+	})
+	return mux
+}
+
+// BeginShutdown flips the server to draining: /readyz turns 503 and new
+// solve submissions are rejected. Idempotent.
+func (s *Server) BeginShutdown() { s.shutdown.Store(true) }
+
+// Drain completes graceful shutdown: stops the worker pool after every
+// accepted job finished, or errors after the configured drain timeout.
+func (s *Server) Drain() error {
+	s.BeginShutdown()
+	return s.sched.drain(s.opts.DrainTimeout)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func errorResponse(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, SolveResponse{Status: "failed", Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if s.shutdown.Load() {
+		errorResponse(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	if !s.bucket.allow() {
+		s.metrics.rejected.Add(1)
+		errorResponse(w, http.StatusTooManyRequests, "rate limit exceeded")
+		return
+	}
+	var req SolveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		errorResponse(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if err := req.normalize(); err != nil {
+		errorResponse(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Fast path: a repeat generator-spec request whose result is still
+	// cached is answered without rebuilding the graph — the spec memo
+	// resolves the request fingerprint straight to the cache line. The memo
+	// is advisory: on any miss (either level) we fall through to the full
+	// build-hash-lookup path below.
+	var specKey string
+	if req.Gen != nil && !req.NoCache {
+		specKey = req.specFingerprint()
+		if !req.Async {
+			if t, ok := s.specs.get(specKey); ok {
+				if e, ok := s.cache.get(t.key); ok {
+					s.metrics.requests.Add(1)
+					s.metrics.latency.observe("cache_hit", time.Since(start).Seconds())
+					resp := entryResponse(e, true, false)
+					resp.ID = fmt.Sprintf("job-%d", s.jobSeq.Add(1))
+					resp.GraphHash = t.hash
+					resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+					writeJSON(w, http.StatusOK, resp)
+					return
+				}
+			}
+		}
+	}
+	g, err := req.buildGraph()
+	if err != nil {
+		errorResponse(w, http.StatusBadRequest, "graph: %v", err)
+		return
+	}
+	cfg, err := req.maxisConfig(s.opts.SolveWorkers)
+	if err != nil {
+		errorResponse(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if cfg.Faults.Enabled() {
+		if err := cfg.Faults.ValidateFor(g.N()); err != nil {
+			errorResponse(w, http.StatusBadRequest, "fault schedule: %v", err)
+			return
+		}
+	}
+	// Mirror the cmd/maxis wiring: generator specs with bounded weight
+	// families hand the nominal bound W to the engine instead of letting it
+	// scan the graph.
+	if req.Gen != nil && (req.Gen.Weights == "uniform" || req.Gen.Weights == "skewed") {
+		cfg.MaxWeight = req.Gen.MaxW
+		if cfg.MaxWeight <= 0 {
+			cfg.MaxWeight = 1000
+		}
+	}
+	s.metrics.requests.Add(1)
+
+	key := cacheKey(g.Canonical(), req.fingerprint()+fmt.Sprintf("|W=%d", cfg.MaxWeight))
+	id := fmt.Sprintf("job-%d", s.jobSeq.Add(1))
+	hash := g.HashString()
+	if specKey != "" {
+		s.specs.put(specKey, specTarget{key: key, hash: hash})
+	}
+
+	if req.Async {
+		rec := s.jobs.create(id)
+		ctx := context.Background()
+		var cancel context.CancelFunc = func() {}
+		if req.DeadlineMS > 0 {
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
+		}
+		go func() {
+			defer cancel()
+			resp := s.execute(ctx, &req, g, cfg, key, id, hash, start)
+			rec.store(resp)
+		}()
+		writeJSON(w, http.StatusAccepted, SolveResponse{ID: id, Status: "queued", GraphHash: hash})
+		return
+	}
+
+	ctx := r.Context()
+	var cancel context.CancelFunc = func() {}
+	if req.DeadlineMS > 0 {
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
+	}
+	defer cancel()
+	resp := s.execute(ctx, &req, g, cfg, key, id, hash, start)
+	writeJSON(w, statusCode(&resp), resp)
+}
+
+// statusCode maps a terminal SolveResponse to its HTTP status.
+func statusCode(resp *SolveResponse) int {
+	switch resp.Status {
+	case "done":
+		return http.StatusOK
+	case "deadline":
+		return http.StatusGatewayTimeout
+	default:
+		if resp.Error == errQueueFull.Error() || resp.Error == errDraining.Error() {
+			return http.StatusServiceUnavailable
+		}
+		return http.StatusInternalServerError
+	}
+}
+
+// execute runs the full pipeline for one request: cache lookup, shed
+// decision, single-flight, scheduling, solve. It always returns a terminal
+// response.
+func (s *Server) execute(ctx context.Context, req *SolveRequest, g *graph.Graph, cfg maxis.Config, key, id, hash string, start time.Time) SolveResponse {
+	finish := func(resp SolveResponse) SolveResponse {
+		resp.ID = id
+		resp.GraphHash = hash
+		resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+		return resp
+	}
+
+	if !req.NoCache {
+		if e, ok := s.cache.get(key); ok {
+			s.metrics.latency.observe("cache_hit", time.Since(start).Seconds())
+			return finish(entryResponse(e, true, false))
+		}
+	}
+
+	// Load shedding: past the queue-depth threshold, answer with the cheap
+	// deterministic greedy tier instead of queueing a full solve.
+	if s.sched.depth() >= s.opts.ShedDepth {
+		set, weight := greedyDegraded(g)
+		s.metrics.shed.Add(1)
+		s.metrics.latency.observe("degraded", time.Since(start).Seconds())
+		return finish(SolveResponse{
+			Status:   "done",
+			Set:      setIndices(set),
+			Size:     graph.SetSize(set),
+			Weight:   weight,
+			Degraded: true,
+		})
+	}
+
+	entry, shared, err := s.cache.do(ctx, key, func() (*cacheEntry, error) {
+		return s.runScheduled(ctx, req, g, cfg, key)
+	})
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			s.metrics.deadlines.Add(1)
+			return finish(SolveResponse{Status: "deadline", Error: err.Error()})
+		default:
+			s.metrics.failures.Add(1)
+			return finish(SolveResponse{Status: "failed", Error: err.Error()})
+		}
+	}
+	s.metrics.latency.observe(req.Alg, time.Since(start).Seconds())
+	return finish(entryResponse(entry, false, shared))
+}
+
+// runScheduled enqueues the solve on the worker pool and waits for it (or
+// for ctx). The solve result is cached worker-side, so even if this waiter
+// times out the completed work is kept.
+func (s *Server) runScheduled(ctx context.Context, req *SolveRequest, g *graph.Graph, cfg maxis.Config, key string) (*cacheEntry, error) {
+	type outcome struct {
+		entry *cacheEntry
+		err   error
+	}
+	ch := make(chan outcome, 1)
+	j := &job{
+		id:       key,
+		priority: req.Priority,
+		ctx:      ctx,
+		skipped:  make(chan struct{}),
+		run: func(context.Context) {
+			entry, err := s.solve(req, g, cfg, key)
+			if err == nil && !req.NoCache {
+				s.cache.put(entry)
+			}
+			ch <- outcome{entry, err}
+		},
+	}
+	if err := s.sched.submit(j); err != nil {
+		return nil, err
+	}
+	select {
+	case out := <-ch:
+		return out.entry, out.err
+	case <-j.skipped:
+		return nil, context.DeadlineExceeded
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// solve performs the actual algorithm run; it executes on a scheduler
+// worker.
+func (s *Server) solve(req *SolveRequest, g *graph.Graph, cfg maxis.Config, key string) (*cacheEntry, error) {
+	cfg.Tracer = s.metrics.engine
+	cfg.TraceLabel = req.Alg
+	res, err := maxis.Solve(req.Alg, g, req.Eps, req.Alpha, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &cacheEntry{
+		key:      key,
+		set:      boolsToIndices(res.Set),
+		weight:   res.Weight,
+		rounds:   res.Metrics.Rounds,
+		messages: res.Metrics.Messages,
+		bits:     res.Metrics.Bits,
+	}, nil
+}
+
+func entryResponse(e *cacheEntry, cached, shared bool) SolveResponse {
+	return SolveResponse{
+		Status:   "done",
+		Set:      e.set,
+		Size:     len(e.set),
+		Weight:   e.weight,
+		Rounds:   e.rounds,
+		Messages: e.messages,
+		Bits:     e.bits,
+		Cached:   cached,
+		Shared:   shared,
+		Degraded: e.degraded,
+	}
+}
+
+func boolsToIndices(set []bool) []int32 {
+	var out []int32
+	for v, in := range set {
+		if in {
+			out = append(out, int32(v))
+		}
+	}
+	return out
+}
+
+func setIndices(set []bool) []int32 { return boolsToIndices(set) }
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := s.jobs.get(id)
+	if !ok {
+		errorResponse(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	resp := rec.load()
+	status := http.StatusOK
+	if resp.Status == "queued" || resp.Status == "running" {
+		status = http.StatusAccepted
+	}
+	writeJSON(w, status, resp)
+}
+
+// jobStore keeps the last JobHistory async job records with FIFO eviction.
+type jobStore struct {
+	mu    sync.Mutex
+	cap   int
+	byID  map[string]*jobRecord
+	order *list.List // front = newest
+}
+
+type jobRecord struct {
+	mu   sync.Mutex
+	resp SolveResponse
+}
+
+func (r *jobRecord) store(resp SolveResponse) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.resp = resp
+}
+
+func (r *jobRecord) load() SolveResponse {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.resp
+}
+
+func newJobStore(capacity int) *jobStore {
+	return &jobStore{cap: capacity, byID: make(map[string]*jobRecord), order: list.New()}
+}
+
+func (s *jobStore) create(id string) *jobRecord {
+	rec := &jobRecord{resp: SolveResponse{ID: id, Status: "queued"}}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.byID[id] = rec
+	s.order.PushFront(id)
+	for s.order.Len() > s.cap {
+		back := s.order.Back()
+		delete(s.byID, back.Value.(string))
+		s.order.Remove(back)
+	}
+	return rec
+}
+
+func (s *jobStore) get(id string) (*jobRecord, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.byID[id]
+	return rec, ok
+}

@@ -173,3 +173,54 @@ func TestQuickSummaryInvariants(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestSummarizeEmpty: an empty (or nil) sample must yield the zero Summary,
+// and the helpers built on sorted samples must degrade to zero rather than
+// panic.
+func TestSummarizeEmpty(t *testing.T) {
+	for _, xs := range [][]float64{nil, {}} {
+		s := Summarize(xs)
+		if s != (Summary{}) {
+			t.Errorf("Summarize(%v) = %+v, want zero Summary", xs, s)
+		}
+		if q := Quantile(xs, 0.5); q != 0 {
+			t.Errorf("Quantile(%v, 0.5) = %v, want 0", xs, q)
+		}
+		if f := FractionBelow(xs, math.Inf(1)); f != 0 {
+			t.Errorf("FractionBelow(%v, +Inf) = %v, want 0", xs, f)
+		}
+	}
+}
+
+// TestQuantileSingleElement: every quantile of a one-element sample is that
+// element, including the q<=0 and q>=1 clamps.
+func TestQuantileSingleElement(t *testing.T) {
+	xs := []float64{42.5}
+	for _, q := range []float64{-1, 0, 0.01, 0.25, 0.5, 0.75, 0.99, 1, 2} {
+		if got := Quantile(xs, q); got != 42.5 {
+			t.Errorf("Quantile([42.5], %v) = %v, want 42.5", q, got)
+		}
+	}
+	s := Summarize(xs)
+	if s.N != 1 || s.Mean != 42.5 || s.Min != 42.5 || s.Max != 42.5 ||
+		s.Median != 42.5 || s.P10 != 42.5 || s.P90 != 42.5 {
+		t.Errorf("single-element summary wrong: %+v", s)
+	}
+	if s.Var != 0 || s.StdDev != 0 {
+		t.Errorf("single-element variance must be 0, got Var=%v StdDev=%v", s.Var, s.StdDev)
+	}
+}
+
+// TestQuantileClampsAndInterpolation pins the interpolation contract on a
+// two-element sample: endpoints at q∈{0,1}, linear in between.
+func TestQuantileClampsAndInterpolation(t *testing.T) {
+	xs := []float64{10, 20}
+	cases := []struct{ q, want float64 }{
+		{-0.5, 10}, {0, 10}, {0.25, 12.5}, {0.5, 15}, {0.75, 17.5}, {1, 20}, {1.5, 20},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v, %v) = %v, want %v", xs, c.q, got, c.want)
+		}
+	}
+}

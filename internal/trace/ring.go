@@ -149,4 +149,31 @@ func (t *Totals) OnRound(r Round) {
 // EndRun implements Tracer.
 func (t *Totals) EndRun(Summary) {}
 
+// TotalsSnapshot is a point-in-time copy of a Totals' counters.
+type TotalsSnapshot struct {
+	Runs          int
+	Rounds        int
+	Messages      int64
+	Bits          int64
+	Retransmits   int64
+	ComputeNanos  int64
+	DeliveryNanos int64
+}
+
+// Snapshot copies the counters under the lock, so long-lived monitoring
+// readers (e.g. a /metrics scrape) never race concurrent runs.
+func (t *Totals) Snapshot() TotalsSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return TotalsSnapshot{
+		Runs:          t.Runs,
+		Rounds:        t.Rounds,
+		Messages:      t.Messages,
+		Bits:          t.Bits,
+		Retransmits:   t.Retransmits,
+		ComputeNanos:  t.ComputeNanos,
+		DeliveryNanos: t.DeliveryNanos,
+	}
+}
+
 var _ Tracer = (*Totals)(nil)

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Smoke test for the maxisd serving layer, run by CI and `make smoke`:
+# build every cmd binary, boot the daemon on an ephemeral port, probe the
+# health and metrics endpoints, push a short closed-loop loadgen burst
+# (zero failed requests allowed), then require a clean SIGTERM drain.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BIN="$(mktemp -d)"
+LOG="$BIN/maxisd.log"
+PID=""
+cleanup() {
+	[ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+	rm -rf "$BIN"
+}
+trap cleanup EXIT
+
+echo "smoke: building cmd binaries"
+go build -o "$BIN" ./cmd/...
+
+"$BIN/maxisd" -addr 127.0.0.1:0 -workers 4 >"$LOG" 2>&1 &
+PID=$!
+
+ADDR=""
+for _ in $(seq 1 50); do
+	ADDR=$(sed -n 's/^maxisd: serving on \([^ ]*\).*/\1/p' "$LOG")
+	[ -n "$ADDR" ] && break
+	sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+	echo "smoke: daemon never announced its address" >&2
+	cat "$LOG" >&2
+	exit 1
+fi
+BASE="http://$ADDR"
+echo "smoke: daemon up at $BASE"
+
+curl -fsS "$BASE/healthz" >/dev/null
+curl -fsS "$BASE/readyz" >/dev/null
+curl -fsS "$BASE/metrics" | grep -q '^maxisd_requests_total '
+
+echo "smoke: 5s loadgen burst"
+"$BIN/loadgen" -addr "$BASE" -duration "${SMOKE_DURATION:-5s}" -rps 1000 \
+	-concurrency 16 -repeat 0.9 -graphs gnp,cycle,tree -n 120 -alg goodnodes
+
+# The repeated-seed mix must have produced real cache traffic.
+HITS=$(curl -fsS "$BASE/metrics" | sed -n 's/^maxisd_cache_hits_total //p')
+if [ -z "$HITS" ] || [ "$HITS" -eq 0 ]; then
+	echo "smoke: expected cache hits, got '${HITS:-none}'" >&2
+	exit 1
+fi
+
+kill -TERM "$PID"
+for _ in $(seq 1 100); do
+	kill -0 "$PID" 2>/dev/null || break
+	sleep 0.1
+done
+if kill -0 "$PID" 2>/dev/null; then
+	echo "smoke: daemon did not exit after SIGTERM" >&2
+	cat "$LOG" >&2
+	exit 1
+fi
+if ! wait "$PID"; then
+	echo "smoke: daemon exited non-zero" >&2
+	cat "$LOG" >&2
+	exit 1
+fi
+PID=""
+if ! grep -q 'drained, exiting' "$LOG"; then
+	echo "smoke: missing drain message" >&2
+	cat "$LOG" >&2
+	exit 1
+fi
+echo "smoke: OK (cache hits: $HITS)"
