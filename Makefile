@@ -1,11 +1,21 @@
 GO ?= go
 
-.PHONY: all vet build build-cmds test race fuzz experiments recovery-sweep serve loadtest smoke bench-serve clean
+.PHONY: all vet lint build build-cmds test race fuzz experiments recovery-sweep serve loadtest smoke bench-serve clean
 
 all: vet build test
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond go vet. staticcheck is not vendored and the
+# target never installs anything: it runs the tool when present and
+# prints the install hint otherwise (CI installs it in the lint job).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not found; skipping (install: go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 build:
 	$(GO) build ./...

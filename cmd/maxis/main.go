@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -23,8 +24,13 @@ import (
 	"distmwis/internal/graph"
 	"distmwis/internal/graph/gen"
 	"distmwis/internal/maxis"
-	"distmwis/internal/mis"
+	"distmwis/internal/protocol"
 	"distmwis/internal/trace"
+
+	// Imported for their registry side effects: every solver and MIS black
+	// box this command accepts comes from the protocol registry, so the
+	// algorithm packages must be linked in.
+	_ "distmwis/internal/mis"
 )
 
 func main() {
@@ -41,11 +47,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		k         = fs.Int("k", 2, "forest count for -graph forests / legs for caterpillar / n1 for coc")
 		weights   = fs.String("weights", "unit", "unit|uniform|poly2|poly3|expspread|skewed")
 		maxW      = fs.Int64("maxw", 1000, "max weight for -weights uniform")
-		algName   = fs.String("alg", "theorem2", "goodnodes|sparsified|theorem1|theorem2|theorem3|theorem5|ranking|oneround|baseline")
+		algName   = fs.String("alg", "theorem2", strings.Join(maxis.AlgorithmNames(), "|"))
 		eps       = fs.Float64("eps", 0.5, "epsilon for boosted algorithms")
 		alpha     = fs.Int("alpha", 0, "arboricity bound for theorem3 (0 = degeneracy)")
 		seed      = fs.Uint64("seed", 1, "random seed")
-		misName   = fs.String("mis", "luby", "MIS black box: luby|ghaffari|rank")
+		misName   = fs.String("mis", "luby", "MIS black box: "+strings.Join(protocol.Names(protocol.KindMIS), "|"))
 		local     = fs.Bool("local", false, "LOCAL model (no bandwidth bound)")
 		showOpt   = fs.Bool("opt", false, "also compute exact OPT (small graphs only)")
 		doTrace   = fs.Bool("trace", false, "record a per-round trace and print the phase timeline")
@@ -85,16 +91,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	var misAlg mis.Algorithm
-	switch *misName {
-	case "luby":
-		misAlg = mis.Luby{}
-	case "ghaffari":
-		misAlg = mis.Ghaffari{}
-	case "rank":
-		misAlg = mis.Rank{}
-	default:
-		fmt.Fprintf(stderr, "maxis: unknown MIS algorithm %q\n", *misName)
+	misAlg, err := protocol.MISByName(*misName)
+	if err != nil {
+		fmt.Fprintf(stderr, "maxis: %v\n", err)
 		return 1
 	}
 	cfg := maxis.Config{Seed: *seed, MIS: misAlg, Local: *local}
@@ -247,11 +246,19 @@ func validateFlags(v flagValues) error {
 	if v.alpha < 0 {
 		return fmt.Errorf("-alpha must be non-negative, got %d", v.alpha)
 	}
-	switch v.alg {
-	case "theorem1", "theorem2", "theorem3", "theorem5":
-		if v.eps <= 0 {
-			return fmt.Errorf("-eps must be positive for %s, got %g", v.alg, v.eps)
+	// Per-algorithm parameter rules live with the algorithm's registry
+	// entry, not here: whatever Normalize rejects is surfaced as a flag
+	// error, with the parameter name rendered as the flag that carries it.
+	solver, err := protocol.SolverByName(v.alg)
+	if err != nil {
+		return err
+	}
+	if _, err := solver.Normalize(protocol.Params{Eps: v.eps, Alpha: v.alpha}); err != nil {
+		var perr *protocol.ParamError
+		if errors.As(err, &perr) {
+			return fmt.Errorf("-%s %s", perr.Param, perr.Detail)
 		}
+		return err
 	}
 	if (v.weights == "uniform" || v.weights == "skewed") && v.maxW <= 0 {
 		return fmt.Errorf("-maxw must be positive for -weights %s, got %d", v.weights, v.maxW)
@@ -327,52 +334,21 @@ func applyWeights(g *graph.Graph, kind string, maxW int64, seed uint64) (*graph.
 	}
 }
 
+// runAlgorithm resolves name through the protocol registry and returns the
+// result together with the algorithm's certified guarantee line. Any solver
+// registered with protocol.Register is runnable here without edits.
 func runAlgorithm(name string, g *graph.Graph, eps float64, alpha int, cfg maxis.Config) (*maxis.Result, string, error) {
-	switch name {
-	case "goodnodes":
-		res, err := maxis.GoodNodes(g, cfg)
-		return res, fmt.Sprintf("w(I) ≥ w(V)/(4(Δ+1)) = %.1f",
-			float64(g.TotalWeight())/(4*float64(g.MaxDegree()+1))), err
-	case "sparsified":
-		res, err := maxis.Sparsified(g, cfg)
-		return res, "w(I) = Ω(w(V)/Δ) w.h.p.", err
-	case "theorem1":
-		res, err := maxis.Theorem1(g, eps, cfg)
-		if err != nil {
-			return nil, "", err
-		}
-		return &res.Result, fmt.Sprintf("(1+ε)Δ-approximation = %.1f", maxis.GuaranteeDelta(g.MaxDegree(), eps)), nil
-	case "theorem2":
-		res, err := maxis.Theorem2(g, eps, cfg)
-		if err != nil {
-			return nil, "", err
-		}
-		return &res.Result, fmt.Sprintf("(1+ε)Δ-approximation = %.1f w.h.p.", maxis.GuaranteeDelta(g.MaxDegree(), eps)), nil
-	case "theorem3":
-		res, err := maxis.Theorem3(g, alpha, eps, cfg)
-		if err != nil {
-			return nil, "", err
-		}
-		return &res.Result, fmt.Sprintf("8(1+ε)α-approximation = %.1f w.h.p.", res.Extra["guarantee"]), nil
-	case "theorem5":
-		res, err := maxis.Theorem5(g, eps, cfg)
-		if err != nil {
-			return nil, "", err
-		}
-		return &res.Result, fmt.Sprintf("|I| ≥ n/((1+ε)(Δ+1)) = %.1f w.h.p.",
-			float64(g.N())/((1+eps)*float64(g.MaxDegree()+1))), nil
-	case "ranking":
-		res, err := maxis.Ranking(g, 2, cfg)
-		return res, fmt.Sprintf("|I| ≥ n/(8(Δ+1)) = %.1f w.h.p.",
-			float64(g.N())/(8*float64(g.MaxDegree()+1))), err
-	case "oneround":
-		res, err := maxis.OneRound(g, cfg)
-		return res, fmt.Sprintf("E[w(I)] ≥ w(V)/(Δ+1) = %.1f (expectation only)",
-			float64(g.TotalWeight())/float64(g.MaxDegree()+1)), err
-	case "baseline":
-		res, err := maxis.BarYehuda(g, cfg)
-		return res, fmt.Sprintf("Δ-approximation = %d ([8] baseline)", g.MaxDegree()), err
-	default:
-		return nil, "", fmt.Errorf("unknown algorithm %q", name)
+	solver, err := protocol.SolverByName(name)
+	if err != nil {
+		return nil, "", err
 	}
+	params, err := solver.Normalize(protocol.Params{Eps: eps, Alpha: alpha})
+	if err != nil {
+		return nil, "", err
+	}
+	res, err := solver.Run(g, params, cfg)
+	if err != nil {
+		return nil, "", err
+	}
+	return res, solver.Guarantee(g, params, res), nil
 }

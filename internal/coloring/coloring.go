@@ -22,8 +22,20 @@ import (
 
 	"distmwis/internal/congest"
 	"distmwis/internal/graph"
+	"distmwis/internal/protocol"
 	"distmwis/internal/wire"
 )
+
+func init() {
+	// The uniform-start protocols register into the protocol registry so
+	// the registry-driven parity suite covers them on every engine.
+	// Cole–Vishkin is deliberately absent: its processes need per-node
+	// successor ports (ring topology input), so it stays a direct library
+	// call (ColeVishkinRing).
+	protocol.RegisterProcess(protocol.KindColoring, "randomgreedy",
+		"randomized (Δ+1)-colouring by conflict-free proposals; O(log n) rounds w.h.p.",
+		func() congest.Process { return &greedyColour{} })
+}
 
 // Result is a computed colouring.
 type Result struct {

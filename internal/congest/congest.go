@@ -16,9 +16,19 @@
 //   - ports are anonymous: a node cannot see its neighbours' identifiers
 //     until they are sent in messages.
 //
-// Two engines produce identical executions: a sequential engine and a
-// worker-pool engine that runs node steps on parallel goroutines (per-node
-// state is confined to its goroutine within a round; rounds are barriers).
+// Three engines produce identical executions behind one shared round loop
+// (see engine.go): a sequential engine that steps nodes in index order on
+// one goroutine, a worker-pool engine that fans node steps out over a
+// bounded pool each round, and an actor engine that dedicates one
+// long-lived goroutine to every node. The actor engine's rounds are full
+// barriers realised with channels: each actor blocks until the delivery
+// goroutine releases it with the round number, and the delivery goroutine
+// blocks until every actor has reported back, so no node can observe
+// another node's mid-round state. Because per-node state is confined to
+// its goroutine within a round and per-node randomness is pre-seeded, all
+// three engines are bit-identical; the cross-cutting seams — delivery,
+// bandwidth enforcement, fault hooks, tracing, reliable transport — live
+// once in the shared loop, never per engine.
 package congest
 
 import (
@@ -28,7 +38,6 @@ import (
 	"math/rand/v2"
 	"runtime"
 	"sort"
-	"sync"
 	"time"
 
 	"distmwis/internal/graph"
@@ -68,7 +77,8 @@ func NewMessage(w *wire.Writer) *Message {
 // NewRawMessage builds a message directly from a packed byte buffer
 // holding nbits valid bits. It copies the buffer. It exists so the fault
 // layer can construct corrupted variants of in-flight messages; protocol
-// code should use NewMessage.
+// code should use NewMessage, and callers that hand over ownership of a
+// fresh buffer should use NewMessageOwned.
 func NewRawMessage(data []byte, nbits int) *Message {
 	if nbits < 0 || nbits > 8*len(data) {
 		panic(fmt.Sprintf("congest: NewRawMessage: %d bits do not fit in %d bytes", nbits, len(data)))
@@ -78,15 +88,36 @@ func NewRawMessage(data []byte, nbits int) *Message {
 	return &Message{data: buf, bitN: nbits}
 }
 
+// NewMessageOwned wraps data without copying. The caller transfers
+// ownership: it must not read or mutate data afterwards. Together with
+// AppendData it forms the zero-copy path for in-repo layers (fault
+// injection, transports) that already build a private buffer per message;
+// external protocol code should keep using NewMessage.
+func NewMessageOwned(data []byte, nbits int) *Message {
+	if nbits < 0 || nbits > 8*len(data) {
+		panic(fmt.Sprintf("congest: NewMessageOwned: %d bits do not fit in %d bytes", nbits, len(data)))
+	}
+	return &Message{data: data, bitN: nbits}
+}
+
 // Bits returns the exact payload size in bits.
 func (m *Message) Bits() int { return m.bitN }
 
 // Data returns a copy of the packed payload bytes (Bits() of them valid).
+// The copy is defensive: a Message is immutable and may still be in
+// flight. Callers that need the bytes in a buffer they already own should
+// use AppendData instead.
 func (m *Message) Data() []byte {
 	buf := make([]byte, len(m.data))
 	copy(buf, m.data)
 	return buf
 }
+
+// AppendData appends the packed payload bytes to dst and returns the
+// extended slice. It is the zero-allocation read path: with sufficient
+// capacity in dst no new buffer is created, and unlike Data it never
+// allocates an intermediate copy.
+func (m *Message) AppendData(dst []byte) []byte { return append(dst, m.data...) }
 
 // Reader returns a fresh reader over the payload.
 func (m *Message) Reader() *wire.Reader { return wire.NewReader(m.data, m.bitN) }
@@ -359,19 +390,19 @@ func Run(g *graph.Graph, newProcess func() Process, opts ...Option) (*Result, er
 
 // simulator holds one execution's state.
 type simulator struct {
-	g           *graph.Graph
-	cfg         config
-	bandwidth   int
+	g         *graph.Graph
+	cfg       config
+	bandwidth int
 	// physBandwidth is the enforced per-frame limit: bandwidth plus the
 	// reliable transport's header headroom (equal to bandwidth without one).
 	physBandwidth int
-	procs       []Process
-	done        []bool
-	inbox       [][]*Message
-	nextInbox   [][]*Message
-	reversePort [][]int32
-	pendingDups []pendingDup
-	res         Result
+	procs         []Process
+	done          []bool
+	inbox         [][]*Message
+	nextInbox     [][]*Message
+	reversePort   [][]int32
+	pendingDups   []pendingDup
+	res           Result
 }
 
 // pendingDup is a duplicate copy scheduled by the fault hook: the original
@@ -455,11 +486,8 @@ func (s *simulator) run() (*Result, error) {
 			engine = EnginePool
 		}
 	}
-	var actors *actorPool
-	if engine == EngineActors && n > 0 {
-		actors = newActorPool(n, step)
-		defer actors.shutdown()
-	}
+	runner := newEngineRunner(engine, n, s.cfg.workers, step, errs)
+	defer runner.shutdown()
 
 	if s.cfg.hook != nil {
 		s.cfg.hook.Begin(n)
@@ -517,22 +545,7 @@ func (s *simulator) run() (*Result, error) {
 			phaseT0 = time.Now()
 		}
 
-		switch engine {
-		case EngineSequential:
-			for v := 0; v < n; v++ {
-				step(v, round)
-				if errs[v] != nil {
-					// No point stepping the remaining nodes: the round is
-					// already doomed, and stopping here makes the reported
-					// error trivially the lowest-index one.
-					break
-				}
-			}
-		case EngineActors:
-			actors.runRound(round)
-		default:
-			parallelFor(n, s.cfg.workers, func(v int) { step(v, round) })
-		}
+		runner.runRound(round)
 		// Every engine reports the error of the lowest-index failing node,
 		// so error selection is deterministic and engine-independent even
 		// when parallel workers record several errors in the same round.
@@ -686,86 +699,6 @@ func (s *simulator) collectOutputs() {
 	for v := 0; v < n; v++ {
 		s.res.Outputs[v] = s.procs[v].Output()
 	}
-}
-
-// actorPool runs one long-lived goroutine per node, released round by
-// round through per-node channels and joined through a shared completion
-// channel. It realizes the "one goroutine = one network node" execution
-// model; results are identical to the other engines because node state
-// never leaves its goroutine within a round.
-type actorPool struct {
-	start []chan int
-	done  chan struct{}
-	wg    sync.WaitGroup
-}
-
-func newActorPool(n int, step func(v, round int)) *actorPool {
-	p := &actorPool{
-		start: make([]chan int, n),
-		done:  make(chan struct{}, 1),
-	}
-	for v := 0; v < n; v++ {
-		p.start[v] = make(chan int, 1)
-		p.wg.Add(1)
-		go func(v int) {
-			defer p.wg.Done()
-			for round := range p.start[v] {
-				step(v, round)
-				p.done <- struct{}{}
-			}
-		}(v)
-	}
-	return p
-}
-
-// runRound releases every actor for one round and waits for all of them.
-func (p *actorPool) runRound(round int) {
-	for _, ch := range p.start {
-		ch <- round
-	}
-	for range p.start {
-		<-p.done
-	}
-}
-
-// shutdown terminates and joins all actors.
-func (p *actorPool) shutdown() {
-	for _, ch := range p.start {
-		close(ch)
-	}
-	p.wg.Wait()
-}
-
-// parallelFor runs fn(i) for i in [0, n) on up to workers goroutines and
-// waits for completion. Worker counts below 1 are treated as 1 (Run also
-// clamps, so this is a second line of defence for direct callers).
-func parallelFor(n, workers int, fn func(int)) {
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > n {
-		workers = n
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				fn(i)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
 }
 
 // BoolOutputs converts a Result's outputs to a []bool membership vector;

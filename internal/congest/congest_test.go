@@ -200,34 +200,9 @@ func TestBandwidthValue(t *testing.T) {
 	}
 }
 
-func TestEnginesAgree(t *testing.T) {
-	g := gen.GNP(300, 0.03, 5)
-	seq, err := Run(g, func() Process { return &floodMax{rounds: 10} }, WithEngine(EngineSequential), WithSeed(9))
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, tc := range []struct {
-		name string
-		opts []Option
-	}{
-		{name: "pool", opts: []Option{WithEngine(EnginePool), WithWorkers(8)}},
-		{name: "actors", opts: []Option{WithEngine(EngineActors)}},
-		{name: "auto", opts: []Option{WithWorkers(8)}},
-	} {
-		t.Run(tc.name, func(t *testing.T) {
-			res, err := Run(g, func() Process { return &floodMax{rounds: 10} }, append(tc.opts, WithSeed(9))...)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !reflect.DeepEqual(seq.Outputs, res.Outputs) {
-				t.Error("engine disagrees with sequential on outputs")
-			}
-			if seq.Rounds != res.Rounds || seq.Messages != res.Messages || seq.Bits != res.Bits {
-				t.Error("engine disagrees on metrics")
-			}
-		})
-	}
-}
+// Cross-engine agreement on every registered algorithm is covered by the
+// registry-generated parity suite in internal/protocol (parity_test.go),
+// which replaced the hand-listed TestEnginesAgree that lived here.
 
 func TestActorEngineErrorsAndShutdown(t *testing.T) {
 	// Bandwidth violations must surface cleanly through the actor engine

@@ -1,0 +1,54 @@
+package congest
+
+import (
+	"testing"
+
+	"distmwis/internal/wire"
+)
+
+// BenchmarkMessageDelivery measures the read-modify-rebuild cycle that the
+// fault layer performs on every intercepted message. The defensive path
+// (Data + NewRawMessage) copies the payload twice per message; the
+// zero-copy path (AppendData into a fresh buffer + NewMessageOwned) copies
+// once, and AppendData into a reused scratch buffer eliminates the
+// steady-state allocation entirely. Run with -benchmem to see the
+// allocs/op difference.
+func BenchmarkMessageDelivery(b *testing.B) {
+	var w wire.Writer
+	for i := 0; i < 16; i++ {
+		w.WriteUint(uint64(i*2654435761)&0xffffffff, 1<<32)
+	}
+	m := NewMessage(&w)
+	nbits := m.Bits()
+
+	b.Run("defensive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			data := m.Data()
+			data[0] ^= 1
+			sinkMsg = NewRawMessage(data, nbits)
+		}
+	})
+	b.Run("zerocopy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			data := m.AppendData(nil)
+			data[0] ^= 1
+			sinkMsg = NewMessageOwned(data, nbits)
+		}
+	})
+	b.Run("zerocopy-reuse", func(b *testing.B) {
+		b.ReportAllocs()
+		var scratch []byte
+		for i := 0; i < b.N; i++ {
+			scratch = m.AppendData(scratch[:0])
+			scratch[0] ^= 1
+			sinkBits = len(scratch)
+		}
+	})
+}
+
+var (
+	sinkMsg  *Message
+	sinkBits int
+)

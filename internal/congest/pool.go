@@ -1,0 +1,51 @@
+package congest
+
+import "sync"
+
+// poolEngine partitions the node range into contiguous chunks, one per
+// worker goroutine, spawned fresh each round. Chunking (rather than a
+// shared work queue) keeps per-round overhead at exactly `workers`
+// goroutine launches and no atomics on the hot path.
+type poolEngine struct {
+	n       int
+	workers int
+	step    func(v, round int)
+}
+
+func (e *poolEngine) runRound(round int) {
+	parallelFor(e.n, e.workers, func(v int) { e.step(v, round) })
+}
+
+func (e *poolEngine) shutdown() {}
+
+// parallelFor runs fn(i) for i in [0, n) on up to workers goroutines and
+// waits for completion. Worker counts below 1 are treated as 1 (Run also
+// clamps, so this is a second line of defence for direct callers).
+func parallelFor(n, workers int, fn func(int)) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,4 +1,4 @@
-package dist
+package dist_test
 
 import (
 	"errors"
@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"distmwis/internal/congest"
+	. "distmwis/internal/dist"
 	"distmwis/internal/graph/gen"
 	"distmwis/internal/mis"
 )

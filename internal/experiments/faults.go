@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"distmwis/internal/fault"
-	"distmwis/internal/graph"
 	"distmwis/internal/graph/gen"
 	"distmwis/internal/maxis"
 )
@@ -39,19 +38,17 @@ func runE18(opts Options) (*Table, error) {
 		faultSeed = opts.seed() + 77
 	}
 
+	// Algorithms are addressed by registry name through maxis.Solve — the
+	// same dispatch path as the CLI and the server; only the display label
+	// is local.
 	algs := []struct {
 		name string
-		run  func(*graph.Graph, maxis.Config) (*maxis.Result, error)
+		alg  string
+		eps  float64
 	}{
-		{"goodnodes", maxis.GoodNodes},
-		{"theorem1(eps=1)", func(g *graph.Graph, cfg maxis.Config) (*maxis.Result, error) {
-			res, err := maxis.Theorem1(g, 1, cfg)
-			if err != nil {
-				return nil, err
-			}
-			return &res.Result, nil
-		}},
-		{"bar-yehuda", maxis.BarYehuda},
+		{"goodnodes", "goodnodes", 0},
+		{"theorem1(eps=1)", "theorem1", 1},
+		{"bar-yehuda", "baseline", 0},
 	}
 
 	t := &Table{
@@ -67,7 +64,7 @@ func runE18(opts Options) (*Table, error) {
 	for _, alg := range algs {
 		baseline := make([]int64, trials)
 		for trial := 0; trial < trials; trial++ {
-			res, err := alg.run(g, maxis.Config{Seed: opts.seed() + uint64(trial)})
+			res, err := maxis.Solve(alg.alg, g, alg.eps, 0, maxis.Config{Seed: opts.seed() + uint64(trial)})
 			if err != nil {
 				return nil, err
 			}
@@ -92,7 +89,7 @@ func runE18(opts Options) (*Table, error) {
 							CrashAt:   3,
 						},
 					}
-					res, err := alg.run(g, cfg)
+					res, err := maxis.Solve(alg.alg, g, alg.eps, 0, cfg)
 					if err != nil {
 						return nil, err
 					}

@@ -30,23 +30,21 @@ func runE19(opts Options) (*Table, error) {
 			"algorithm", "phase", "rounds", "messages", "bits", "bits/round", "share %",
 		},
 	}
+	// Pipelines are addressed by registry name through maxis.Solve, so this
+	// experiment exercises exactly the dispatch path the CLI and the server
+	// use; only the display label is local.
 	pipelines := []struct {
 		name string
-		run  func(cfg maxis.Config) (*maxis.Result, error)
+		alg  string
+		eps  float64
 	}{
-		{"goodnodes", func(cfg maxis.Config) (*maxis.Result, error) { return maxis.GoodNodes(g, cfg) }},
-		{"theorem2 (ε=1)", func(cfg maxis.Config) (*maxis.Result, error) {
-			r, err := maxis.Theorem2(g, 1, cfg)
-			if err != nil {
-				return nil, err
-			}
-			return &r.Result, nil
-		}},
-		{"baseline [8]", func(cfg maxis.Config) (*maxis.Result, error) { return maxis.BarYehuda(g, cfg) }},
+		{"goodnodes", "goodnodes", 0},
+		{"theorem2 (ε=1)", "theorem2", 1},
+		{"baseline [8]", "baseline", 0},
 	}
 	for _, p := range pipelines {
 		ring := trace.NewRing(0)
-		res, err := p.run(maxis.Config{Seed: opts.seed(), Tracer: ring})
+		res, err := maxis.Solve(p.alg, g, p.eps, 0, maxis.Config{Seed: opts.seed(), Tracer: ring})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: E19 %s: %w", p.name, err)
 		}

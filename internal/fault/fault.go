@@ -299,7 +299,10 @@ func (inj *Injector) Deliver(round, from, to int, m *congest.Message) (*congest.
 // rather than acting on a flipped payload.
 func corruptBurst(rng *rand.Rand, m *congest.Message) *congest.Message {
 	nbits := m.Bits()
-	data := m.Data()
+	// AppendData + NewMessageOwned copy the payload exactly once: the
+	// appended buffer is private to this call, mutated in place, and then
+	// handed over. (Data + NewRawMessage would copy twice per corruption.)
+	data := m.AppendData(nil)
 	burst := 1 + rng.IntN(wire.ChecksumBits)
 	if burst > nbits {
 		burst = nbits
@@ -308,7 +311,7 @@ func corruptBurst(rng *rand.Rand, m *congest.Message) *congest.Message {
 	for i := start; i < start+burst; i++ {
 		data[i>>3] ^= 1 << uint(i&7)
 	}
-	return congest.NewRawMessage(data, nbits)
+	return congest.NewMessageOwned(data, nbits)
 }
 
 func splitmix64(x uint64) uint64 {

@@ -1,10 +1,15 @@
-package fault
+// Package fault_test is an external test package: it exercises the fault
+// layer through MIS protocols, and internal/mis now reaches back to this
+// package via internal/protocol, so an in-package test would be an import
+// cycle.
+package fault_test
 
 import (
 	"reflect"
 	"testing"
 
 	"distmwis/internal/congest"
+	. "distmwis/internal/fault"
 	"distmwis/internal/graph/gen"
 	"distmwis/internal/mis"
 	"distmwis/internal/wire"

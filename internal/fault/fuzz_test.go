@@ -1,4 +1,4 @@
-package fault
+package fault_test
 
 import (
 	"math"
@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"distmwis/internal/congest"
+	. "distmwis/internal/fault"
 	"distmwis/internal/graph/gen"
 	"distmwis/internal/mis"
 )

@@ -6,6 +6,7 @@ import (
 
 	"distmwis/internal/dist"
 	"distmwis/internal/graph"
+	"distmwis/internal/protocol"
 )
 
 // ArboricityResult extends Result with the Algorithm 6 observables.
@@ -37,14 +38,14 @@ func Arboricity(g *graph.Graph, alpha int, eps float64, inner Inner, cfg Config)
 	if eps <= 0 {
 		return nil, fmt.Errorf("maxis: Arboricity needs ε > 0, got %v", eps)
 	}
-	cfg = cfg.normalized(g)
+	cfg = cfg.Normalized(g)
 	if alpha <= 0 {
 		alpha = g.ArboricityUpperBound()
 		if alpha == 0 {
 			alpha = 1
 		}
 	}
-	seeds := &seedSeq{base: cfg.Seed}
+	seeds := protocol.NewSeedSeq(cfg.Seed)
 	var acc dist.Accumulator
 	n := g.N()
 	cur := g.Weights()

@@ -6,6 +6,7 @@ import (
 
 	"distmwis/internal/dist"
 	"distmwis/internal/graph"
+	"distmwis/internal/protocol"
 )
 
 // BarYehuda reimplements the prior state of the art the paper improves on:
@@ -30,8 +31,8 @@ import (
 // The log W factor in the round count — W can be poly(n) — is precisely the
 // overhead Theorems 1 and 2 remove; experiments E4/E5 measure it.
 func BarYehuda(g *graph.Graph, cfg Config) (*Result, error) {
-	cfg = cfg.normalized(g)
-	seeds := &seedSeq{base: cfg.Seed}
+	cfg = cfg.Normalized(g)
+	seeds := protocol.NewSeedSeq(cfg.Seed)
 	var acc dist.Accumulator
 	n := g.N()
 	maxW := g.MaxWeight()
@@ -59,7 +60,7 @@ func BarYehuda(g *graph.Graph, cfg Config) (*Result, error) {
 		scales++
 		// All ⌈log W⌉ scales share the "scale" label, mirroring boost's
 		// unindexed "push".
-		set, _, err := dist.RunOnInduced(g, active, cfg.misAlg().NewProcess, &acc, cfg.phase("scale").opts(seeds.next())...)
+		set, _, err := dist.RunOnInduced(g, active, cfg.MISAlg().NewProcess, &acc, cfg.Phase("scale").Opts(seeds.Next())...)
 		if err != nil {
 			return nil, fmt.Errorf("maxis: baseline scale 2^%d: %w", j, err)
 		}

@@ -6,6 +6,7 @@ import (
 
 	"distmwis/internal/dist"
 	"distmwis/internal/graph"
+	"distmwis/internal/protocol"
 )
 
 // BoostResult extends Result with the local-ratio observables of
@@ -35,8 +36,8 @@ func Boost(g *graph.Graph, eps float64, inner Inner, cfg Config) (*BoostResult, 
 	if eps <= 0 {
 		return nil, fmt.Errorf("maxis: Boost needs ε > 0, got %v", eps)
 	}
-	cfg = cfg.normalized(g)
-	seeds := &seedSeq{base: cfg.Seed}
+	cfg = cfg.Normalized(g)
+	seeds := protocol.NewSeedSeq(cfg.Seed)
 	var acc dist.Accumulator
 	set, stackValue, phases, err := boostRun(g, eps, inner, cfg, seeds, &acc)
 	if err != nil {
@@ -54,7 +55,7 @@ func Boost(g *graph.Graph, eps float64, inner Inner, cfg Config) (*BoostResult, 
 
 // boostRun is the reusable core of Algorithm 1, shared with Algorithm 6
 // (which boosts on its bounded-degree subgraphs).
-func boostRun(g *graph.Graph, eps float64, inner Inner, cfg Config, seeds *seedSeq, acc *dist.Accumulator) ([]bool, int64, int, error) {
+func boostRun(g *graph.Graph, eps float64, inner Inner, cfg Config, seeds *protocol.SeedSeq, acc *dist.Accumulator) ([]bool, int64, int, error) {
 	t := int(math.Ceil(float64(inner.FactorC()) / eps))
 	stack, stackValue, err := boostPush(g, t, inner, cfg, seeds, acc)
 	if err != nil {
@@ -71,7 +72,7 @@ func boostRun(g *graph.Graph, eps float64, inner Inner, cfg Config, seeds *seedS
 
 // boostPush runs the t push phases and returns the stack of independent
 // sets plus Σᵢ wᵢ(Iᵢ).
-func boostPush(g *graph.Graph, t int, inner Inner, cfg Config, seeds *seedSeq, acc *dist.Accumulator) ([][]bool, int64, error) {
+func boostPush(g *graph.Graph, t int, inner Inner, cfg Config, seeds *protocol.SeedSeq, acc *dist.Accumulator) ([][]bool, int64, error) {
 	n := g.N()
 	cur := g.Weights()
 	var stack [][]bool
@@ -98,7 +99,7 @@ func boostPush(g *graph.Graph, t int, inner Inner, cfg Config, seeds *seedSeq, a
 		// Push phases share the unindexed "push" label so a Timeline
 		// aggregates all t of them into one stage (the per-round records
 		// still separate them by run index).
-		inSet, err := inner.Run(sub.G.WithWeights(subW), cfg.phase("push"), seeds, acc)
+		inSet, err := inner.Run(sub.G.WithWeights(subW), cfg.Phase("push"), seeds, acc)
 		if err != nil {
 			return nil, 0, fmt.Errorf("maxis: boost phase %d: %w", i, err)
 		}

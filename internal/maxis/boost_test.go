@@ -10,6 +10,7 @@ import (
 	"distmwis/internal/exact"
 	"distmwis/internal/graph"
 	"distmwis/internal/graph/gen"
+	"distmwis/internal/protocol"
 )
 
 var errSynthetic = errors.New("synthetic failure")
@@ -274,6 +275,6 @@ type failingInner struct{}
 
 func (failingInner) Name() string { return "failing" }
 func (failingInner) FactorC() int { return 8 }
-func (failingInner) Run(*graph.Graph, Config, *seedSeq, *dist.Accumulator) ([]bool, error) {
+func (failingInner) Run(*graph.Graph, Config, *protocol.SeedSeq, *dist.Accumulator) ([]bool, error) {
 	return nil, errSynthetic
 }

@@ -1,0 +1,105 @@
+package maxis_test
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"distmwis/internal/graph/gen"
+	"distmwis/internal/maxis"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "regenerate testdata golden files")
+
+// goldenSolveRecord pins everything the refactor must keep bit-identical
+// for one algorithm × seed combination: the returned set, its weight, and
+// every congest.Result counter aggregated into Metrics.
+type goldenSolveRecord struct {
+	Alg            string `json:"alg"`
+	Seed           uint64 `json:"seed"`
+	Set            []int  `json:"set"`
+	Weight         int64  `json:"weight"`
+	Rounds         int    `json:"rounds"`
+	Messages       int64  `json:"messages"`
+	Bits           int64  `json:"bits"`
+	MaxMessageBits int    `json:"max_message_bits"`
+	Phases         int    `json:"phases"`
+}
+
+// TestGoldenSolveParity locks Solve's observable behaviour across the
+// protocol-registry refactor: for every algorithm and seed the node
+// outputs, set weight and Result counters must match the goldens generated
+// from the pre-refactor tree (regenerate only deliberately, with
+// -update-golden).
+func TestGoldenSolveParity(t *testing.T) {
+	weighted := gen.Weighted(gen.GNP(48, 0.1, 7), gen.PolyWeights(2), 7)
+	unit := gen.GNP(48, 0.1, 7)
+
+	var got []goldenSolveRecord
+	for _, name := range maxis.AlgorithmNames() {
+		g := weighted
+		if name == "theorem5" {
+			// Theorem5 rejects weighted inputs by contract.
+			g = unit
+		}
+		for _, seed := range []uint64{1, 2} {
+			res, err := maxis.Solve(name, g, 0.5, 0, maxis.Config{Seed: seed})
+			if err != nil {
+				t.Fatalf("Solve(%s, seed=%d): %v", name, seed, err)
+			}
+			set := []int{}
+			for v, in := range res.Set {
+				if in {
+					set = append(set, v)
+				}
+			}
+			got = append(got, goldenSolveRecord{
+				Alg:            name,
+				Seed:           seed,
+				Set:            set,
+				Weight:         res.Weight,
+				Rounds:         res.Metrics.Rounds,
+				Messages:       res.Metrics.Messages,
+				Bits:           res.Metrics.Bits,
+				MaxMessageBits: res.Metrics.MaxMessageBits,
+				Phases:         res.Metrics.Phases,
+			})
+		}
+	}
+
+	path := filepath.Join("testdata", "golden_solve.json")
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d records to %s", len(got), path)
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
+	}
+	var want []goldenSolveRecord
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("golden has %d records, run produced %d", len(want), len(got))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("golden drift for %s seed=%d:\n got  %+v\n want %+v",
+				want[i].Alg, want[i].Seed, got[i], want[i])
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"distmwis/internal/congest"
 	"distmwis/internal/dist"
 	"distmwis/internal/graph"
+	"distmwis/internal/protocol"
 	"distmwis/internal/wire"
 )
 
@@ -15,8 +16,8 @@ import (
 // spends two rounds learning neighbours' degrees and weights, then runs the
 // black-box MIS on the subgraph induced by the good nodes.
 func GoodNodes(g *graph.Graph, cfg Config) (*Result, error) {
-	cfg = cfg.normalized(g)
-	seeds := &seedSeq{base: cfg.Seed}
+	cfg = cfg.Normalized(g)
+	seeds := protocol.NewSeedSeq(cfg.Seed)
 	var acc dist.Accumulator
 	set, _, err := goodNodesRun(g, cfg, seeds, &acc)
 	if err != nil {
@@ -27,12 +28,12 @@ func GoodNodes(g *graph.Graph, cfg Config) (*Result, error) {
 
 // goodNodesRun is the reusable core shared with the sparsified pipeline and
 // the boosting inner adapter.
-func goodNodesRun(g *graph.Graph, cfg Config, seeds *seedSeq, acc *dist.Accumulator) (set []bool, good []bool, err error) {
+func goodNodesRun(g *graph.Graph, cfg Config, seeds *protocol.SeedSeq, acc *dist.Accumulator) (set []bool, good []bool, err error) {
 	if g.N() == 0 {
 		return nil, nil, nil
 	}
 	// Phase 1: two-round good-node detection protocol.
-	res, err := dist.RunPhase(g, func() congest.Process { return &goodDetect{} }, acc, cfg.phase("goodnodes/detect").opts(seeds.next())...)
+	res, err := dist.RunPhase(g, func() congest.Process { return &goodDetect{} }, acc, cfg.Phase("goodnodes/detect").Opts(seeds.Next())...)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -40,7 +41,7 @@ func goodNodesRun(g *graph.Graph, cfg Config, seeds *seedSeq, acc *dist.Accumula
 
 	// Phase 2: MIS over the good-node subgraph (Lemma 2: black-box MIS with
 	// the original NUpper works on any subgraph).
-	set, _, err = dist.RunOnInduced(g, good, cfg.misAlg().NewProcess, acc, cfg.phase("goodnodes/mis").opts(seeds.next())...)
+	set, _, err = dist.RunOnInduced(g, good, cfg.MISAlg().NewProcess, acc, cfg.Phase("goodnodes/mis").Opts(seeds.Next())...)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -105,7 +106,7 @@ func (goodNodesInner) Name() string { return "goodnodes" }
 
 func (goodNodesInner) FactorC() int { return 8 }
 
-func (goodNodesInner) Run(g *graph.Graph, cfg Config, seeds *seedSeq, acc *dist.Accumulator) ([]bool, error) {
+func (goodNodesInner) Run(g *graph.Graph, cfg Config, seeds *protocol.SeedSeq, acc *dist.Accumulator) ([]bool, error) {
 	set, _, err := goodNodesRun(g, cfg, seeds, acc)
 	return set, err
 }

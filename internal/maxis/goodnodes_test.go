@@ -7,6 +7,7 @@ import (
 	"distmwis/internal/graph"
 	"distmwis/internal/graph/gen"
 	"distmwis/internal/mis"
+	"distmwis/internal/protocol"
 )
 
 // weightedSuite builds the standard weighted test graphs.
@@ -73,8 +74,8 @@ func TestGoodDetectMatchesDefinition(t *testing.T) {
 	// Verify the protocol's good flags against a host-side computation of
 	// w(v) ≥ w(N⁺(v))/(2(δ(v)+1)).
 	g := gen.Weighted(gen.GNP(120, 0.08, 12), gen.UniformWeights(100), 13)
-	cfg := Config{Seed: 5}.normalized(g)
-	seeds := &seedSeq{base: cfg.Seed}
+	cfg := Config{Seed: 5}.Normalized(g)
+	seeds := protocol.NewSeedSeq(cfg.Seed)
 	var acc dist.Accumulator
 	_, good, err := goodNodesRun(g, cfg, seeds, &acc)
 	if err != nil {

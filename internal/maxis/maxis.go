@@ -29,198 +29,23 @@ package maxis
 import (
 	"fmt"
 
-	"distmwis/internal/congest"
 	"distmwis/internal/dist"
-	"distmwis/internal/fault"
 	"distmwis/internal/graph"
-	"distmwis/internal/mis"
+	"distmwis/internal/protocol"
 	"distmwis/internal/reliable"
-	"distmwis/internal/trace"
 )
 
-// Result is the outcome of one MaxIS approximation run.
-type Result struct {
-	// Set is the returned independent set, indexed by node.
-	Set []bool
-	// Weight is the set's total weight under the input graph's weights.
-	Weight int64
-	// Metrics aggregates rounds/messages/bits over all protocol phases.
-	Metrics dist.Accumulator
-	// Extra carries algorithm-specific observables (e.g. the sparsifier's
-	// max degree, the local-ratio stack value) for the experiment harness.
-	Extra map[string]float64
-}
+// Result is the outcome of one MaxIS approximation run. It is an alias of
+// the protocol runtime's result type: every registered solver returns the
+// same shape, and downstream consumers (server, CLI, experiments) can use
+// either name.
+type Result = protocol.Result
 
-// Config carries the knobs shared by all algorithms. The zero value is
-// usable: it selects Luby's MIS, seed 1 and CONGEST defaults.
-type Config struct {
-	// MIS is the black-box MIS algorithm (the MIS(n,Δ) of Theorems 1/8).
-	// Defaults to Luby's algorithm.
-	MIS mis.Algorithm
-	// Seed is the root randomness seed; every protocol phase derives an
-	// independent stream from it.
-	Seed uint64
-	// BandwidthFactor is c in the CONGEST bound B = c·⌈log₂ n⌉ (default 8).
-	BandwidthFactor int
-	// NUpper is the polynomial upper bound on n that nodes know; defaults
-	// to the input graph's n. Subgraph phases keep the ORIGINAL bound, per
-	// the padding argument of Lemma 2.
-	NUpper int
-	// Lambda is the sparsification oversampling constant λ of Section 4.2
-	// (default 2.0; the paper's proof uses a large constant, experiments
-	// show small λ already exhibits the Lemma 3/5 behaviour).
-	Lambda float64
-	// Local switches to the LOCAL model (no bandwidth bound).
-	Local bool
-	// Workers sets simulator parallelism (default GOMAXPROCS).
-	Workers int
-	// MaxWeight, when positive, is the nominal weight bound W handed to
-	// every protocol phase (congest.WithMaxWeight). Experiments that sweep
-	// W set it so wire fields are sized by the swept bound rather than by
-	// a graph scan's exact maximum — global knowledge the paper's
-	// Section 3 assumptions do not grant.
-	MaxWeight int64
-	// Faults, when enabled, installs a fault.Injector on every protocol
-	// phase (each phase reseeded deterministically from the phase seed) and
-	// caps every phase at Faults.HardStop rounds, because faults can block
-	// protocols from terminating on their own. Outputs remain independent
-	// sets — that invariant survives any schedule — but weight and
-	// maximality guarantees degrade with the fault rate.
-	Faults fault.Schedule
-	// FaultStats, if non-nil, accumulates the injectors' counters across
-	// all phases of the run.
-	FaultStats *fault.Stats
-	// Reliable installs the ARQ transport of internal/reliable on every
-	// protocol phase. Under any message-fault schedule with Loss, Dup and
-	// Corrupt below 1 the logical execution is then bit-identical to the
-	// fault-free run (at the cost of extra physical rounds and header
-	// bits); combined with CheckpointEvery it also recovers
-	// crash-recovery faults exactly.
-	Reliable bool
-	// CheckpointEvery, when positive with Reliable, snapshots each
-	// process every that-many logical rounds so a crashed-and-recovered
-	// node resynchronises by replay instead of staying frozen.
-	CheckpointEvery int
-	// Repair runs the self-healing monitor (reliable.Repair) on the final
-	// set before the independence check: under crash-stop schedules even
-	// the reliable transport cannot extract information from a dead
-	// neighbour, and passive (non-reliable) fault runs can leave
-	// conflicting joins. The monitor deterministically withdraws the
-	// lower-weight endpoint of every conflicting edge. Repaired runs
-	// report repair_conflicts/repair_withdrawn_weight in Result.Extra.
-	Repair bool
-	// Tracer, if non-nil, receives per-round records from every protocol
-	// phase of the run (see internal/trace). Algorithms label their phases
-	// at natural stage boundaries ("goodnodes/mis", "push/...", "scale"),
-	// so a Timeline built from the trace attributes rounds and bits to
-	// pipeline stages.
-	Tracer trace.Tracer
-	// TraceLabel prefixes every phase label this config emits; algorithms
-	// descend from it via Config.phase. Ignored without a Tracer.
-	TraceLabel string
-}
-
-func (c Config) misAlg() mis.Algorithm {
-	if c.MIS == nil {
-		return mis.Luby{}
-	}
-	return c.MIS
-}
-
-func (c Config) lambda() float64 {
-	if c.Lambda <= 0 {
-		return 2.0
-	}
-	return c.Lambda
-}
-
-// normalized fills defaults that depend on the input graph.
-func (c Config) normalized(g *graph.Graph) Config {
-	if c.Seed == 0 {
-		c.Seed = 1
-	}
-	if c.NUpper < g.N() {
-		c.NUpper = g.N()
-	}
-	return c
-}
-
-// seedSeq derives independent per-phase seeds from the root seed.
-type seedSeq struct {
-	base uint64
-	ctr  uint64
-}
-
-func (s *seedSeq) next() uint64 {
-	s.ctr++
-	return splitmix64(s.base + s.ctr*0x9e3779b97f4a7c15)
-}
-
-func splitmix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
-}
-
-// phase returns a copy of c whose trace label descends into label;
-// algorithms call it at stage boundaries so trace records attribute rounds
-// to pipeline stages. Without a tracer it is the identity.
-func (c Config) phase(label string) Config {
-	if c.Tracer == nil {
-		return c
-	}
-	if c.TraceLabel != "" {
-		label = c.TraceLabel + "/" + label
-	}
-	c.TraceLabel = label
-	return c
-}
-
-// opts assembles the congest options for one phase.
-func (c Config) opts(phaseSeed uint64) []congest.Option {
-	out := []congest.Option{
-		congest.WithSeed(phaseSeed),
-		congest.WithNUpper(c.NUpper),
-	}
-	if c.Local {
-		out = append(out, congest.WithModel(congest.ModelLocal))
-	}
-	if c.BandwidthFactor > 0 {
-		out = append(out, congest.WithBandwidthFactor(c.BandwidthFactor))
-	}
-	if c.Workers > 0 {
-		out = append(out, congest.WithWorkers(c.Workers))
-	}
-	if c.MaxWeight > 0 {
-		out = append(out, congest.WithMaxWeight(c.MaxWeight))
-	}
-	if c.Tracer != nil {
-		out = append(out, congest.WithTracer(c.Tracer), congest.WithTraceLabel(c.TraceLabel))
-	}
-	if c.Faults.Enabled() {
-		inj := fault.NewInjector(c.Faults.WithSeed(phaseSeed))
-		if c.FaultStats != nil {
-			inj.ShareStats(c.FaultStats)
-		}
-		out = append(out, congest.WithFaults(inj), congest.WithHardStop(c.Faults.HardStop(c.NUpper)))
-	}
-	if c.Reliable {
-		// Retransmission stretches a logical round over several physical
-		// rounds, so the phase budget grows accordingly; the round bound
-		// sizes the transport's sequence-number fields and caps runaway
-		// inner executions under crash-stop.
-		hs := c.Faults.HardStop(c.NUpper)
-		out = append(out, congest.WithReliable(reliable.New(reliable.Options{
-			RoundBound:      16 * hs,
-			CheckpointEvery: c.CheckpointEvery,
-		})))
-		if c.Faults.Enabled() {
-			out = append(out, congest.WithHardStop(16*hs))
-		}
-	}
-	return out
-}
+// Config carries the knobs shared by all algorithms (an alias of
+// protocol.Config; see that type for field documentation). The zero value
+// is usable: it selects the registered default MIS (Luby), seed 1 and
+// CONGEST defaults.
+type Config = protocol.Config
 
 // Inner is an O(Δ)-approximation black box usable by the boosting theorem:
 // on any positive-weight graph it returns an independent set of weight at
@@ -231,7 +56,7 @@ type Inner interface {
 	// FactorC is the constant c of Theorem 10.
 	FactorC() int
 	// Run computes the independent set on g, charging metrics to acc.
-	Run(g *graph.Graph, cfg Config, seeds *seedSeq, acc *dist.Accumulator) ([]bool, error)
+	Run(g *graph.Graph, cfg Config, seeds *protocol.SeedSeq, acc *dist.Accumulator) ([]bool, error)
 }
 
 // verifyIndependent guards every public algorithm's output.

@@ -7,6 +7,7 @@ import (
 	"distmwis/internal/congest"
 	"distmwis/internal/dist"
 	"distmwis/internal/graph"
+	"distmwis/internal/protocol"
 	"distmwis/internal/wire"
 )
 
@@ -38,8 +39,8 @@ type DegeneracyEstimate struct {
 // this protocol discharges that assumption at an O(log Δ·log n) round cost
 // and a constant-factor loss (see Theorem3Auto).
 func EstimateDegeneracy(g *graph.Graph, cfg Config) (*DegeneracyEstimate, error) {
-	cfg = cfg.normalized(g)
-	seeds := &seedSeq{base: cfg.Seed}
+	cfg = cfg.Normalized(g)
+	seeds := protocol.NewSeedSeq(cfg.Seed)
 	est := &DegeneracyEstimate{}
 	n := g.N()
 	if n == 0 {
@@ -64,7 +65,7 @@ func EstimateDegeneracy(g *graph.Graph, cfg Config) (*DegeneracyEstimate, error)
 		est.Metrics.AddRounds(1) // survivors exchange liveness flags
 		res, err := dist.RunPhase(sub.G, func() congest.Process {
 			return &peelProcess{threshold: threshold, budget: peelRounds}
-		}, &est.Metrics, cfg.phase("peel").opts(seeds.next())...)
+		}, &est.Metrics, cfg.Phase("peel").Opts(seeds.Next())...)
 		if err != nil {
 			return nil, fmt.Errorf("maxis: peel threshold %d: %w", threshold, err)
 		}

@@ -6,6 +6,7 @@ import (
 	"distmwis/internal/congest"
 	"distmwis/internal/dist"
 	"distmwis/internal/graph"
+	"distmwis/internal/protocol"
 	"distmwis/internal/wire"
 )
 
@@ -32,13 +33,13 @@ func PlanarConstantRound(g *graph.Graph, cfg Config) (*Result, error) {
 	if !g.IsUnitWeight() {
 		return nil, fmt.Errorf("maxis: PlanarConstantRound requires an unweighted graph")
 	}
-	cfg = cfg.normalized(g)
-	seeds := &seedSeq{base: cfg.Seed}
+	cfg = cfg.Normalized(g)
+	seeds := protocol.NewSeedSeq(cfg.Seed)
 	var acc dist.Accumulator
 
 	// One round to learn which neighbours are low-degree (each node
 	// broadcasts a single bit).
-	res, err := dist.RunPhase(g, func() congest.Process { return &degreeCapFlag{cap: planarDegreeCap} }, &acc, cfg.phase("lowdeg-flag").opts(seeds.next())...)
+	res, err := dist.RunPhase(g, func() congest.Process { return &degreeCapFlag{cap: planarDegreeCap} }, &acc, cfg.Phase("lowdeg-flag").Opts(seeds.Next())...)
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@ import (
 	"distmwis/internal/congest"
 	"distmwis/internal/dist"
 	"distmwis/internal/graph"
+	"distmwis/internal/protocol"
 	"distmwis/internal/wire"
 )
 
@@ -21,8 +22,8 @@ import (
 // model". Theorem 11: for Δ ≤ n/(256·ln(1/p)) − 1, the returned set has
 // size ≥ n/(8(Δ+1)) with probability ≥ 1 − p − 1/n^c.
 func Ranking(g *graph.Graph, c int, cfg Config) (*Result, error) {
-	cfg = cfg.normalized(g)
-	seeds := &seedSeq{base: cfg.Seed}
+	cfg = cfg.Normalized(g)
+	seeds := protocol.NewSeedSeq(cfg.Seed)
 	var acc dist.Accumulator
 	set, err := rankingRun(g, c, cfg, seeds, &acc)
 	if err != nil {
@@ -58,12 +59,12 @@ func rankSpace(nUpper, c int) uint64 {
 
 func rankBits(nUpper, c int) int { return wire.BitsFor(rankSpace(nUpper, c)) }
 
-func rankingRun(g *graph.Graph, c int, cfg Config, seeds *seedSeq, acc *dist.Accumulator) ([]bool, error) {
+func rankingRun(g *graph.Graph, c int, cfg Config, seeds *protocol.SeedSeq, acc *dist.Accumulator) ([]bool, error) {
 	if g.N() == 0 {
 		return nil, nil
 	}
 	space := rankSpace(cfg.NUpper, c)
-	res, err := dist.RunPhase(g, func() congest.Process { return &rankingProcess{space: space} }, acc, cfg.phase("ranking").opts(seeds.next())...)
+	res, err := dist.RunPhase(g, func() congest.Process { return &rankingProcess{space: space} }, acc, cfg.Phase("ranking").Opts(seeds.Next())...)
 	if err != nil {
 		return nil, err
 	}
@@ -270,7 +271,7 @@ func (r rankingInner) Name() string { return "ranking" }
 
 func (rankingInner) FactorC() int { return 16 }
 
-func (r rankingInner) Run(g *graph.Graph, cfg Config, seeds *seedSeq, acc *dist.Accumulator) ([]bool, error) {
+func (r rankingInner) Run(g *graph.Graph, cfg Config, seeds *protocol.SeedSeq, acc *dist.Accumulator) ([]bool, error) {
 	if !g.IsUnitWeight() {
 		return nil, fmt.Errorf("maxis: ranking inner requires unit weights (Theorem 5 is for unweighted graphs)")
 	}

@@ -1,0 +1,177 @@
+package maxis
+
+import (
+	"fmt"
+
+	"distmwis/internal/graph"
+	"distmwis/internal/protocol"
+)
+
+// solverEntry adapts one of this package's algorithm pipelines to the
+// protocol registry's Solver interface. Registration in init below is the
+// single step that makes an algorithm resolvable by Solve, listed in
+// AlgorithmNames, accepted by the cmd/maxis flag surface and the maxisd
+// JSON API, and covered by the registry-driven parity suite.
+type solverEntry struct {
+	name      string
+	describe  string
+	normalize func(p protocol.Params) (protocol.Params, error)
+	run       func(g *graph.Graph, p protocol.Params, cfg Config) (*Result, error)
+	guarantee func(g *graph.Graph, p protocol.Params, res *Result) string
+}
+
+func (e *solverEntry) Name() string        { return e.name }
+func (e *solverEntry) Kind() protocol.Kind { return protocol.KindSolver }
+func (e *solverEntry) Describe() string    { return e.describe }
+
+func (e *solverEntry) Normalize(p protocol.Params) (protocol.Params, error) {
+	if e.normalize == nil {
+		return p, nil
+	}
+	return e.normalize(p)
+}
+
+func (e *solverEntry) Run(g *graph.Graph, p protocol.Params, cfg Config) (*Result, error) {
+	return e.run(g, p, cfg)
+}
+
+func (e *solverEntry) Guarantee(g *graph.Graph, p protocol.Params, res *Result) string {
+	if e.guarantee == nil {
+		return ""
+	}
+	return e.guarantee(g, p, res)
+}
+
+var _ protocol.Solver = (*solverEntry)(nil)
+
+// needsEps rejects non-positive ε for the boosted pipelines.
+func needsEps(name string) func(p protocol.Params) (protocol.Params, error) {
+	return func(p protocol.Params) (protocol.Params, error) {
+		if p.Eps <= 0 {
+			return p, &protocol.ParamError{
+				Param:  "eps",
+				Detail: fmt.Sprintf("must be positive for %s, got %g", name, p.Eps),
+			}
+		}
+		return p, nil
+	}
+}
+
+func init() {
+	protocol.Register(&solverEntry{
+		name:     "goodnodes",
+		describe: "O(Δ)-approximation via an MIS over the good nodes (Theorem 8)",
+		run: func(g *graph.Graph, _ protocol.Params, cfg Config) (*Result, error) {
+			return GoodNodes(g, cfg)
+		},
+		guarantee: func(g *graph.Graph, _ protocol.Params, _ *Result) string {
+			return fmt.Sprintf("w(I) ≥ w(V)/(4(Δ+1)) = %.1f",
+				float64(g.TotalWeight())/(4*float64(g.MaxDegree()+1)))
+		},
+	})
+	protocol.Register(&solverEntry{
+		name:     "sparsified",
+		describe: "poly(log log n)-round O(Δ)-approximation via weighted sparsification (Theorem 9)",
+		run: func(g *graph.Graph, _ protocol.Params, cfg Config) (*Result, error) {
+			return Sparsified(g, cfg)
+		},
+		guarantee: func(*graph.Graph, protocol.Params, *Result) string {
+			return "w(I) = Ω(w(V)/Δ) w.h.p."
+		},
+	})
+	protocol.Register(&solverEntry{
+		name:      "theorem1",
+		describe:  "(1+ε)Δ-approximation: Boost over GoodNodes (Theorem 1)",
+		normalize: needsEps("theorem1"),
+		run: func(g *graph.Graph, p protocol.Params, cfg Config) (*Result, error) {
+			res, err := Theorem1(g, p.Eps, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return &res.Result, nil
+		},
+		guarantee: func(g *graph.Graph, p protocol.Params, _ *Result) string {
+			return fmt.Sprintf("(1+ε)Δ-approximation = %.1f", GuaranteeDelta(g.MaxDegree(), p.Eps))
+		},
+	})
+	protocol.Register(&solverEntry{
+		name:      "theorem2",
+		describe:  "(1+ε)Δ-approximation in poly(log log n)·O(1/ε) rounds: Boost over Sparsified (Theorem 2)",
+		normalize: needsEps("theorem2"),
+		run: func(g *graph.Graph, p protocol.Params, cfg Config) (*Result, error) {
+			res, err := Theorem2(g, p.Eps, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return &res.Result, nil
+		},
+		guarantee: func(g *graph.Graph, p protocol.Params, _ *Result) string {
+			return fmt.Sprintf("(1+ε)Δ-approximation = %.1f w.h.p.", GuaranteeDelta(g.MaxDegree(), p.Eps))
+		},
+	})
+	protocol.Register(&solverEntry{
+		name:      "theorem3",
+		describe:  "8(1+ε)α-approximation for arboricity-α graphs (Theorem 3; alpha 0 = degeneracy estimator)",
+		normalize: needsEps("theorem3"),
+		run: func(g *graph.Graph, p protocol.Params, cfg Config) (*Result, error) {
+			// Alpha <= 0 falls back to the degeneracy bound inside
+			// Arboricity, matching the cmd/maxis -alpha default.
+			res, err := Theorem3(g, p.Alpha, p.Eps, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return &res.Result, nil
+		},
+		guarantee: func(_ *graph.Graph, _ protocol.Params, res *Result) string {
+			return fmt.Sprintf("8(1+ε)α-approximation = %.1f w.h.p.", res.Extra["guarantee"])
+		},
+	})
+	protocol.Register(&solverEntry{
+		name:      "theorem5",
+		describe:  "(1+ε)(Δ+1)-approximation for unweighted low-degree graphs: Boost over Ranking (Theorem 5)",
+		normalize: needsEps("theorem5"),
+		run: func(g *graph.Graph, p protocol.Params, cfg Config) (*Result, error) {
+			res, err := Theorem5(g, p.Eps, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return &res.Result, nil
+		},
+		guarantee: func(g *graph.Graph, p protocol.Params, _ *Result) string {
+			return fmt.Sprintf("|I| ≥ n/((1+ε)(Δ+1)) = %.1f w.h.p.",
+				float64(g.N())/((1+p.Eps)*float64(g.MaxDegree()+1)))
+		},
+	})
+	protocol.Register(&solverEntry{
+		name:     "ranking",
+		describe: "Boppana ranking with the martingale guarantee (Section 5)",
+		run: func(g *graph.Graph, _ protocol.Params, cfg Config) (*Result, error) {
+			return Ranking(g, 2, cfg)
+		},
+		guarantee: func(g *graph.Graph, _ protocol.Params, _ *Result) string {
+			return fmt.Sprintf("|I| ≥ n/(8(Δ+1)) = %.1f w.h.p.",
+				float64(g.N())/(8*float64(g.MaxDegree()+1)))
+		},
+	})
+	protocol.Register(&solverEntry{
+		name:     "oneround",
+		describe: "one-round ranking baseline [17]; guarantee holds in expectation only",
+		run: func(g *graph.Graph, _ protocol.Params, cfg Config) (*Result, error) {
+			return OneRound(g, cfg)
+		},
+		guarantee: func(g *graph.Graph, _ protocol.Params, _ *Result) string {
+			return fmt.Sprintf("E[w(I)] ≥ w(V)/(Δ+1) = %.1f (expectation only)",
+				float64(g.TotalWeight())/float64(g.MaxDegree()+1))
+		},
+	})
+	protocol.Register(&solverEntry{
+		name:     "baseline",
+		describe: "Δ-approximation in O(MIS·log W) rounds (Bar-Yehuda et al. [8] baseline)",
+		run: func(g *graph.Graph, _ protocol.Params, cfg Config) (*Result, error) {
+			return BarYehuda(g, cfg)
+		},
+		guarantee: func(g *graph.Graph, _ protocol.Params, _ *Result) string {
+			return fmt.Sprintf("Δ-approximation = %d ([8] baseline)", g.MaxDegree())
+		},
+	})
+}

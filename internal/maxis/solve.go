@@ -2,68 +2,35 @@ package maxis
 
 import (
 	"fmt"
-	"sort"
 
 	"distmwis/internal/graph"
+	"distmwis/internal/protocol"
 )
 
-// Solve dispatches to the named algorithm, normalising the per-algorithm
-// result types to *Result. It is the entry point used by the serving layer
-// (internal/server) and keeps the name set in one place; cmd/maxis layers
-// its guarantee strings on top of the same names.
+// Solve dispatches to the named algorithm through the protocol registry,
+// normalising the per-algorithm result types to *Result. It is the entry
+// point used by the serving layer (internal/server); cmd/maxis layers its
+// guarantee strings on top of the same registry entries. Any solver
+// registered with protocol.Register — including ones registered outside
+// this package — is resolvable here without edits.
 //
 // eps is consumed by the boosted pipelines (theorem1/2/3/5) and ignored by
 // the rest; alpha is the arboricity bound of theorem3 (0 selects the
 // degeneracy-based Theorem3Auto).
 func Solve(name string, g *graph.Graph, eps float64, alpha int, cfg Config) (*Result, error) {
-	switch name {
-	case "goodnodes":
-		return GoodNodes(g, cfg)
-	case "sparsified":
-		return Sparsified(g, cfg)
-	case "theorem1":
-		res, err := Theorem1(g, eps, cfg)
-		if err != nil {
-			return nil, err
-		}
-		return &res.Result, nil
-	case "theorem2":
-		res, err := Theorem2(g, eps, cfg)
-		if err != nil {
-			return nil, err
-		}
-		return &res.Result, nil
-	case "theorem3":
-		// alpha <= 0 falls back to the degeneracy bound inside Arboricity,
-		// matching the cmd/maxis -alpha default.
-		res, err := Theorem3(g, alpha, eps, cfg)
-		if err != nil {
-			return nil, err
-		}
-		return &res.Result, nil
-	case "theorem5":
-		res, err := Theorem5(g, eps, cfg)
-		if err != nil {
-			return nil, err
-		}
-		return &res.Result, nil
-	case "ranking":
-		return Ranking(g, 2, cfg)
-	case "oneround":
-		return OneRound(g, cfg)
-	case "baseline":
-		return BarYehuda(g, cfg)
-	default:
-		return nil, fmt.Errorf("maxis: unknown algorithm %q (known: %v)", name, AlgorithmNames())
+	solver, err := protocol.SolverByName(name)
+	if err != nil {
+		return nil, fmt.Errorf("maxis: %w", err)
 	}
+	p, err := solver.Normalize(protocol.Params{Eps: eps, Alpha: alpha})
+	if err != nil {
+		return nil, fmt.Errorf("maxis: %s: %w", name, err)
+	}
+	return solver.Run(g, p, cfg)
 }
 
-// AlgorithmNames lists the names Solve accepts, sorted.
+// AlgorithmNames lists the names Solve accepts (every registered solver),
+// sorted.
 func AlgorithmNames() []string {
-	names := []string{
-		"goodnodes", "sparsified", "theorem1", "theorem2",
-		"theorem3", "theorem5", "ranking", "oneround", "baseline",
-	}
-	sort.Strings(names)
-	return names
+	return protocol.Names(protocol.KindSolver)
 }

@@ -6,6 +6,7 @@ import (
 	"distmwis/internal/congest"
 	"distmwis/internal/dist"
 	"distmwis/internal/graph"
+	"distmwis/internal/protocol"
 	"distmwis/internal/wire"
 )
 
@@ -23,8 +24,8 @@ import (
 // is what yields the paper's poly(log log n) round bound with the
 // Rozhoň–Ghaffari MIS.
 func Sparsified(g *graph.Graph, cfg Config) (*Result, error) {
-	cfg = cfg.normalized(g)
-	seeds := &seedSeq{base: cfg.Seed}
+	cfg = cfg.Normalized(g)
+	seeds := protocol.NewSeedSeq(cfg.Seed)
 	var acc dist.Accumulator
 	set, ext, err := sparsifiedRun(g, cfg, seeds, &acc)
 	if err != nil {
@@ -33,7 +34,7 @@ func Sparsified(g *graph.Graph, cfg Config) (*Result, error) {
 	return finish(g, set, cfg, acc, "sparsified", ext)
 }
 
-func sparsifiedRun(g *graph.Graph, cfg Config, seeds *seedSeq, acc *dist.Accumulator) ([]bool, map[string]float64, error) {
+func sparsifiedRun(g *graph.Graph, cfg Config, seeds *protocol.SeedSeq, acc *dist.Accumulator) ([]bool, map[string]float64, error) {
 	if g.N() == 0 {
 		return nil, nil, nil
 	}
@@ -62,16 +63,16 @@ func sparsifiedRun(g *graph.Graph, cfg Config, seeds *seedSeq, acc *dist.Accumul
 // SampleSparsifier runs the three-round sampling protocol of Section 4.2
 // and returns the membership vector of H. Exported for the Lemma 3 / Lemma 5
 // experiments, which study the sparsifier itself.
-func SampleSparsifier(g *graph.Graph, cfg Config, seeds *seedSeq, acc *dist.Accumulator) ([]bool, error) {
-	cfg = cfg.normalized(g)
+func SampleSparsifier(g *graph.Graph, cfg Config, seeds *protocol.SeedSeq, acc *dist.Accumulator) ([]bool, error) {
+	cfg = cfg.Normalized(g)
 	if seeds == nil {
-		seeds = &seedSeq{base: cfg.Seed}
+		seeds = protocol.NewSeedSeq(cfg.Seed)
 	}
 	if acc == nil {
 		acc = &dist.Accumulator{}
 	}
-	lam := cfg.lambda()
-	res, err := dist.RunPhase(g, func() congest.Process { return &sparsifySample{lambda: lam} }, acc, cfg.phase("sparsify/sample").opts(seeds.next())...)
+	lam := cfg.LambdaOrDefault()
+	res, err := dist.RunPhase(g, func() congest.Process { return &sparsifySample{lambda: lam} }, acc, cfg.Phase("sparsify/sample").Opts(seeds.Next())...)
 	if err != nil {
 		return nil, err
 	}
@@ -200,7 +201,7 @@ func (sparsifiedInner) Name() string { return "sparsified" }
 
 func (sparsifiedInner) FactorC() int { return 16 }
 
-func (sparsifiedInner) Run(g *graph.Graph, cfg Config, seeds *seedSeq, acc *dist.Accumulator) ([]bool, error) {
+func (sparsifiedInner) Run(g *graph.Graph, cfg Config, seeds *protocol.SeedSeq, acc *dist.Accumulator) ([]bool, error) {
 	set, _, err := sparsifiedRun(g, cfg, seeds, acc)
 	return set, err
 }

@@ -7,6 +7,7 @@ import (
 	"distmwis/internal/dist"
 	"distmwis/internal/graph"
 	"distmwis/internal/graph/gen"
+	"distmwis/internal/protocol"
 )
 
 func TestSparsifiedGuarantee(t *testing.T) {
@@ -51,13 +52,13 @@ func TestSparsifierLemma3DegreeBound(t *testing.T) {
 		{name: "skew", g: gen.Weighted(gen.GNP(500, 0.15, 7), gen.SkewedWeights(0.01, 1<<24), 7)},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			cfg := Config{Seed: 9}.normalized(tc.g)
+			cfg := Config{Seed: 9}.Normalized(tc.g)
 			inH, err := SampleSparsifier(tc.g, cfg, nil, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
 			sub := tc.g.Induce(inH)
-			lam := cfg.lambda()
+			lam := cfg.LambdaOrDefault()
 			logn := math.Log2(float64(tc.g.N()))
 			if got, limit := float64(sub.G.MaxDegree()), 8*lam*logn; got > limit {
 				t.Errorf("Δ_H = %.0f > %.1f = 8λ·log n", got, limit)
@@ -69,7 +70,7 @@ func TestSparsifierLemma3DegreeBound(t *testing.T) {
 func TestSparsifierLemma5WeightBound(t *testing.T) {
 	// Lemma 5: w(V_H) = Ω(min{w(V), w(V)·log n/Δ}). Assert a 1/8 constant.
 	g := gen.Weighted(gen.Clique(300), gen.UniformWeights(1000), 8)
-	cfg := Config{Seed: 4}.normalized(g)
+	cfg := Config{Seed: 4}.Normalized(g)
 	inH, err := SampleSparsifier(g, cfg, nil, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -153,8 +154,8 @@ func TestSparsifiedRoundsIndependentOfDelta(t *testing.T) {
 
 func TestSparsifierAccumulatorCharged(t *testing.T) {
 	g := gen.Weighted(gen.GNP(100, 0.2, 13), gen.UniformWeights(50), 13)
-	cfg := Config{Seed: 2}.normalized(g)
-	seeds := &seedSeq{base: cfg.Seed}
+	cfg := Config{Seed: 2}.Normalized(g)
+	seeds := protocol.NewSeedSeq(cfg.Seed)
 	var acc dist.Accumulator
 	if _, err := SampleSparsifier(g, cfg, seeds, &acc); err != nil {
 		t.Fatal(err)

@@ -26,22 +26,28 @@ import (
 
 	"distmwis/internal/congest"
 	"distmwis/internal/graph"
+	"distmwis/internal/protocol"
 	"distmwis/internal/wire"
 )
 
-// Algorithm is a distributed MIS black box (the MIS(n,Δ) of the paper).
-type Algorithm interface {
-	// Name identifies the algorithm in experiment tables.
-	Name() string
-	// NewProcess creates one node's protocol instance. The process's
-	// Output() must be a bool: membership in the computed MIS.
-	NewProcess() congest.Process
-	// RoundBudget returns the declared with-high-probability round budget
-	// MIS(n, Δ) for graphs with ≤ nUpper nodes and maximum degree ≤ maxDeg.
-	// Synchronous phase composition (Algorithms 1 and 6 of the paper) runs
-	// each black-box invocation for this fixed budget, because nodes cannot
-	// detect global termination; the budgeted accounting mode charges it.
-	RoundBudget(nUpper, maxDeg int) int
+// Algorithm is a distributed MIS black box (the MIS(n,Δ) of the paper): an
+// alias of the protocol runtime's MIS interface. Synchronous phase
+// composition (Algorithms 1 and 6 of the paper) runs each black-box
+// invocation for its fixed RoundBudget, because nodes cannot detect global
+// termination; the budgeted accounting mode charges it.
+//
+// Every box in this package self-registers into the protocol registry
+// (init below), which is where Config.MIS defaults, the cmd/maxis -mis
+// flag, the maxisd API's mis field and the cross-engine parity suite all
+// resolve names from.
+type Algorithm = protocol.MIS
+
+func init() {
+	protocol.RegisterMIS(Luby{}, "Luby/ABI: mark with p=1/(2d), join on (degree, ID) priority; O(log n) w.h.p.")
+	protocol.RegisterMIS(Ghaffari{}, "Ghaffari's desire-level dynamics; O(log Δ)+poly(log log n) local complexity")
+	protocol.RegisterMIS(Rank{}, "iterated uniform ranking, local maxima join (Section 5)")
+	protocol.RegisterMIS(GreedyByID{}, "deterministic greedy by identifier order (serving layer's degraded tier)")
+	protocol.SetDefaultMIS(Luby{}.Name())
 }
 
 // ceilLog2 returns ⌈log₂ x⌉ for x ≥ 1 (0 for x ≤ 1).

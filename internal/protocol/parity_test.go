@@ -1,0 +1,138 @@
+// Cross-engine parity suite, generated from the protocol registry: every
+// registered algorithm runs under all three execution engines (plus the
+// auto policy) and must produce a bit-identical Result. The table is built
+// from protocol.Solvers()/protocol.Protos() at run time, so registering a
+// new algorithm automatically extends the suite — no hand-listed
+// algorithm × engine matrix to keep in sync.
+package protocol_test
+
+import (
+	"reflect"
+	"slices"
+	"testing"
+
+	"distmwis/internal/congest"
+	"distmwis/internal/graph/gen"
+	"distmwis/internal/maxis"
+	"distmwis/internal/protocol"
+
+	// Registry side effects: these imports populate the solver, MIS and
+	// coloring tables the suite iterates over.
+	_ "distmwis/internal/coloring"
+	_ "distmwis/internal/mis"
+)
+
+// engineCases is every non-reference execution mode, each checked against
+// the sequential engine. The auto row preserves the coverage of the old
+// hand-written TestEnginesAgree: with several workers the policy resolves
+// to the pool on large graphs, and must still match bit-for-bit.
+var engineCases = []struct {
+	name    string
+	engine  congest.Engine
+	workers int
+}{
+	{name: "pool", engine: congest.EnginePool, workers: 8},
+	{name: "actors", engine: congest.EngineActors},
+	{name: "auto", engine: congest.EngineAuto, workers: 8},
+}
+
+// TestSolverEngineParity runs every registered MaxIS solver end to end on
+// each engine. The unit-weight graph keeps theorem5 in the table (it
+// rejects weighted inputs by contract); eps 0.5 satisfies every boosted
+// pipeline's Normalize.
+func TestSolverEngineParity(t *testing.T) {
+	g := gen.GNP(72, 0.08, 7)
+	for _, solver := range protocol.Solvers() {
+		solver := solver
+		t.Run(solver.Name(), func(t *testing.T) {
+			t.Parallel()
+			params, err := solver.Normalize(protocol.Params{Eps: 0.5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func(engine congest.Engine, workers int) *protocol.Result {
+				res, err := solver.Run(g, params, protocol.Config{
+					Seed: 11, Engine: engine, Workers: workers,
+				})
+				if err != nil {
+					t.Fatalf("engine %v: %v", engine, err)
+				}
+				return res
+			}
+			seq := run(congest.EngineSequential, 0)
+			for _, tc := range engineCases {
+				got := run(tc.engine, tc.workers)
+				if !reflect.DeepEqual(seq, got) {
+					t.Errorf("%s: Result diverges from sequential:\nseq: %+v\ngot: %+v", tc.name, seq, got)
+				}
+			}
+		})
+	}
+}
+
+// TestProtoEngineParity runs every registered single-protocol algorithm
+// (MIS black boxes and colouring protocols) under congest.Run on each
+// engine, comparing the full simulator Result.
+func TestProtoEngineParity(t *testing.T) {
+	g := gen.GNP(150, 0.04, 5)
+	protos := protocol.Protos()
+	if len(protos) == 0 {
+		t.Fatal("no process-factory algorithms registered")
+	}
+	for _, p := range protos {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			t.Parallel()
+			run := func(opts ...congest.Option) *congest.Result {
+				res, err := congest.Run(g, p.NewProcess, append(opts, congest.WithSeed(9))...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			seq := run(congest.WithEngine(congest.EngineSequential))
+			for _, tc := range engineCases {
+				opts := []congest.Option{congest.WithEngine(tc.engine)}
+				if tc.workers > 0 {
+					opts = append(opts, congest.WithWorkers(tc.workers))
+				}
+				got := run(opts...)
+				if !reflect.DeepEqual(seq.Outputs, got.Outputs) {
+					t.Errorf("%s: outputs diverge from sequential", tc.name)
+				}
+				if seq.Rounds != got.Rounds || seq.Messages != got.Messages ||
+					seq.Bits != got.Bits || seq.MaxMessageBits != got.MaxMessageBits {
+					t.Errorf("%s: metrics diverge: seq %+v, got %+v", tc.name, seq, got)
+				}
+			}
+		})
+	}
+}
+
+// TestRegistryCoverage pins the vocabulary each consumer derives from the
+// registry, so a dropped registration fails loudly here rather than as a
+// silent shrink of the CLI/server surface. Containment rather than exact
+// equality: other tests in this binary may register fixtures of their own.
+func TestRegistryCoverage(t *testing.T) {
+	requireAll := func(kind protocol.Kind, want []string) {
+		t.Helper()
+		got := protocol.Names(kind)
+		for _, name := range want {
+			if !slices.Contains(got, name) {
+				t.Errorf("%v names = %v, missing %q", kind, got, name)
+			}
+		}
+	}
+	requireAll(protocol.KindSolver, []string{
+		"baseline", "goodnodes", "oneround", "ranking", "sparsified",
+		"theorem1", "theorem2", "theorem3", "theorem5",
+	})
+	requireAll(protocol.KindMIS, []string{"ghaffari", "greedy-id", "luby", "rank"})
+	requireAll(protocol.KindColoring, []string{"randomgreedy"})
+	if got, want := maxis.AlgorithmNames(), protocol.Names(protocol.KindSolver); !reflect.DeepEqual(got, want) {
+		t.Errorf("maxis.AlgorithmNames() = %v diverges from registry %v", got, want)
+	}
+	if name := protocol.DefaultMIS().Name(); name != "luby" {
+		t.Errorf("default MIS = %q, want luby", name)
+	}
+}

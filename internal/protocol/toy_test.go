@@ -1,0 +1,105 @@
+package protocol_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"slices"
+	"sync"
+	"testing"
+
+	"distmwis/internal/graph"
+	"distmwis/internal/graph/gen"
+	"distmwis/internal/maxis"
+	"distmwis/internal/protocol"
+	"distmwis/internal/server"
+)
+
+// toySolver is a deliberately trivial MaxIS "algorithm": greedy by node
+// index, computed host-side with no simulator run. It exists to prove the
+// registration contract end to end — one Register call, zero edits to
+// internal/maxis, cmd/maxis, or internal/server.
+type toySolver struct{}
+
+func (toySolver) Name() string        { return "toy-greedy" }
+func (toySolver) Kind() protocol.Kind { return protocol.KindSolver }
+func (toySolver) Describe() string    { return "host-side greedy by index (test fixture)" }
+func (toySolver) Normalize(p protocol.Params) (protocol.Params, error) {
+	return p, nil
+}
+func (toySolver) Guarantee(*graph.Graph, protocol.Params, *protocol.Result) string {
+	return "none (test fixture)"
+}
+
+func (toySolver) Run(g *graph.Graph, _ protocol.Params, _ protocol.Config) (*protocol.Result, error) {
+	res := &protocol.Result{Set: make([]bool, g.N())}
+	for v := 0; v < g.N(); v++ {
+		ok := true
+		for _, u := range g.Neighbors(v) {
+			if int(u) < v && res.Set[u] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			res.Set[v] = true
+			res.Weight += g.Weight(v)
+		}
+	}
+	return res, nil
+}
+
+// registerToy is Once-guarded so the test survives -count=N reruns within
+// one binary (Register panics on duplicates by design).
+var registerToy sync.Once
+
+// TestToyAlgorithmRegistration is the acceptance test for the registry
+// contract: a solver registered in this test binary is resolvable through
+// maxis.Solve, listed by maxis.AlgorithmNames, and accepted by the maxisd
+// JSON API — none of which have a line of code naming it.
+//
+// It deliberately runs in its own test binary location (package
+// protocol_test) rather than next to the maxis/server golden tests: those
+// iterate AlgorithmNames and would see the fixture.
+func TestToyAlgorithmRegistration(t *testing.T) {
+	registerToy.Do(func() { protocol.Register(toySolver{}) })
+
+	if names := maxis.AlgorithmNames(); !slices.Contains(names, "toy-greedy") {
+		t.Fatalf("AlgorithmNames() = %v, missing toy-greedy", names)
+	}
+
+	g := gen.Weighted(gen.GNP(32, 0.1, 3), gen.PolyWeights(2), 3)
+	res, err := maxis.Solve("toy-greedy", g, 0, 0, maxis.Config{Seed: 1})
+	if err != nil {
+		t.Fatalf("maxis.Solve: %v", err)
+	}
+	if res.Weight <= 0 || len(res.Set) != g.N() {
+		t.Fatalf("toy solver produced weight %d, set len %d", res.Weight, len(res.Set))
+	}
+
+	ts := httptest.NewServer(server.New(server.Options{Workers: 1}).Handler())
+	defer ts.Close()
+	body, err := json.Marshal(server.SolveRequest{
+		Gen: &server.GenSpec{Kind: "gnp", N: 32, P: 0.1, Weights: "poly2", Seed: 3},
+		Alg: "toy-greedy", Seed: 1, NoCache: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpResp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	var resp server.SolveResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		t.Fatalf("server rejected registered algorithm: status %d, error %q", httpResp.StatusCode, resp.Error)
+	}
+	if resp.Status != "done" || resp.Weight != res.Weight {
+		t.Fatalf("server response %+v does not match direct Solve weight %d", resp, res.Weight)
+	}
+}

@@ -26,13 +26,16 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
-	"strings"
 
 	"distmwis/internal/fault"
 	"distmwis/internal/graph"
 	"distmwis/internal/graph/gen"
 	"distmwis/internal/maxis"
-	"distmwis/internal/mis"
+	"distmwis/internal/protocol"
+
+	// Imported for its registry side effects: the MIS black boxes the API
+	// accepts are resolved through the protocol registry.
+	_ "distmwis/internal/mis"
 )
 
 // GenSpec asks the server to build one of the seeded generator graphs
@@ -83,7 +86,8 @@ type SolveRequest struct {
 	// Seed is the root randomness seed (default 1). Identical requests with
 	// identical seeds return bit-identical sets.
 	Seed uint64 `json:"seed,omitempty"`
-	// MIS selects the MIS black box: luby|ghaffari|rank|greedyid (default luby).
+	// MIS selects the MIS black box by protocol-registry name (default
+	// luby); "greedyid" is accepted as a legacy alias for greedy-id.
 	MIS string `json:"mis,omitempty"`
 	// Priority is interactive (default) or batch; interactive jobs are
 	// scheduled strictly first.
@@ -149,7 +153,12 @@ func (r *SolveRequest) normalize() error {
 	if r.MIS == "" {
 		r.MIS = "luby"
 	}
-	if _, err := misByName(r.MIS); err != nil {
+	if r.MIS == "greedyid" {
+		// Legacy spelling from before the protocol registry; the canonical
+		// registry name is the algorithm's own Name().
+		r.MIS = "greedy-id"
+	}
+	if _, err := protocol.MISByName(r.MIS); err != nil {
 		return err
 	}
 	switch r.Priority {
@@ -168,32 +177,13 @@ func (r *SolveRequest) normalize() error {
 	if r.CheckpointEvery > 0 && !r.Reliable {
 		return fmt.Errorf("checkpoint_every requires reliable")
 	}
-	found := false
-	for _, name := range maxis.AlgorithmNames() {
-		if name == r.Alg {
-			found = true
-			break
-		}
-	}
-	if !found {
-		return fmt.Errorf("unknown algorithm %q (known: %s)", r.Alg, strings.Join(maxis.AlgorithmNames(), ", "))
+	// Algorithm vocabulary comes from the protocol registry: any solver
+	// registered there — including ones from outside internal/maxis — is
+	// accepted here without edits.
+	if _, err := protocol.SolverByName(r.Alg); err != nil {
+		return err
 	}
 	return nil
-}
-
-func misByName(name string) (mis.Algorithm, error) {
-	switch name {
-	case "luby":
-		return mis.Luby{}, nil
-	case "ghaffari":
-		return mis.Ghaffari{}, nil
-	case "rank":
-		return mis.Rank{}, nil
-	case "greedyid":
-		return mis.GreedyByID{}, nil
-	default:
-		return nil, fmt.Errorf("unknown MIS algorithm %q", name)
-	}
 }
 
 // buildGraph materialises the request's graph. The generator vocabulary is
@@ -268,7 +258,7 @@ func (r *SolveRequest) buildGraph() (*graph.Graph, error) {
 // cmd/maxis flag wiring (including the seed+77 fault-seed derivation) so
 // service results are bit-identical to CLI runs.
 func (r *SolveRequest) maxisConfig(solveWorkers int) (maxis.Config, error) {
-	misAlg, err := misByName(r.MIS)
+	misAlg, err := protocol.MISByName(r.MIS)
 	if err != nil {
 		return maxis.Config{}, err
 	}

@@ -1,0 +1,102 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"distmwis/internal/maxis"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "regenerate testdata golden files")
+
+// TestGoldenSolveResponses pins the POST /v1/solve response body for every
+// algorithm across the protocol-registry refactor. The volatile fields
+// (id, elapsed_ms) are normalised before comparison; everything else —
+// set, weight, graph hash, counters, status — must be byte-identical to
+// the goldens generated from the pre-refactor tree.
+func TestGoldenSolveResponses(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+
+	algs := maxis.AlgorithmNames()
+	got := make(map[string]json.RawMessage, len(algs))
+	for _, alg := range algs {
+		spec := &GenSpec{Kind: "gnp", N: 40, P: 0.1, Weights: "poly2", Seed: 7}
+		if alg == "theorem5" {
+			spec.Weights = "" // theorem5 rejects weighted inputs by contract
+		}
+		body, err := json.Marshal(SolveRequest{Gen: spec, Alg: alg, Seed: 3, NoCache: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		httpResp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := normalizeResponseBody(httpResp.Body)
+		httpResp.Body.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if httpResp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", alg, httpResp.StatusCode, raw)
+		}
+		got[alg] = raw
+	}
+
+	path := filepath.Join("testdata", "golden_responses.json")
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d responses to %s", len(got), path)
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
+	}
+	var want map[string]json.RawMessage
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	for alg, wantBody := range want {
+		// The golden file stores each body indented; compact before the
+		// byte comparison so only real content drift fails the test.
+		var buf bytes.Buffer
+		if err := json.Compact(&buf, wantBody); err != nil {
+			t.Fatalf("%s: bad golden body: %v", alg, err)
+		}
+		if !bytes.Equal(got[alg], buf.Bytes()) {
+			t.Errorf("response drift for %s:\n got  %s\n want %s", alg, got[alg], buf.Bytes())
+		}
+	}
+	for alg := range got {
+		if _, ok := want[alg]; !ok {
+			t.Errorf("algorithm %s missing from golden file (regenerate with -update-golden)", alg)
+		}
+	}
+}
+
+// normalizeResponseBody re-marshals a SolveResponse with the per-request
+// volatile fields cleared, yielding a canonical byte form.
+func normalizeResponseBody(r interface{ Read([]byte) (int, error) }) ([]byte, error) {
+	var resp SolveResponse
+	if err := json.NewDecoder(r).Decode(&resp); err != nil {
+		return nil, err
+	}
+	resp.ID = ""
+	resp.ElapsedMS = 0
+	return json.Marshal(resp)
+}
