@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: all vet lint build build-cmds test race fuzz experiments recovery-sweep serve loadtest smoke bench-serve clean
+.PHONY: all vet lint build build-cmds test race fuzz experiments recovery-sweep serve loadtest smoke chaos-soak bench-serve bench-json clean
+
+# PR number stamped into the bench-json report filename.
+PR ?= 6
 
 all: vet build test
 
@@ -51,9 +54,25 @@ loadtest:
 smoke:
 	./scripts/smoke.sh
 
+# Deterministic chaos soak: pinned fault schedule, retrying client,
+# crash/recovery via the write-ahead journal, goroutine-leak check.
+# Used by the CI chaos-smoke job.
+chaos-soak:
+	$(GO) test -race -run TestChaosSoak -count=1 -v ./internal/soak/
+
 # Serving-layer benchmarks: cache hit vs cold solve, scheduler overhead.
 bench-serve:
 	$(GO) test -run='^$$' -bench=BenchmarkServe -benchtime=10x .
+
+# Machine-readable benchmark snapshot: round loop, solver end-to-end and
+# serving cold/hot paths, with allocation stats, written to BENCH_$(PR).json.
+bench-json:
+	@{ $(GO) test -run='^$$' -benchmem -benchtime=5x \
+		-bench='^(BenchmarkE13Headline|BenchmarkServeColdVsCacheHit|BenchmarkServeSchedulerDepth1)$$' . ; \
+	   $(GO) test -run='^$$' -benchmem -benchtime=5x \
+		-bench='^BenchmarkMessageDelivery$$' ./internal/congest/ ; } \
+		| $(GO) run ./cmd/benchjson -o BENCH_$(PR).json
+	@echo "wrote BENCH_$(PR).json"
 
 experiments:
 	$(GO) run ./cmd/experiments -o EXPERIMENTS.md

@@ -1,0 +1,174 @@
+// Command benchjson converts `go test -bench -benchmem` text output into a
+// machine-readable JSON report, so benchmark numbers can be archived per
+// PR and diffed across revisions without scraping test logs.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -benchmem ./... | benchjson -o BENCH_6.json
+//
+// The report records, per benchmark: iterations, ns/op, B/op and
+// allocs/op (when -benchmem was set), plus any custom unit metrics
+// (e.g. rounds/op) the benchmark reported.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line, parsed.
+type Result struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix (1 when the line carried none).
+	Procs      int     `json:"procs"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present only under -benchmem.
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Extra holds custom ReportMetric units, e.g. {"rounds/op": 12}.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Report is the file benchjson writes.
+type Report struct {
+	GoOS       string   `json:"goos,omitempty"`
+	GoArch     string   `json:"goarch,omitempty"`
+	Package    string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	report, err := Parse(stdin)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	if len(report.Benchmarks) == 0 {
+		fmt.Fprintln(stderr, "benchjson: no benchmark lines in input")
+		return 1
+	}
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		_, err = stdout.Write(enc)
+	} else {
+		err = os.WriteFile(*out, enc, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "benchjson: %d benchmarks parsed\n", len(report.Benchmarks))
+	return 0
+}
+
+// Parse reads `go test -bench` output. Non-benchmark lines (PASS, ok,
+// logging) are skipped; header lines (goos/goarch/pkg/cpu) annotate the
+// report.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			// Multi-package runs emit several pkg: headers; keep them all,
+			// comma-joined, so the report names everything it covers.
+			pkg := strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			if rep.Package == "" {
+				rep.Package = pkg
+			} else if !strings.Contains(rep.Package, pkg) {
+				rep.Package += "," + pkg
+			}
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			res, ok := parseLine(line)
+			if ok {
+				rep.Benchmarks = append(rep.Benchmarks, res)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// parseLine parses one result line:
+//
+//	BenchmarkName-8   120   9876543 ns/op   456 B/op   7 allocs/op   3.5 rounds/op
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return Result{}, false
+	}
+	res := Result{Procs: 1}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if procs, err := strconv.Atoi(name[i+1:]); err == nil {
+			res.Procs = procs
+			name = name[:i]
+		}
+	}
+	res.Name = name
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res.Iterations = iters
+
+	// The remainder is (value, unit) pairs.
+	sawNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = v
+			sawNs = true
+		case "B/op":
+			b := v
+			res.BytesPerOp = &b
+		case "allocs/op":
+			a := v
+			res.AllocsPerOp = &a
+		default:
+			if res.Extra == nil {
+				res.Extra = make(map[string]float64)
+			}
+			res.Extra[unit] = v
+		}
+	}
+	return res, sawNs
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: distmwis
+cpu: Fake CPU @ 3.00GHz
+BenchmarkE13Headline-8   	      12	  98765432 ns/op	  123456 B/op	     789 allocs/op
+BenchmarkServeColdVsCacheHit/cold-8         	      50	   2000000 ns/op	 40000 B/op	 300 allocs/op
+BenchmarkServeColdVsCacheHit/cache_hit-8    	  100000	     12345 ns/op	   100 B/op	       2 allocs/op
+BenchmarkMessageDelivery-8	     300	   4567890 ns/op	        37.5 rounds/op	  999 B/op	 42 allocs/op
+PASS
+ok  	distmwis	12.345s
+`
+
+func TestParseSample(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GoOS != "linux" || rep.GoArch != "amd64" || rep.Package != "distmwis" {
+		t.Fatalf("header = %+v", rep)
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(rep.Benchmarks))
+	}
+	first := rep.Benchmarks[0]
+	if first.Name != "BenchmarkE13Headline" || first.Procs != 8 ||
+		first.Iterations != 12 || first.NsPerOp != 98765432 {
+		t.Fatalf("first = %+v", first)
+	}
+	if first.BytesPerOp == nil || *first.BytesPerOp != 123456 ||
+		first.AllocsPerOp == nil || *first.AllocsPerOp != 789 {
+		t.Fatalf("first memory stats = %+v", first)
+	}
+	hit := rep.Benchmarks[2]
+	if hit.Name != "BenchmarkServeColdVsCacheHit/cache_hit" || hit.NsPerOp != 12345 {
+		t.Fatalf("cache hit = %+v", hit)
+	}
+	msg := rep.Benchmarks[3]
+	if msg.Extra["rounds/op"] != 37.5 {
+		t.Fatalf("custom metric lost: %+v", msg)
+	}
+}
+
+func TestParseSkipsGarbage(t *testing.T) {
+	rep, err := Parse(strings.NewReader("hello\nBenchmarkBad notanumber ns/op\nPASS\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Fatalf("garbage parsed as benchmarks: %+v", rep.Benchmarks)
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_test.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-o", out}, strings.NewReader(sample), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("round-tripped %d benchmarks, want 4", len(rep.Benchmarks))
+	}
+}
+
+func TestRunEmptyInputFails(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, strings.NewReader("no benchmarks here\n"), &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1 on empty input", code)
+	}
+	if !strings.Contains(stderr.String(), "no benchmark lines") {
+		t.Fatalf("stderr: %s", stderr.String())
+	}
+}

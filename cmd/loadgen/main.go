@@ -3,24 +3,29 @@
 // generator graphs, reuses a bounded seed pool to exercise the result
 // cache, and reports throughput plus p50/p95/p99 latency.
 //
+// Requests go through the fault-tolerant internal/server/client: retries
+// with backoff, optional hedging, and a circuit breaker that falls back to
+// the degraded tier. The final report counts that activity, and -slo turns
+// the run into an availability assertion: exit non-zero when the success
+// ratio misses the target.
+//
 // Usage:
 //
 //	loadgen -addr http://localhost:8080 -rps 1000 -concurrency 32 \
-//	        -duration 10s -repeat 0.9 -graphs gnp,cycle,tree -n 200
+//	        -duration 10s -repeat 0.9 -graphs gnp,cycle,tree -n 200 \
+//	        -retries 2 -breaker 8 -slo 0.99
 //
-// The exit code is non-zero if any request failed, which makes a short
-// loadgen burst a usable CI smoke assertion.
+// Without -slo the exit code is non-zero if any request failed, which
+// makes a short loadgen burst a usable CI smoke assertion.
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"math/rand/v2"
-	"net/http"
 	"os"
 	"sort"
 	"strings"
@@ -28,32 +33,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"distmwis/internal/server"
+	"distmwis/internal/server/client"
 	"distmwis/internal/stats"
 )
-
-type genSpec struct {
-	Kind    string  `json:"kind"`
-	N       int     `json:"n"`
-	P       float64 `json:"p,omitempty"`
-	Weights string  `json:"weights,omitempty"`
-	Seed    uint64  `json:"seed,omitempty"`
-}
-
-type solveRequest struct {
-	Gen      *genSpec `json:"gen"`
-	Alg      string   `json:"alg"`
-	Seed     uint64   `json:"seed"`
-	Priority string   `json:"priority,omitempty"`
-}
-
-type solveResponse struct {
-	Status   string `json:"status"`
-	Weight   int64  `json:"weight"`
-	Cached   bool   `json:"cached"`
-	Shared   bool   `json:"shared"`
-	Degraded bool   `json:"degraded"`
-	Error    string `json:"error"`
-}
 
 type tally struct {
 	sent, ok, failed, cached, shared, degraded atomic.Int64
@@ -89,7 +72,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		alg         = fs.String("alg", "goodnodes", "algorithm to request")
 		batchFrac   = fs.Float64("batch", 0, "fraction of requests submitted at batch priority")
 		seed        = fs.Uint64("seed", 1, "load-generator randomness seed")
-		timeout     = fs.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
+		timeout     = fs.Duration("timeout", 30*time.Second, "per-attempt HTTP timeout")
+		retries     = fs.Int("retries", 2, "retries per request after the first attempt (-1 disables)")
+		hedge       = fs.Duration("hedge", 0, "hedge a request after this delay (0 = off)")
+		breaker     = fs.Int("breaker", 8, "consecutive failures that open the circuit breaker (0 = off)")
+		cooldown    = fs.Duration("breaker-cooldown", time.Second, "open-breaker cooldown before a probe")
+		slo         = fs.Float64("slo", 0, "required success ratio in (0,1]; 0 keeps the legacy any-failure exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -102,12 +90,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "loadgen: -repeat and -batch must be in [0,1]")
 		return 1
 	}
+	if *slo < 0 || *slo > 1 {
+		fmt.Fprintln(stderr, "loadgen: -slo must be in [0,1]")
+		return 1
+	}
 	kinds := strings.Split(*graphs, ",")
 	for i := range kinds {
 		kinds[i] = strings.TrimSpace(kinds[i])
 	}
 
-	client := &http.Client{Timeout: *timeout}
+	cl := client.New(*addr, client.Options{
+		Timeout:          *timeout,
+		MaxRetries:       *retries,
+		HedgeAfter:       *hedge,
+		Seed:             *seed,
+		BreakerThreshold: *breaker,
+		BreakerCooldown:  *cooldown,
+	})
 	var t tally
 	// Rate pacing: a token channel fed at the target rate. Closed-loop:
 	// when the server lags, tokens back up to the channel bound and the
@@ -133,12 +132,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 			defer tick.Stop()
 			begin := time.Now()
 			issued := int64(batch)
+			// After a stall (GC pause, server hiccup, laptop sleep) the
+			// drift-corrected top-up would otherwise dump the entire missed
+			// backlog at once; cap the catch-up burst so recovery ramps at a
+			// bounded multiple of the steady-state batch instead of hammering
+			// a server that just came back.
+			maxBurst := int64(2 * batch)
 			for {
 				select {
 				case <-tick.C:
 					// Time-based top-up rather than per-tick batches: ticker
 					// drift would otherwise shave a few percent off the rate.
 					due := int64(*rps*time.Since(begin).Seconds()) + int64(batch)
+					if due-issued > maxBurst {
+						issued = due - maxBurst // forgive the stalled backlog
+					}
 					for issued < due {
 						select {
 						case tokens <- struct{}{}:
@@ -179,9 +187,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 						return
 					}
 				}
-				req := solveRequest{Alg: *alg}
+				req := server.SolveRequest{Alg: *alg}
 				kind := kinds[rng.IntN(len(kinds))]
-				gs := genSpec{Kind: kind, N: *n, P: *p, Weights: *weights}
+				gs := server.GenSpec{Kind: kind, N: *n, P: *p, Weights: *weights}
 				if kind == "cycle" || kind == "path" || kind == "star" {
 					gs.P = 0
 				}
@@ -195,7 +203,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				if rng.Float64() < *batchFrac {
 					req.Priority = "batch"
 				}
-				issue(client, *addr, req, &t)
+				issue(cl, req, &t)
 			}
 		}(w)
 	}
@@ -203,51 +211,49 @@ func run(args []string, stdout, stderr io.Writer) int {
 	close(stopFill)
 	elapsed := time.Since(start)
 
-	report(stdout, &t, elapsed)
-	if t.failed.Load() > 0 {
-		fmt.Fprintf(stderr, "loadgen: %d requests failed\n", t.failed.Load())
+	report(stdout, &t, cl.Stats(), elapsed)
+	sent, failed := t.sent.Load(), t.failed.Load()
+	if *slo > 0 {
+		ratio := 0.0
+		if sent > 0 {
+			ratio = float64(t.ok.Load()) / float64(sent)
+		}
+		if ratio < *slo {
+			fmt.Fprintf(stderr, "loadgen: SLO missed: success ratio %.4f < %.4f (%d requests failed)\n",
+				ratio, *slo, failed)
+			return 1
+		}
+		return 0
+	}
+	if failed > 0 {
+		fmt.Fprintf(stderr, "loadgen: %d requests failed\n", failed)
 		return 1
 	}
 	return 0
 }
 
-func issue(client *http.Client, addr string, req solveRequest, t *tally) {
-	body, err := json.Marshal(req)
-	if err != nil {
-		t.failed.Add(1)
-		return
-	}
+func issue(cl *client.Client, req server.SolveRequest, t *tally) {
 	t.sent.Add(1)
 	reqStart := time.Now()
-	resp, err := client.Post(addr+"/v1/solve", "application/json", bytes.NewReader(body))
-	if err != nil {
-		t.failed.Add(1)
-		return
-	}
-	defer resp.Body.Close()
-	var sr solveResponse
-	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+	resp, err := cl.Solve(context.Background(), req)
+	if err != nil || resp.Status != "done" {
 		t.failed.Add(1)
 		return
 	}
 	t.observe(time.Since(reqStart).Seconds())
-	if resp.StatusCode != http.StatusOK || sr.Status != "done" {
-		t.failed.Add(1)
-		return
-	}
 	t.ok.Add(1)
-	if sr.Cached {
+	if resp.Cached {
 		t.cached.Add(1)
 	}
-	if sr.Shared {
+	if resp.Shared {
 		t.shared.Add(1)
 	}
-	if sr.Degraded {
+	if resp.Degraded {
 		t.degraded.Add(1)
 	}
 }
 
-func report(w io.Writer, t *tally, elapsed time.Duration) {
+func report(w io.Writer, t *tally, cs client.Stats, elapsed time.Duration) {
 	t.mu.Lock()
 	lat := append([]float64(nil), t.latencies...)
 	t.mu.Unlock()
@@ -263,6 +269,8 @@ func report(w io.Writer, t *tally, elapsed time.Duration) {
 		sent, elapsed.Seconds(), float64(sent)/elapsed.Seconds())
 	fmt.Fprintf(w, "  ok=%d failed=%d cached=%d shared=%d degraded=%d\n",
 		t.ok.Load(), t.failed.Load(), t.cached.Load(), t.shared.Load(), t.degraded.Load())
+	fmt.Fprintf(w, "  client: retries=%d hedges=%d breaker_opens=%d fallbacks=%d\n",
+		cs.Retries, cs.Hedges, cs.BreakerOpens, cs.Fallbacks)
 	fmt.Fprintf(w, "  latency ms: p50=%.2f p95=%.2f p99=%.2f max=%.2f\n",
 		ms(0.50), ms(0.95), ms(0.99), ms(1.0))
 }

@@ -33,7 +33,7 @@ func TestLoadgenAgainstRealServer(t *testing.T) {
 		t.Fatalf("loadgen exit %d\nstdout: %s\nstderr: %s", code, out.String(), errBuf.String())
 	}
 	report := out.String()
-	for _, want := range []string{"req/s", "failed=0", "p99="} {
+	for _, want := range []string{"req/s", "failed=0", "p99=", "retries=", "breaker_opens="} {
 		if !strings.Contains(report, want) {
 			t.Errorf("report missing %q:\n%s", want, report)
 		}
@@ -49,6 +49,7 @@ func TestLoadgenFlagValidation(t *testing.T) {
 		{"-concurrency", "0"},
 		{"-repeat", "1.5"},
 		{"-batch", "-0.1"},
+		{"-slo", "1.1"},
 	}
 	for _, args := range cases {
 		var out, errBuf bytes.Buffer
@@ -73,5 +74,26 @@ func TestLoadgenReportsFailuresNonZero(t *testing.T) {
 	}
 	if !strings.Contains(errBuf.String(), "requests failed") {
 		t.Fatalf("missing failure message: %s", errBuf.String())
+	}
+}
+
+// TestLoadgenSLOExit pins the -slo contract: a dead endpoint misses any
+// positive target and the report says so explicitly.
+func TestLoadgenSLOExit(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{
+		"-addr", "http://127.0.0.1:1",
+		"-duration", "200ms",
+		"-rps", "50",
+		"-concurrency", "2",
+		"-timeout", "100ms",
+		"-retries", "0",
+		"-slo", "0.5",
+	}, &out, &errBuf)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout: %s", code, out.String())
+	}
+	if !strings.Contains(errBuf.String(), "SLO missed") {
+		t.Fatalf("missing SLO message: %s", errBuf.String())
 	}
 }

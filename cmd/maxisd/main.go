@@ -8,15 +8,22 @@
 //	POST /v1/solve      solve a graph (sync, or async with "async": true)
 //	GET  /v1/jobs/{id}  poll an async job
 //	GET  /healthz       liveness (200 while the process runs)
-//	GET  /readyz        readiness (503 once draining)
+//	GET  /readyz        readiness (503 once draining, restart budget blown, or saturated)
 //	GET  /metrics       Prometheus text exposition
 //
 // Usage:
 //
-//	maxisd -addr :8080 -workers 4 -cache-bytes 67108864 -rate 2000
+//	maxisd -addr :8080 -workers 4 -cache-bytes 67108864 -rate 2000 \
+//	       -journal /var/lib/maxisd/jobs.wal
 //
-// SIGINT/SIGTERM start a graceful shutdown: new requests get 503, accepted
-// jobs finish, and the process exits within -drain-timeout.
+// -journal enables the write-ahead request journal: accepted async jobs
+// are durably logged before the 202 and replayed deterministically on the
+// next boot if the process dies mid-solve. -chaos installs the seeded
+// fault injector of internal/chaos for soak testing.
+//
+// SIGINT and SIGTERM are equivalent: both start a graceful shutdown — new
+// requests get 503, accepted jobs finish, and the process exits within
+// -drain-timeout, logging the drain outcome.
 package main
 
 import (
@@ -31,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"distmwis/internal/chaos"
 	"distmwis/internal/server"
 )
 
@@ -54,6 +62,9 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		burst        = fs.Int("burst", 0, "token-bucket burst (default 2×rate)")
 		shedDepth    = fs.Int("shed-depth", 0, "queue depth beyond which requests degrade to the greedy tier (default queue/2)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+		restarts     = fs.Int("restart-budget", 32, "worker restarts beyond which /readyz degrades (negative disables)")
+		journal      = fs.String("journal", "", "write-ahead journal path for accepted async jobs (empty disables)")
+		chaosSpec    = fs.String("chaos", "", "chaos schedule, e.g. seed=7,err=0.05,latency=0.1:20ms,panic-every=40 (empty disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -62,21 +73,45 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		fmt.Fprintln(stderr, "maxisd: -workers, -solve-workers and -queue must be positive")
 		return 1
 	}
+	var injector *chaos.Injector
+	if *chaosSpec != "" {
+		sched, err := chaos.ParseSchedule(*chaosSpec)
+		if err != nil {
+			fmt.Fprintf(stderr, "maxisd: -chaos: %v\n", err)
+			return 1
+		}
+		injector = chaos.NewInjector(sched)
+		fmt.Fprintf(stdout, "maxisd: chaos injection armed (%s)\n", sched.String())
+	}
 
 	s := server.New(server.Options{
-		Workers:      *workers,
-		SolveWorkers: *solveWorkers,
-		QueueDepth:   *queueDepth,
-		CacheBytes:   *cacheBytes,
-		Rate:         *rate,
-		Burst:        *burst,
-		ShedDepth:    *shedDepth,
-		DrainTimeout: *drainTimeout,
+		Workers:       *workers,
+		SolveWorkers:  *solveWorkers,
+		QueueDepth:    *queueDepth,
+		CacheBytes:    *cacheBytes,
+		Rate:          *rate,
+		Burst:         *burst,
+		ShedDepth:     *shedDepth,
+		DrainTimeout:  *drainTimeout,
+		RestartBudget: *restarts,
+		Chaos:         injector,
 	})
+	if *journal != "" {
+		recovered, err := s.OpenJournal(*journal)
+		if err != nil {
+			fmt.Fprintf(stderr, "maxisd: journal: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "maxisd: journal %s open, recovered %d jobs\n", *journal, recovered)
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	// SIGINT and SIGTERM are deliberately identical — ^C in a terminal and a
+	// supervisor's stop must drain the same way. A plain Notify (rather than
+	// NotifyContext) keeps the signal value so the drain log names it.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
 
 	errCh := make(chan error, 1)
 	ln, err := newListener(*addr)
@@ -92,8 +127,8 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	go func() { errCh <- httpSrv.Serve(ln) }()
 
 	select {
-	case <-ctx.Done():
-		fmt.Fprintln(stdout, "maxisd: shutdown signal received, draining")
+	case sig := <-sigCh:
+		fmt.Fprintf(stdout, "maxisd: shutdown signal received (%v), draining\n", sig)
 	case err := <-errCh:
 		fmt.Fprintf(stderr, "maxisd: serve: %v\n", err)
 		return 1
@@ -109,8 +144,12 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	}
 	if err := s.Drain(); err != nil {
 		fmt.Fprintf(stderr, "maxisd: %v\n", err)
+		_ = s.Close()
 		return 1
 	}
-	fmt.Fprintln(stdout, "maxisd: drained, exiting")
+	_ = s.Close()
+	st := s.Stats()
+	fmt.Fprintf(stdout, "maxisd: drained, exiting (done=%d expired=%d panics=%d restarts=%d recovered=%d)\n",
+		st.JobsDone, st.JobsExpired, st.WorkerPanics, st.WorkerRestarts, st.JournalRecovered)
 	return 0
 }

@@ -3,10 +3,14 @@ package main
 import (
 	"bytes"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"testing"
 	"time"
+
+	"distmwis/internal/reliable"
 )
 
 // TestDaemonLifecycle boots the daemon on an ephemeral port, probes the
@@ -69,6 +73,84 @@ func TestDaemonLifecycle(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "drained, exiting") {
 		t.Fatalf("missing drain message in output:\n%s", out.String())
+	}
+}
+
+// TestDaemonSIGINTWithJournalAndChaos pins three contracts at once: SIGINT
+// drains exactly like SIGTERM (and the log names the signal), -journal
+// opens the write-ahead journal, and -chaos arms the injector.
+func TestDaemonSIGINTWithJournalAndChaos(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "jobs.wal")
+	var out, errBuf bytes.Buffer
+	ready := make(chan string, 1)
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0", "-workers", "2",
+			"-journal", journal,
+			"-chaos", "seed=3,latency=1:1ms",
+		}, &out, &errBuf, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("daemon never became ready; stderr: %s", errBuf.String())
+	}
+
+	body := `{"gen":{"kind":"cycle","n":40},"alg":"goodnodes","async":true}`
+	resp, err := http.Post("http://"+addr+"/v1/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async solve: code=%d", resp.StatusCode)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit code %d; stderr: %s", code, errBuf.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit after SIGINT")
+	}
+	for _, want := range []string{
+		"shutdown signal received (interrupt)",
+		"drained, exiting",
+		"journal " + journal + " open, recovered 0 jobs",
+		"chaos injection armed",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	// The drained job must have been committed: nothing pending on disk.
+	f, err := os.Open(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := reliable.ReadWAL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pending := reliable.PendingWAL(recs); len(pending) != 0 {
+		t.Fatalf("journal has %d pending jobs after a clean drain: %+v", len(pending), pending)
+	}
+}
+
+func TestDaemonBadChaosSpec(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-addr", "127.0.0.1:0", "-chaos", "err=1.5"}, &out, &errBuf, nil); code != 1 {
+		t.Fatalf("bad chaos spec: exit %d, want 1", code)
+	}
+	if !strings.Contains(errBuf.String(), "-chaos") {
+		t.Fatalf("missing chaos error: %s", errBuf.String())
 	}
 }
 

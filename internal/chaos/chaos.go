@@ -1,0 +1,346 @@
+// Package chaos is a deterministic, seeded fault injector for the serving
+// tier — the HTTP/worker-level sibling of internal/fault's message-level
+// adversary. Where fault.Schedule perturbs the CONGEST simulation (per-edge
+// loss, duplication, corruption), chaos.Schedule perturbs the maxisd
+// process around it: added request latency, injected 5xx responses,
+// connection resets, slowed-down workers, and scheduled worker panics.
+//
+// Every decision is a pure function of (Seed, event index, fault kind) —
+// the same derivation idiom as internal/fault's (round, sender, receiver)
+// coordinates — so a failure scenario is a replayable schedule, not a
+// flake: for a fixed arrival order of requests and jobs, two runs with the
+// same Schedule inject exactly the same faults at exactly the same points.
+//
+// An Injector is attached in two places:
+//
+//   - server middleware (Middleware), which perturbs inbound HTTP traffic
+//     before the handler sees it (health/readiness/metrics probes are
+//     exempt, so orchestration keeps an honest view of the process);
+//   - the scheduler's per-job hook (JobHook), which runs on a worker
+//     goroutine inside the panic-isolation boundary, so scheduled panics
+//     exercise the real recover/restart path.
+package chaos
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Schedule describes the serving-tier adversary. The zero value is the
+// empty (fault-free) schedule.
+type Schedule struct {
+	// Seed drives every probabilistic decision. Two runs with the same
+	// Schedule and the same event order inject identical faults.
+	Seed uint64
+
+	// LatencyP is the per-request probability of sleeping Latency before
+	// the handler runs (spec key "latency=P:DUR").
+	LatencyP float64
+	Latency  time.Duration
+
+	// ErrorP is the per-request probability of answering with an injected
+	// HTTP 500 instead of invoking the handler (spec key "err=P").
+	ErrorP float64
+
+	// ResetP is the per-request probability of aborting the connection
+	// without writing a response — the client sees a reset/EOF (spec key
+	// "reset=P").
+	ResetP float64
+
+	// SlowP is the per-job probability of sleeping Slow on the scheduler
+	// worker before the solve (spec key "slow=P:DUR").
+	SlowP float64
+	Slow  time.Duration
+
+	// Panics lists scheduler job sequence numbers (1-based execution
+	// order) at which the worker hook panics (spec key "panic=N",
+	// repeatable).
+	Panics []int64
+
+	// PanicEvery panics the worker on every k-th executed job
+	// (spec key "panic-every=K"; 0 disables).
+	PanicEvery int64
+}
+
+// Enabled reports whether the schedule perturbs anything at all.
+func (s Schedule) Enabled() bool {
+	return s.LatencyP > 0 || s.ErrorP > 0 || s.ResetP > 0 || s.SlowP > 0 ||
+		len(s.Panics) > 0 || s.PanicEvery > 0
+}
+
+// Validate rejects out-of-range probabilities, negative durations and
+// nonsensical panic schedules.
+func (s Schedule) Validate() error {
+	check := func(name string, p float64) error {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("chaos: %s probability %v outside [0,1]", name, p)
+		}
+		return nil
+	}
+	if err := check("latency", s.LatencyP); err != nil {
+		return err
+	}
+	if err := check("err", s.ErrorP); err != nil {
+		return err
+	}
+	if err := check("reset", s.ResetP); err != nil {
+		return err
+	}
+	if err := check("slow", s.SlowP); err != nil {
+		return err
+	}
+	if s.LatencyP > 0 && s.Latency <= 0 {
+		return fmt.Errorf("chaos: latency probability %g needs a positive duration", s.LatencyP)
+	}
+	if s.SlowP > 0 && s.Slow <= 0 {
+		return fmt.Errorf("chaos: slow probability %g needs a positive duration", s.SlowP)
+	}
+	if s.Latency < 0 || s.Slow < 0 {
+		return fmt.Errorf("chaos: negative fault duration")
+	}
+	seen := make(map[int64]bool, len(s.Panics))
+	for _, p := range s.Panics {
+		if p < 1 {
+			return fmt.Errorf("chaos: panic job index %d is not positive (indices are 1-based execution order)", p)
+		}
+		if seen[p] {
+			return fmt.Errorf("chaos: duplicate panic at job %d", p)
+		}
+		seen[p] = true
+	}
+	if s.PanicEvery < 0 {
+		return fmt.Errorf("chaos: panic-every must be non-negative, got %d", s.PanicEvery)
+	}
+	return nil
+}
+
+// String renders the schedule in the ParseSchedule grammar, so a schedule
+// can be logged and replayed verbatim.
+func (s Schedule) String() string {
+	parts := []string{fmt.Sprintf("seed=%d", s.Seed)}
+	if s.LatencyP > 0 {
+		parts = append(parts, fmt.Sprintf("latency=%g:%s", s.LatencyP, s.Latency))
+	}
+	if s.ErrorP > 0 {
+		parts = append(parts, fmt.Sprintf("err=%g", s.ErrorP))
+	}
+	if s.ResetP > 0 {
+		parts = append(parts, fmt.Sprintf("reset=%g", s.ResetP))
+	}
+	if s.SlowP > 0 {
+		parts = append(parts, fmt.Sprintf("slow=%g:%s", s.SlowP, s.Slow))
+	}
+	panics := append([]int64(nil), s.Panics...)
+	sort.Slice(panics, func(i, j int) bool { return panics[i] < panics[j] })
+	for _, p := range panics {
+		parts = append(parts, fmt.Sprintf("panic=%d", p))
+	}
+	if s.PanicEvery > 0 {
+		parts = append(parts, fmt.Sprintf("panic-every=%d", s.PanicEvery))
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseSchedule parses the comma-separated key=value grammar used by the
+// cmd/maxisd -chaos flag:
+//
+//	seed=7,latency=0.1:20ms,err=0.05,reset=0.02,slow=0.5:10ms,panic=3,panic-every=40
+//
+// Probability-with-duration values use P:DUR with a Go duration literal.
+// An empty spec is the empty schedule.
+func ParseSchedule(spec string) (Schedule, error) {
+	var s Schedule
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return s, nil
+	}
+	for _, field := range strings.Split(spec, ",") {
+		key, value, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return s, fmt.Errorf("chaos: bad spec field %q (want key=value)", field)
+		}
+		var err error
+		switch key {
+		case "seed":
+			s.Seed, err = strconv.ParseUint(value, 10, 64)
+		case "latency":
+			s.LatencyP, s.Latency, err = parseProbDuration(value)
+		case "err":
+			s.ErrorP, err = strconv.ParseFloat(value, 64)
+		case "reset":
+			s.ResetP, err = strconv.ParseFloat(value, 64)
+		case "slow":
+			s.SlowP, s.Slow, err = parseProbDuration(value)
+		case "panic":
+			var n int64
+			n, err = strconv.ParseInt(value, 10, 64)
+			s.Panics = append(s.Panics, n)
+		case "panic-every":
+			s.PanicEvery, err = strconv.ParseInt(value, 10, 64)
+		default:
+			return s, fmt.Errorf("chaos: unknown spec key %q", key)
+		}
+		if err != nil {
+			return s, fmt.Errorf("chaos: bad value for %q: %v", key, err)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+func parseProbDuration(value string) (float64, time.Duration, error) {
+	probStr, durStr, ok := strings.Cut(value, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("%q: want P:DURATION", value)
+	}
+	p, err := strconv.ParseFloat(probStr, 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	d, err := time.ParseDuration(durStr)
+	if err != nil {
+		return 0, 0, err
+	}
+	return p, d, nil
+}
+
+// Stats is a snapshot of the faults an Injector has actually injected.
+type Stats struct {
+	Requests  int64 // HTTP requests inspected by the middleware
+	Latencies int64 // requests delayed by Latency
+	Errors    int64 // injected HTTP 500 responses
+	Resets    int64 // aborted connections
+	Slows     int64 // jobs delayed by Slow on a worker
+	Panics    int64 // scheduled worker panics fired
+}
+
+// Injector derives per-event fault decisions from a Schedule. It is safe
+// for concurrent use; each decision consumes one event index.
+type Injector struct {
+	sched    Schedule
+	panicAt  map[int64]bool
+	reqSeq   atomic.Int64
+	requests atomic.Int64
+	latency  atomic.Int64
+	errors   atomic.Int64
+	resets   atomic.Int64
+	slows    atomic.Int64
+	panics   atomic.Int64
+	sleep    func(time.Duration) // injectable for tests
+}
+
+// NewInjector builds an Injector for the schedule. The schedule should
+// already be validated; NewInjector panics on an invalid one, matching
+// Register-style fail-loudly semantics for wiring-time errors.
+func NewInjector(s Schedule) *Injector {
+	if err := s.Validate(); err != nil {
+		panic(err.Error())
+	}
+	at := make(map[int64]bool, len(s.Panics))
+	for _, p := range s.Panics {
+		at[p] = true
+	}
+	return &Injector{sched: s, panicAt: at, sleep: time.Sleep}
+}
+
+// Schedule returns the injector's schedule (for logging/replay).
+func (i *Injector) Schedule() Schedule { return i.sched }
+
+// Stats snapshots the injected-fault counters.
+func (i *Injector) Stats() Stats {
+	return Stats{
+		Requests:  i.requests.Load(),
+		Latencies: i.latency.Load(),
+		Errors:    i.errors.Load(),
+		Resets:    i.resets.Load(),
+		Slows:     i.slows.Load(),
+		Panics:    i.panics.Load(),
+	}
+}
+
+// Fault-kind salts: each (event, kind) pair gets an independent stream so
+// enabling one fault never shifts another's decisions.
+const (
+	saltLatency = iota
+	saltReset
+	saltError
+	saltSlow
+)
+
+// roll returns the uniform decision variable for event seq and fault kind.
+// One PCG per decision, seeded from (Seed, seq, salt), mirrors the
+// internal/fault derivation: no hidden state, any event is replayable in
+// isolation.
+func (i *Injector) roll(seq int64, salt uint64) float64 {
+	return rand.New(rand.NewPCG(i.sched.Seed, uint64(seq)<<3|salt)).Float64()
+}
+
+// exempt lists the paths the middleware never perturbs: liveness,
+// readiness and metrics must reflect the process, not the adversary.
+func exempt(path string) bool {
+	switch path {
+	case "/healthz", "/readyz", "/metrics":
+		return true
+	}
+	return false
+}
+
+// Middleware wraps an HTTP handler with the schedule's request-level
+// faults, applied in a fixed order per request: added latency, then
+// connection reset, then injected 500. A request can be delayed and then
+// reset — matching how a slow backend tends to die mid-flight.
+func (i *Injector) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !i.sched.Enabled() || exempt(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		seq := i.reqSeq.Add(1)
+		i.requests.Add(1)
+		if i.sched.LatencyP > 0 && i.roll(seq, saltLatency) < i.sched.LatencyP {
+			i.latency.Add(1)
+			i.sleep(i.sched.Latency)
+		}
+		if i.sched.ResetP > 0 && i.roll(seq, saltReset) < i.sched.ResetP {
+			i.resets.Add(1)
+			// net/http aborts the connection without a response when a
+			// handler panics with ErrAbortHandler; the client observes a
+			// reset/EOF mid-request.
+			panic(http.ErrAbortHandler)
+		}
+		if i.sched.ErrorP > 0 && i.roll(seq, saltError) < i.sched.ErrorP {
+			i.errors.Add(1)
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("X-Chaos", "injected-500")
+			w.WriteHeader(http.StatusInternalServerError)
+			fmt.Fprintln(w, `{"status":"failed","error":"chaos: injected server error"}`)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// JobHook returns the scheduler worker hook: called with each job's
+// execution sequence number (1-based) on the worker goroutine, inside the
+// scheduler's panic-isolation boundary. It sleeps per the slow schedule
+// and panics at the scheduled job indices.
+func (i *Injector) JobHook() func(seq int64, id string) {
+	return func(seq int64, id string) {
+		if i.sched.SlowP > 0 && i.roll(seq, saltSlow) < i.sched.SlowP {
+			i.slows.Add(1)
+			i.sleep(i.sched.Slow)
+		}
+		if i.panicAt[seq] || (i.sched.PanicEvery > 0 && seq%i.sched.PanicEvery == 0) {
+			i.panics.Add(1)
+			panic(fmt.Sprintf("chaos: scheduled worker panic at job %d (%s)", seq, id))
+		}
+	}
+}

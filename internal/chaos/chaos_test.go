@@ -1,0 +1,200 @@
+package chaos
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseScheduleRoundTrip(t *testing.T) {
+	spec := "seed=7,latency=0.1:20ms,err=0.05,reset=0.02,slow=0.5:10ms,panic=3,panic=9,panic-every=40"
+	s, err := ParseSchedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Seed != 7 || s.LatencyP != 0.1 || s.Latency != 20*time.Millisecond ||
+		s.ErrorP != 0.05 || s.ResetP != 0.02 || s.SlowP != 0.5 || s.Slow != 10*time.Millisecond ||
+		len(s.Panics) != 2 || s.PanicEvery != 40 {
+		t.Fatalf("parsed schedule %+v does not match spec %q", s, spec)
+	}
+	// String renders the same grammar; reparsing it yields the same schedule.
+	s2, err := ParseSchedule(s.String())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", s.String(), err)
+	}
+	if s2.String() != s.String() {
+		t.Fatalf("round trip drift: %q vs %q", s.String(), s2.String())
+	}
+}
+
+func TestParseScheduleEmpty(t *testing.T) {
+	s, err := ParseSchedule("  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Enabled() {
+		t.Fatalf("empty spec produced an enabled schedule: %+v", s)
+	}
+}
+
+func TestParseScheduleErrors(t *testing.T) {
+	for _, spec := range []string{
+		"bogus",                // no key=value
+		"frobnicate=1",         // unknown key
+		"err=1.5",              // probability out of range
+		"latency=0.1",          // missing duration
+		"latency=0.1:xyz",      // bad duration
+		"panic=0",              // job indices are 1-based
+		"panic=4,panic=4",      // duplicate
+		"panic-every=-2",       // negative period
+		"slow=0.5:0s",          // probability without duration
+		"seed=notanumber",      // bad integer
+		"latency=0.2:-5ms",     // negative duration
+		"reset=-0.1",           // negative probability
+		"err=0.1,panic=-3",     // negative panic index
+		"latency=0.1:20ms:3ms", // trailing garbage in duration
+	} {
+		if _, err := ParseSchedule(spec); err == nil {
+			t.Errorf("ParseSchedule(%q) accepted an invalid spec", spec)
+		}
+	}
+}
+
+// TestMiddlewareDeterminism pins the replayability contract: two injectors
+// built from the same schedule make identical per-request decisions.
+func TestMiddlewareDeterminism(t *testing.T) {
+	sched, err := ParseSchedule("seed=11,err=0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcomes := func() []int {
+		i := NewInjector(sched)
+		h := i.Middleware(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			w.WriteHeader(http.StatusOK)
+		}))
+		var codes []int
+		for k := 0; k < 64; k++ {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/solve", nil))
+			codes = append(codes, rec.Code)
+		}
+		return codes
+	}
+	a, b := outcomes(), outcomes()
+	var injected int
+	for k := range a {
+		if a[k] != b[k] {
+			t.Fatalf("request %d: run A got %d, run B got %d — schedule is not replayable", k, a[k], b[k])
+		}
+		if a[k] == http.StatusInternalServerError {
+			injected++
+		}
+	}
+	if injected == 0 {
+		t.Fatal("err=0.3 over 64 requests injected nothing")
+	}
+	if injected == 64 {
+		t.Fatal("err=0.3 injected on every request")
+	}
+}
+
+func TestMiddlewareExemptsProbes(t *testing.T) {
+	i := NewInjector(Schedule{Seed: 1, ErrorP: 1, ResetP: 1})
+	h := i.Middleware(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	for _, path := range []string{"/healthz", "/readyz", "/metrics"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != http.StatusOK {
+			t.Errorf("%s: code %d, want probes exempt from chaos", path, rec.Code)
+		}
+	}
+	if got := i.Stats().Requests; got != 0 {
+		t.Errorf("probe requests counted as chaos events: %d", got)
+	}
+}
+
+func TestMiddlewareReset(t *testing.T) {
+	i := NewInjector(Schedule{Seed: 1, ResetP: 1})
+	h := i.Middleware(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		t.Error("handler must not run on a reset request")
+	}))
+	defer func() {
+		if r := recover(); r != http.ErrAbortHandler {
+			t.Fatalf("recover() = %v, want http.ErrAbortHandler", r)
+		}
+		if got := i.Stats().Resets; got != 1 {
+			t.Errorf("resets = %d, want 1", got)
+		}
+	}()
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("POST", "/v1/solve", nil))
+}
+
+func TestMiddlewareLatency(t *testing.T) {
+	var slept time.Duration
+	i := NewInjector(Schedule{Seed: 1, LatencyP: 1, Latency: 25 * time.Millisecond})
+	i.sleep = func(d time.Duration) { slept += d }
+	h := i.Middleware(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/solve", nil))
+	if slept != 25*time.Millisecond {
+		t.Fatalf("slept %v, want 25ms", slept)
+	}
+	if rec.Code != http.StatusOK {
+		t.Fatalf("latency-injected request must still succeed, got %d", rec.Code)
+	}
+	if st := i.Stats(); st.Latencies != 1 {
+		t.Fatalf("latency counter = %d, want 1", st.Latencies)
+	}
+}
+
+func TestJobHookPanicsOnSchedule(t *testing.T) {
+	i := NewInjector(Schedule{Seed: 1, Panics: []int64{2}, PanicEvery: 5})
+	hook := i.JobHook()
+	panicked := func(seq int64) (p bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				p = true
+				if !strings.Contains(r.(string), "chaos: scheduled worker panic") {
+					t.Fatalf("unexpected panic value %v", r)
+				}
+			}
+		}()
+		hook(seq, "job-test")
+		return false
+	}
+	want := map[int64]bool{1: false, 2: true, 3: false, 4: false, 5: true, 6: false, 10: true}
+	for seq, expect := range want {
+		if got := panicked(seq); got != expect {
+			t.Errorf("job %d: panicked=%v, want %v", seq, got, expect)
+		}
+	}
+	if st := i.Stats(); st.Panics != 3 {
+		t.Errorf("panic counter = %d, want 3", st.Panics)
+	}
+}
+
+func TestJobHookSlow(t *testing.T) {
+	var slept time.Duration
+	i := NewInjector(Schedule{Seed: 1, SlowP: 1, Slow: 10 * time.Millisecond})
+	i.sleep = func(d time.Duration) { slept += d }
+	i.JobHook()(1, "job-1")
+	if slept != 10*time.Millisecond {
+		t.Fatalf("slept %v, want 10ms", slept)
+	}
+}
+
+func TestEnabledAndValidateZero(t *testing.T) {
+	var s Schedule
+	if s.Enabled() {
+		t.Fatal("zero schedule reports enabled")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("zero schedule invalid: %v", err)
+	}
+}

@@ -1,0 +1,215 @@
+package reliable
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// This file exports the write-ahead journal the serving tier uses for
+// accepted batch jobs. It is the durable-storage sibling of the
+// Checkpointer snapshot+replay idiom above: the journal file plays the
+// role of the transport's input log (every accepted unit of work is logged
+// before it is acknowledged), and compaction-on-open plays the role of the
+// snapshot (completed work is dropped, only pending work survives into the
+// rewritten file). Recovery is then deterministic replay: re-executing a
+// pending record reproduces the lost result exactly, because solves are
+// pure functions of their logged request.
+
+// WALOp is the record type tag of a WALRecord.
+type WALOp string
+
+const (
+	// WALBegin marks a unit of work as accepted but not yet completed.
+	WALBegin WALOp = "begin"
+	// WALCommit marks a previously begun unit of work as completed.
+	WALCommit WALOp = "commit"
+)
+
+// WALRecord is one journal line. Begin records carry the replayable
+// payload; commit records carry only the ID they retire.
+type WALRecord struct {
+	Op   WALOp           `json:"op"`
+	ID   string          `json:"id"`
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// WAL is an append-only, fsync-per-record write-ahead journal of
+// begin/commit records. Concurrency-safe; every append is durable before
+// the method returns, so a record present in memory is present on disk —
+// the invariant crash recovery builds on.
+type WAL struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+}
+
+// OpenWAL opens (creating if needed) the journal at path, returning the
+// pending records — begins recorded without a matching commit, in original
+// append order. Before returning it compacts the file down to exactly
+// those pending begins, so the journal never grows beyond the live
+// backlog plus the records appended since the last open.
+//
+// A truncated final line (the signature of a crash mid-append) is
+// discarded silently: an incomplete begin was never acknowledged to
+// anyone, and an incomplete commit re-runs a completed-but-unacknowledged
+// unit of work, which replay determinism makes harmless.
+func OpenWAL(path string) (*WAL, []WALRecord, error) {
+	prior, err := readWALFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	pending := PendingWAL(prior)
+
+	// Compaction: rewrite the journal as just the pending begins, then
+	// atomically swap it into place before opening for append.
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".compact-*")
+	if err != nil {
+		return nil, nil, fmt.Errorf("reliable: wal compact: %w", err)
+	}
+	w := bufio.NewWriter(tmp)
+	enc := json.NewEncoder(w)
+	for _, rec := range pending {
+		if err := enc.Encode(rec); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return nil, nil, fmt.Errorf("reliable: wal compact: %w", err)
+		}
+	}
+	if err := w.Flush(); err == nil {
+		err = tmp.Sync()
+	}
+	if err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return nil, nil, fmt.Errorf("reliable: wal compact: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return nil, nil, fmt.Errorf("reliable: wal compact: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return nil, nil, fmt.Errorf("reliable: wal compact: %w", err)
+	}
+
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("reliable: wal open: %w", err)
+	}
+	return &WAL{path: path, f: f}, pending, nil
+}
+
+// Path returns the journal's file path.
+func (w *WAL) Path() string { return w.path }
+
+// Begin durably records the acceptance of unit id with its replayable
+// payload. It must return before the acceptance is acknowledged upstream.
+func (w *WAL) Begin(id string, data any) error {
+	raw, err := json.Marshal(data)
+	if err != nil {
+		return fmt.Errorf("reliable: wal begin %s: %w", id, err)
+	}
+	return w.append(WALRecord{Op: WALBegin, ID: id, Data: raw})
+}
+
+// Commit durably records the completion of unit id. Committing an id with
+// no pending begin is legal (the begin may have been compacted away by a
+// concurrent reopen in tests); recovery simply never sees it.
+func (w *WAL) Commit(id string) error {
+	return w.append(WALRecord{Op: WALCommit, ID: id})
+}
+
+func (w *WAL) append(rec WALRecord) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("reliable: wal append: %w", err)
+	}
+	line = append(line, '\n')
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("reliable: wal append after Close")
+	}
+	if _, err := w.f.Write(line); err != nil {
+		return fmt.Errorf("reliable: wal append: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("reliable: wal sync: %w", err)
+	}
+	return nil
+}
+
+// Close releases the journal file. Appends after Close fail.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// ReadWAL parses a journal stream, tolerating a truncated final line.
+// Exposed so tools and tests can inspect a journal without opening it for
+// writing.
+func ReadWAL(r io.Reader) ([]WALRecord, error) {
+	var recs []WALRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec WALRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// A malformed line can only be the torn tail of a crashed
+			// append; everything after it is unreachable by construction
+			// (appends are sequential), so stop here.
+			break
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reliable: wal read: %w", err)
+	}
+	return recs, nil
+}
+
+// PendingWAL reduces a record sequence to the begins that were never
+// committed, preserving append order.
+func PendingWAL(recs []WALRecord) []WALRecord {
+	committed := make(map[string]bool)
+	for _, rec := range recs {
+		if rec.Op == WALCommit {
+			committed[rec.ID] = true
+		}
+	}
+	var pending []WALRecord
+	for _, rec := range recs {
+		if rec.Op == WALBegin && !committed[rec.ID] {
+			pending = append(pending, rec)
+		}
+	}
+	return pending
+}
+
+func readWALFile(path string) ([]WALRecord, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("reliable: wal open: %w", err)
+	}
+	defer f.Close()
+	return ReadWAL(f)
+}

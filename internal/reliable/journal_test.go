@@ -1,0 +1,159 @@
+package reliable
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type walPayload struct {
+	Graph string `json:"graph"`
+	Seed  uint64 `json:"seed"`
+}
+
+func openTestWAL(t *testing.T, path string) (*WAL, []WALRecord) {
+	t.Helper()
+	w, pending, err := OpenWAL(path)
+	if err != nil {
+		t.Fatalf("OpenWAL(%s): %v", path, err)
+	}
+	t.Cleanup(func() { _ = w.Close() })
+	return w, pending
+}
+
+func TestWALBeginCommitRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.wal")
+	w, pending := openTestWAL(t, path)
+	if len(pending) != 0 {
+		t.Fatalf("fresh journal has %d pending records", len(pending))
+	}
+	for _, id := range []string{"job-1", "job-2", "job-3"} {
+		if err := w.Begin(id, walPayload{Graph: "gnp", Seed: 42}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Commit("job-2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash simulation: reopen the file as a recovering process would.
+	_, pending = openTestWAL(t, path)
+	ids := make([]string, len(pending))
+	for i, rec := range pending {
+		ids[i] = rec.ID
+		var p walPayload
+		if err := json.Unmarshal(rec.Data, &p); err != nil {
+			t.Fatalf("pending %s payload: %v", rec.ID, err)
+		}
+		if p.Graph != "gnp" || p.Seed != 42 {
+			t.Fatalf("pending %s payload drifted: %+v", rec.ID, p)
+		}
+	}
+	if got, want := strings.Join(ids, ","), "job-1,job-3"; got != want {
+		t.Fatalf("pending = %s, want %s (append order, commits retired)", got, want)
+	}
+}
+
+func TestWALCompactionOnOpen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.wal")
+	w, _ := openTestWAL(t, path)
+	for i := 0; i < 50; i++ {
+		id := "job-" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		if err := w.Begin(id, walPayload{Seed: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Commit(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Begin("job-live", walPayload{Seed: 99}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, pending := openTestWAL(t, path)
+	if len(pending) != 1 || pending[0].ID != "job-live" {
+		t.Fatalf("pending = %+v, want the single live job", pending)
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() >= before.Size() {
+		t.Fatalf("compaction did not shrink the journal: %d -> %d bytes", before.Size(), after.Size())
+	}
+	recs, err := readWALFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Op != WALBegin || recs[0].ID != "job-live" {
+		t.Fatalf("compacted journal contents = %+v, want only the live begin", recs)
+	}
+}
+
+func TestWALToleratesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.wal")
+	w, _ := openTestWAL(t, path)
+	if err := w.Begin("job-1", walPayload{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: a torn, unparseable trailing line.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"begin","id":"job-2","da`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, pending := openTestWAL(t, path)
+	if len(pending) != 1 || pending[0].ID != "job-1" {
+		t.Fatalf("pending = %+v, want only the fully-written begin", pending)
+	}
+}
+
+func TestWALCommitWithoutBegin(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.wal")
+	w, _ := openTestWAL(t, path)
+	if err := w.Commit("job-ghost"); err != nil {
+		t.Fatalf("commit without begin must be legal: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, pending := openTestWAL(t, path)
+	if len(pending) != 0 {
+		t.Fatalf("pending = %+v, want none", pending)
+	}
+}
+
+func TestWALAppendAfterClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.wal")
+	w, _ := openTestWAL(t, path)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Begin("job-1", nil); err == nil {
+		t.Fatal("Begin after Close must fail")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("double Close must be a no-op: %v", err)
+	}
+}

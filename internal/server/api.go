@@ -99,6 +99,11 @@ type SolveRequest struct {
 	Async bool `json:"async,omitempty"`
 	// NoCache bypasses the result cache (still deduplicated in flight).
 	NoCache bool `json:"no_cache,omitempty"`
+	// Degraded asks for the host-side greedy Δ+1 tier directly: answered
+	// synchronously, no scheduler, no cache. It is the circuit-breaker
+	// fallback of internal/server/client — when the full tier looks down,
+	// the client trades approximation quality for availability explicitly.
+	Degraded bool `json:"degraded,omitempty"`
 
 	// Reliable, CheckpointEvery, Repair and Fault pass through to
 	// maxis.Config exactly as the cmd/maxis flags of the same names.

@@ -1,0 +1,370 @@
+// Package client is the fault-tolerant HTTP client for the maxisd solve
+// API: per-request timeouts, exponential backoff with seeded jitter,
+// optional request hedging, and a circuit breaker that routes to the
+// server's degraded greedy tier while open.
+//
+// It is the client half of the serving tier's availability story: the
+// server isolates panics and journals accepted work; the client absorbs
+// the transient failures that still leak through (injected 5xx, connection
+// resets, latency spikes) so callers see an SLO, not a fault log.
+// cmd/loadgen and the chaos soak test both drive the service through it.
+//
+// Retries are safe by construction: solves are pure functions of the
+// request, so re-sending a request can change availability but never the
+// answer.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"distmwis/internal/server"
+)
+
+// Options tunes the client. The zero value is usable.
+type Options struct {
+	// Timeout bounds each individual HTTP attempt (default 5s).
+	Timeout time.Duration
+	// MaxRetries is the number of re-attempts after the first try
+	// (default 2; negative disables retries).
+	MaxRetries int
+	// BackoffBase and BackoffCap shape the exponential backoff between
+	// attempts: attempt k sleeps a jittered min(BackoffBase·2ᵏ, BackoffCap)
+	// (defaults 50ms and 2s).
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// HedgeAfter, when positive, launches a second identical request if the
+	// first has not answered within this duration; the first response wins.
+	// Off by default.
+	HedgeAfter time.Duration
+	// Seed drives the backoff jitter, making retry timing replayable
+	// (default 1).
+	Seed uint64
+	// BreakerThreshold is the consecutive-failure count that opens the
+	// circuit breaker (0 disables the breaker).
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before admitting a
+	// single half-open probe (default 1s).
+	BreakerCooldown time.Duration
+	// HTTPClient overrides the transport (default a plain &http.Client{};
+	// per-attempt timeouts come from Options.Timeout, not the http.Client).
+	HTTPClient *http.Client
+}
+
+func (o Options) withDefaults() Options {
+	if o.Timeout <= 0 {
+		o.Timeout = 5 * time.Second
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 2
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 50 * time.Millisecond
+	}
+	if o.BackoffCap <= 0 {
+		o.BackoffCap = 2 * time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = time.Second
+	}
+	if o.HTTPClient == nil {
+		o.HTTPClient = &http.Client{}
+	}
+	return o
+}
+
+// Stats counts the client's fault-handling activity.
+type Stats struct {
+	Attempts     int64 // HTTP requests sent (including retries and hedges)
+	Retries      int64 // re-attempts after a retryable failure
+	Hedges       int64 // hedge requests launched
+	BreakerOpens int64 // closed/half-open → open transitions
+	Fallbacks    int64 // requests routed to the degraded tier by an open breaker
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// Client is a concurrency-safe solve client bound to one maxisd base URL.
+type Client struct {
+	base string
+	opts Options
+
+	attempts     atomic.Int64
+	retries      atomic.Int64
+	hedges       atomic.Int64
+	breakerOpens atomic.Int64
+	fallbacks    atomic.Int64
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	state    breakerState
+	fails    int       // consecutive full-tier failures while closed
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // a half-open probe is in flight
+}
+
+// New builds a Client for the maxisd instance at base (e.g.
+// "http://127.0.0.1:8080").
+func New(base string, opts Options) *Client {
+	opts = opts.withDefaults()
+	return &Client{
+		base: base,
+		opts: opts,
+		rng:  rand.New(rand.NewPCG(opts.Seed, 0x9e3779b97f4a7c15)),
+	}
+}
+
+// Stats snapshots the fault-handling counters.
+func (c *Client) Stats() Stats {
+	return Stats{
+		Attempts:     c.attempts.Load(),
+		Retries:      c.retries.Load(),
+		Hedges:       c.hedges.Load(),
+		BreakerOpens: c.breakerOpens.Load(),
+		Fallbacks:    c.fallbacks.Load(),
+	}
+}
+
+// errRetryable wraps failures worth re-attempting: transport errors,
+// injected resets, 5xx and 429 responses.
+type errRetryable struct{ err error }
+
+func (e errRetryable) Error() string { return e.err.Error() }
+func (e errRetryable) Unwrap() error { return e.err }
+
+func retryable(err error) bool {
+	var r errRetryable
+	return errors.As(err, &r)
+}
+
+// Solve sends one solve request, absorbing transient faults per Options.
+// When the breaker is open, the request is re-routed to the server's
+// degraded greedy tier (SolveRequest.Degraded) instead of failing fast —
+// availability over approximation quality, reported via Response.Degraded.
+func (c *Client) Solve(ctx context.Context, req server.SolveRequest) (server.SolveResponse, error) {
+	if c.allowFull() {
+		resp, err := c.attemptLoop(ctx, req)
+		c.record(err)
+		return resp, err
+	}
+	c.fallbacks.Add(1)
+	req.Degraded = true
+	// Fallback traffic does not feed the breaker: it measures the degraded
+	// tier, not the full one.
+	return c.attemptLoop(ctx, req)
+}
+
+// allowFull decides whether this request may use the full solve tier.
+func (c *Client) allowFull() bool {
+	if c.opts.BreakerThreshold <= 0 {
+		return true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch c.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if time.Since(c.openedAt) >= c.opts.BreakerCooldown {
+			c.state = breakerHalfOpen
+			c.probing = true
+			return true
+		}
+		return false
+	default: // half-open
+		if !c.probing {
+			c.probing = true
+			return true
+		}
+		return false
+	}
+}
+
+// record feeds a full-tier outcome back into the breaker.
+func (c *Client) record(err error) {
+	if c.opts.BreakerThreshold <= 0 {
+		return
+	}
+	// Only transient faults indict the server; a 4xx is the caller's bug.
+	failure := err != nil && retryable(err)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !failure {
+		c.fails = 0
+		c.state = breakerClosed
+		c.probing = false
+		return
+	}
+	switch c.state {
+	case breakerHalfOpen:
+		// The probe failed: reopen and restart the cooldown clock.
+		c.state = breakerOpen
+		c.openedAt = time.Now()
+		c.probing = false
+		c.breakerOpens.Add(1)
+	case breakerClosed:
+		c.fails++
+		if c.fails >= c.opts.BreakerThreshold {
+			c.state = breakerOpen
+			c.openedAt = time.Now()
+			c.breakerOpens.Add(1)
+		}
+	}
+}
+
+// attemptLoop retries a request through transient failures with jittered
+// exponential backoff.
+func (c *Client) attemptLoop(ctx context.Context, req server.SolveRequest) (server.SolveResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return server.SolveResponse{}, fmt.Errorf("client: encode request: %w", err)
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.opts.MaxRetries; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+			select {
+			case <-time.After(c.backoff(attempt - 1)):
+			case <-ctx.Done():
+				return server.SolveResponse{}, ctx.Err()
+			}
+		}
+		resp, err := c.once(ctx, body)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !retryable(err) || ctx.Err() != nil {
+			return resp, err
+		}
+	}
+	return server.SolveResponse{}, lastErr
+}
+
+// backoff returns the jittered sleep before re-attempt number attempt+1:
+// uniformly between half and all of min(base·2ᵃᵗᵗᵉᵐᵖᵗ, cap).
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.opts.BackoffBase << uint(attempt)
+	if d > c.opts.BackoffCap || d <= 0 {
+		d = c.opts.BackoffCap
+	}
+	c.mu.Lock()
+	jitter := c.rng.Float64()
+	c.mu.Unlock()
+	return d/2 + time.Duration(jitter*float64(d/2))
+}
+
+// once performs a single (possibly hedged) attempt under the per-attempt
+// timeout. With hedging enabled, a second identical request launches if
+// the first has not answered within HedgeAfter; the first response of
+// either decides the attempt and the straggler is cancelled and drained.
+func (c *Client) once(ctx context.Context, body []byte) (server.SolveResponse, error) {
+	actx, cancel := context.WithTimeout(ctx, c.opts.Timeout)
+	defer cancel()
+
+	type result struct {
+		resp *http.Response
+		err  error
+	}
+	ch := make(chan result, 2)
+	send := func() {
+		c.attempts.Add(1)
+		hreq, err := http.NewRequestWithContext(actx, http.MethodPost, c.base+"/v1/solve", bytes.NewReader(body))
+		if err != nil {
+			ch <- result{nil, err}
+			return
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		resp, err := c.opts.HTTPClient.Do(hreq)
+		ch <- result{resp, err}
+	}
+
+	go send()
+	outstanding := 1
+	var hedgeC <-chan time.Time
+	if c.opts.HedgeAfter > 0 {
+		t := time.NewTimer(c.opts.HedgeAfter)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	// reap cancels and drains the losing in-flight request(s) so no
+	// connection or goroutine outlives the attempt.
+	reap := func(n int) {
+		if n <= 0 {
+			return
+		}
+		cancel()
+		go func() {
+			for i := 0; i < n; i++ {
+				if r := <-ch; r.resp != nil {
+					_, _ = io.Copy(io.Discard, r.resp.Body)
+					_ = r.resp.Body.Close()
+				}
+			}
+		}()
+	}
+
+	for {
+		select {
+		case r := <-ch:
+			outstanding--
+			if r.err != nil {
+				if outstanding > 0 {
+					// The hedge is still in flight and may yet win.
+					continue
+				}
+				return server.SolveResponse{}, errRetryable{fmt.Errorf("client: %w", r.err)}
+			}
+			resp, err := decode(r.resp)
+			reap(outstanding)
+			return resp, err
+		case <-hedgeC:
+			hedgeC = nil
+			c.hedges.Add(1)
+			outstanding++
+			go send()
+		case <-actx.Done():
+			reap(outstanding)
+			return server.SolveResponse{}, errRetryable{fmt.Errorf("client: attempt timed out: %w", actx.Err())}
+		}
+	}
+}
+
+// decode classifies one HTTP response: 200/202 succeed, 429 and 5xx are
+// retryable, other statuses are terminal caller errors.
+func decode(hr *http.Response) (server.SolveResponse, error) {
+	defer hr.Body.Close()
+	var resp server.SolveResponse
+	if err := json.NewDecoder(hr.Body).Decode(&resp); err != nil {
+		return server.SolveResponse{}, errRetryable{fmt.Errorf("client: decode response (status %d): %w", hr.StatusCode, err)}
+	}
+	switch {
+	case hr.StatusCode == http.StatusOK || hr.StatusCode == http.StatusAccepted:
+		return resp, nil
+	case hr.StatusCode == http.StatusTooManyRequests || hr.StatusCode >= 500:
+		return resp, errRetryable{fmt.Errorf("client: server status %d: %s", hr.StatusCode, resp.Error)}
+	default:
+		return resp, fmt.Errorf("client: server status %d: %s", hr.StatusCode, resp.Error)
+	}
+}

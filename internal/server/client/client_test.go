@@ -1,0 +1,181 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"distmwis/internal/server"
+)
+
+func genReq() server.SolveRequest {
+	return server.SolveRequest{
+		Gen: &server.GenSpec{Kind: "cycle", N: 9},
+		Alg: "greedy",
+	}
+}
+
+func fakeSolve(t *testing.T, handler func(w http.ResponseWriter, req server.SolveRequest, n int64)) *httptest.Server {
+	t.Helper()
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req server.SolveRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("fake server: bad body: %v", err)
+		}
+		handler(w, req, calls.Add(1))
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func respond(w http.ResponseWriter, status int, resp server.SolveResponse) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+func TestClientRetriesTransientFailures(t *testing.T) {
+	ts := fakeSolve(t, func(w http.ResponseWriter, _ server.SolveRequest, n int64) {
+		if n <= 2 {
+			respond(w, http.StatusInternalServerError, server.SolveResponse{Status: "failed", Error: "injected"})
+			return
+		}
+		respond(w, http.StatusOK, server.SolveResponse{Status: "done", Weight: 42})
+	})
+	c := New(ts.URL, Options{MaxRetries: 3, BackoffBase: time.Millisecond, BackoffCap: 2 * time.Millisecond})
+	resp, err := c.Solve(context.Background(), genReq())
+	if err != nil {
+		t.Fatalf("Solve after retries: %v", err)
+	}
+	if resp.Weight != 42 {
+		t.Fatalf("weight = %d, want 42", resp.Weight)
+	}
+	if st := c.Stats(); st.Retries != 2 || st.Attempts != 3 {
+		t.Fatalf("stats = %+v, want 2 retries over 3 attempts", st)
+	}
+}
+
+func TestClientDoesNotRetryCallerErrors(t *testing.T) {
+	ts := fakeSolve(t, func(w http.ResponseWriter, _ server.SolveRequest, _ int64) {
+		respond(w, http.StatusBadRequest, server.SolveResponse{Status: "failed", Error: "bad eps"})
+	})
+	c := New(ts.URL, Options{MaxRetries: 3, BackoffBase: time.Millisecond})
+	if _, err := c.Solve(context.Background(), genReq()); err == nil {
+		t.Fatal("Solve of a 400 must fail")
+	}
+	if st := c.Stats(); st.Attempts != 1 || st.Retries != 0 {
+		t.Fatalf("stats = %+v, want exactly one attempt for a 4xx", st)
+	}
+}
+
+// TestClientBreakerFallbackAndRecovery walks the full breaker cycle:
+// consecutive failures open it, open routes to the degraded tier, the
+// post-cooldown probe closes it again.
+func TestClientBreakerFallbackAndRecovery(t *testing.T) {
+	down := atomic.Bool{}
+	down.Store(true)
+	ts := fakeSolve(t, func(w http.ResponseWriter, req server.SolveRequest, _ int64) {
+		if req.Degraded {
+			respond(w, http.StatusOK, server.SolveResponse{Status: "done", Degraded: true, Weight: 1})
+			return
+		}
+		if down.Load() {
+			respond(w, http.StatusInternalServerError, server.SolveResponse{Status: "failed", Error: "injected"})
+			return
+		}
+		respond(w, http.StatusOK, server.SolveResponse{Status: "done", Weight: 42})
+	})
+	c := New(ts.URL, Options{
+		MaxRetries:       0,
+		BreakerThreshold: 2,
+		BreakerCooldown:  30 * time.Millisecond,
+		BackoffBase:      time.Millisecond,
+	})
+	ctx := context.Background()
+
+	// Two consecutive failures trip the breaker.
+	for i := 0; i < 2; i++ {
+		if _, err := c.Solve(ctx, genReq()); err == nil {
+			t.Fatal("full tier is down, Solve must fail")
+		}
+	}
+	if st := c.Stats(); st.BreakerOpens != 1 {
+		t.Fatalf("breaker opens = %d, want 1", st.BreakerOpens)
+	}
+
+	// While open: routed to the degraded tier, reported as such.
+	resp, err := c.Solve(ctx, genReq())
+	if err != nil {
+		t.Fatalf("degraded fallback: %v", err)
+	}
+	if !resp.Degraded {
+		t.Fatal("open breaker must route to the degraded tier")
+	}
+	if st := c.Stats(); st.Fallbacks == 0 {
+		t.Fatal("fallbacks not counted")
+	}
+
+	// Server heals; after the cooldown the half-open probe closes the breaker.
+	down.Store(false)
+	time.Sleep(50 * time.Millisecond)
+	resp, err = c.Solve(ctx, genReq())
+	if err != nil {
+		t.Fatalf("half-open probe: %v", err)
+	}
+	if resp.Degraded || resp.Weight != 42 {
+		t.Fatalf("probe response = %+v, want a full-tier result", resp)
+	}
+	// Breaker is closed again: the next request is full-tier too.
+	if resp, err = c.Solve(ctx, genReq()); err != nil || resp.Degraded {
+		t.Fatalf("after recovery: resp=%+v err=%v, want full tier", resp, err)
+	}
+}
+
+// TestClientHedgingWinsOnSlowPrimary pins the hedge contract: when the
+// first request stalls, the hedge launches and its faster answer wins.
+func TestClientHedgingWinsOnSlowPrimary(t *testing.T) {
+	ts := fakeSolve(t, func(w http.ResponseWriter, _ server.SolveRequest, n int64) {
+		if n == 1 {
+			time.Sleep(300 * time.Millisecond) // primary stalls
+		}
+		respond(w, http.StatusOK, server.SolveResponse{Status: "done", Weight: n})
+	})
+	c := New(ts.URL, Options{HedgeAfter: 20 * time.Millisecond, Timeout: 2 * time.Second})
+	start := time.Now()
+	resp, err := c.Solve(context.Background(), genReq())
+	if err != nil {
+		t.Fatalf("hedged Solve: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 250*time.Millisecond {
+		t.Fatalf("hedged request took %v, should beat the 300ms primary stall", elapsed)
+	}
+	if resp.Weight != 2 {
+		t.Fatalf("winner = attempt %d, want the hedge (2)", resp.Weight)
+	}
+	if st := c.Stats(); st.Hedges != 1 || st.Attempts != 2 {
+		t.Fatalf("stats = %+v, want 1 hedge over 2 attempts", st)
+	}
+}
+
+func TestClientPerAttemptTimeout(t *testing.T) {
+	ts := fakeSolve(t, func(w http.ResponseWriter, _ server.SolveRequest, _ int64) {
+		time.Sleep(200 * time.Millisecond)
+		respond(w, http.StatusOK, server.SolveResponse{Status: "done"})
+	})
+	c := New(ts.URL, Options{Timeout: 25 * time.Millisecond, MaxRetries: 1, BackoffBase: time.Millisecond})
+	start := time.Now()
+	if _, err := c.Solve(context.Background(), genReq()); err == nil {
+		t.Fatal("Solve must fail when every attempt times out")
+	}
+	if elapsed := time.Since(start); elapsed > 150*time.Millisecond {
+		t.Fatalf("two 25ms attempts took %v", elapsed)
+	}
+	if st := c.Stats(); st.Retries != 1 {
+		t.Fatalf("stats = %+v, want the timeout retried once", st)
+	}
+}

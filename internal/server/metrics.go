@@ -131,6 +131,19 @@ func (m *metrics) write(w io.Writer, srv *Server) {
 	gauge("maxisd_jobs_inflight", "Jobs currently being solved.", srv.sched.inflight.Load())
 	counter("maxisd_jobs_done_total", "Jobs completed by the worker pool.", srv.sched.done.Load())
 	counter("maxisd_jobs_expired_total", "Jobs skipped because their deadline passed in queue.", srv.sched.expired.Load())
+	counter("maxisd_worker_panics_total", "Jobs failed by a worker panic.", srv.sched.panics.Load())
+	counter("maxisd_worker_restarts_total", "Worker goroutines replaced after a panic.", srv.sched.restarts.Load())
+	counter("maxisd_journal_recovered_total", "Jobs re-enqueued from the write-ahead journal at boot.", srv.recovered.Load())
+
+	if inj := srv.opts.Chaos; inj != nil {
+		st := inj.Stats()
+		counter("maxisd_chaos_requests_total", "Requests evaluated by the chaos injector.", st.Requests)
+		counter("maxisd_chaos_latency_total", "Requests with injected latency.", st.Latencies)
+		counter("maxisd_chaos_errors_total", "Requests failed with an injected 500.", st.Errors)
+		counter("maxisd_chaos_resets_total", "Requests dropped by an injected connection reset.", st.Resets)
+		counter("maxisd_chaos_slow_total", "Jobs slowed by the chaos hook.", st.Slows)
+		counter("maxisd_chaos_panics_total", "Worker panics injected by the chaos hook.", st.Panics)
+	}
 
 	// Engine totals from the shared trace.Totals tracer.
 	eng := m.engine.Snapshot()

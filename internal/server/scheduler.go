@@ -16,8 +16,15 @@ var errQueueFull = errors.New("server: submission queue full")
 // errDraining is returned by submit once shutdown has begun.
 var errDraining = errors.New("server: draining, not accepting jobs")
 
+// errWorkerPanic is the typed failure a job reports when the worker
+// solving it panicked; the HTTP layer maps it to a 500 "failed" response.
+// The panic is isolated to the job: the worker restarts and every other
+// queued job proceeds.
+var errWorkerPanic = errors.New("server: worker panicked during solve")
+
 // job is one unit of scheduler work. The run closure performs the solve;
-// the scheduler owns queueing, priority, deadline and drain semantics.
+// the scheduler owns queueing, priority, deadline, panic and drain
+// semantics.
 type job struct {
 	id       string
 	priority string
@@ -30,23 +37,51 @@ type job struct {
 	run func(ctx context.Context)
 	// skipped is closed instead of run when the deadline expired in queue.
 	skipped chan struct{}
+	// failed receives the typed error when the worker panicked mid-run
+	// (buffered; nil for callers that do not care).
+	failed chan error
+}
+
+// failPanic delivers the worker-panic failure to the job's waiter, if any.
+func (j *job) failPanic(cause any) {
+	if j.failed == nil {
+		return
+	}
+	select {
+	case j.failed <- fmt.Errorf("%w: %v", errWorkerPanic, cause):
+	default:
+	}
 }
 
 // scheduler is a bounded two-priority queue feeding a fixed worker pool.
 // Interactive jobs are scheduled strictly before batch jobs; within a
 // class, FIFO. Shutdown stops admissions immediately and drains everything
 // already accepted.
+//
+// Workers are panic-isolated: a panic inside a job (or inside the chaos
+// hook) fails that job with errWorkerPanic, and the worker goroutine
+// replaces itself with a fresh one, so the pool never shrinks and queued
+// jobs — including batch jobs journaled as accepted — survive the crash.
 type scheduler struct {
 	interactive chan *job
 	batch       chan *job
 
 	draining atomic.Bool
-	wg       sync.WaitGroup // live workers
+	wg       sync.WaitGroup // live worker slots
 	stop     chan struct{}  // closed to let idle workers exit during drain
 
+	// hook, when non-nil, runs on the worker goroutine before each job,
+	// inside the panic-isolation boundary. It is the chaos injection seam:
+	// a panicking hook exercises the same recovery path as a panicking
+	// solve.
+	hook func(seq int64, id string)
+
+	execSeq  atomic.Int64 // jobs started (1-based execution order)
 	inflight atomic.Int64 // jobs currently being solved
-	done     atomic.Int64 // jobs completed (run returned)
+	done     atomic.Int64 // jobs completed (run returned or panicked)
 	expired  atomic.Int64 // jobs skipped because their deadline passed in queue
+	panics   atomic.Int64 // jobs failed by a worker panic
+	restarts atomic.Int64 // worker goroutines replaced after a panic
 }
 
 func newScheduler(workers, queueDepth int) *scheduler {
@@ -92,30 +127,52 @@ func (s *scheduler) submit(j *job) error {
 }
 
 // worker pulls jobs with strict priority: interactive first, then batch.
+// When a job panics, the worker restarts itself: it spawns a replacement
+// goroutine (inheriting its WaitGroup slot, so drain accounting is exact)
+// and retires. Deliberately a real goroutine swap rather than a bare
+// continue — the replacement starts from a clean stack, and the restart is
+// observable in maxisd_worker_restarts_total.
 func (s *scheduler) worker() {
-	defer s.wg.Done()
 	for {
 		// Fast path: an interactive job is waiting.
 		select {
 		case j := <-s.interactive:
-			s.execute(j)
+			if s.execute(j) {
+				s.restart()
+				return
+			}
 			continue
 		default:
 		}
 		select {
 		case j := <-s.interactive:
-			s.execute(j)
+			if s.execute(j) {
+				s.restart()
+				return
+			}
 		case j := <-s.batch:
-			s.execute(j)
+			if s.execute(j) {
+				s.restart()
+				return
+			}
 		case <-s.stop:
-			// Drain: consume whatever is still queued, then exit.
+			// Drain: consume whatever is still queued, then exit. A panic
+			// mid-drain still restarts the worker; the replacement resumes
+			// draining here.
 			for {
 				select {
 				case j := <-s.interactive:
-					s.execute(j)
+					if s.execute(j) {
+						s.restart()
+						return
+					}
 				case j := <-s.batch:
-					s.execute(j)
+					if s.execute(j) {
+						s.restart()
+						return
+					}
 				default:
+					s.wg.Done()
 					return
 				}
 			}
@@ -123,19 +180,42 @@ func (s *scheduler) worker() {
 	}
 }
 
-func (s *scheduler) execute(j *job) {
+// restart replaces the retiring worker goroutine with a fresh one. The
+// replacement inherits the WaitGroup slot, so drain still waits for it.
+func (s *scheduler) restart() {
+	s.restarts.Add(1)
+	go s.worker()
+}
+
+// execute runs one job inside the panic-isolation boundary and reports
+// whether the job panicked (in its run closure or in the chaos hook). On
+// panic the job is failed with errWorkerPanic; the caller restarts the
+// worker.
+func (s *scheduler) execute(j *job) (panicked bool) {
 	select {
 	case <-j.ctx.Done():
 		// Deadline or disconnect while queued: never start the solve.
 		s.expired.Add(1)
 		close(j.skipped)
-		return
+		return false
 	default:
 	}
+	seq := s.execSeq.Add(1)
 	s.inflight.Add(1)
+	defer func() {
+		s.inflight.Add(-1)
+		s.done.Add(1)
+		if r := recover(); r != nil {
+			panicked = true
+			s.panics.Add(1)
+			j.failPanic(r)
+		}
+	}()
+	if s.hook != nil {
+		s.hook(seq, j.id)
+	}
 	j.run(j.ctx)
-	s.inflight.Add(-1)
-	s.done.Add(1)
+	return false
 }
 
 // drain stops admissions, lets the workers finish every accepted job, and

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -197,4 +198,167 @@ func TestSchedulerDrainTimeout(t *testing.T) {
 		t.Fatal("drain should time out while a job is stuck")
 	}
 	close(block)
+}
+
+func newPanicJob(msg string) *job {
+	return &job{
+		id:       "p",
+		priority: "interactive",
+		ctx:      context.Background(),
+		skipped:  make(chan struct{}),
+		failed:   make(chan error, 1),
+		run:      func(context.Context) { panic(msg) },
+	}
+}
+
+// TestSchedulerPanicIsolation pins the recovery contract: a panicking job
+// fails with the typed error, the worker restarts, and the pool keeps
+// serving.
+func TestSchedulerPanicIsolation(t *testing.T) {
+	s := newScheduler(1, 8)
+	j := newPanicJob("boom")
+	if err := s.submit(j); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-j.failed:
+		if !errors.Is(err, errWorkerPanic) {
+			t.Fatalf("failure error = %v, want errWorkerPanic", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("panicking job never reported failure")
+	}
+	// The replacement worker must pick up new jobs.
+	done := make(chan struct{})
+	if err := s.submit(newTestJob("interactive", func() { close(done) })); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("worker pool did not survive the panic")
+	}
+	if s.panics.Load() != 1 || s.restarts.Load() != 1 {
+		t.Fatalf("panics=%d restarts=%d, want 1/1", s.panics.Load(), s.restarts.Load())
+	}
+	if err := s.drain(time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSchedulerQueuedJobsSurviveWorkerCrash submits a panicking job ahead
+// of queued batch work on a single-worker pool: everything queued behind
+// the crash must still complete.
+func TestSchedulerQueuedJobsSurviveWorkerCrash(t *testing.T) {
+	s := newScheduler(1, 16)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	if err := s.submit(newTestJob("interactive", func() { close(started); <-block })); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	bomb := newPanicJob("crash with a backlog")
+	if err := s.submit(bomb); err != nil {
+		t.Fatal(err)
+	}
+	var count atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 5; i++ {
+		wg.Add(1)
+		if err := s.submit(newTestJob("batch", func() { count.Add(1); wg.Done() })); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(block)
+	wg.Wait()
+	if count.Load() != 5 {
+		t.Fatalf("completed %d queued jobs after the crash, want 5", count.Load())
+	}
+	select {
+	case err := <-bomb.failed:
+		if !errors.Is(err, errWorkerPanic) {
+			t.Fatalf("bomb error = %v", err)
+		}
+	default:
+		t.Fatal("bomb never failed")
+	}
+	if err := s.drain(time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSchedulerDrainDuringPanicRestart drains while panicking jobs are
+// still being executed: the replacement workers inherit the WaitGroup
+// slots, so drain accounting stays exact and every queued job resolves.
+func TestSchedulerDrainDuringPanicRestart(t *testing.T) {
+	s := newScheduler(2, 64)
+	var completed atomic.Int64
+	bombs := make([]*job, 0, 8)
+	for i := 0; i < 24; i++ {
+		if i%3 == 0 {
+			b := newPanicJob("mid-drain crash")
+			bombs = append(bombs, b)
+			if err := s.submit(b); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		if err := s.submit(newTestJob("batch", func() { completed.Add(1) })); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Drain immediately: restarts happen while the drain is in progress.
+	if err := s.drain(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if completed.Load() != 16 {
+		t.Fatalf("drain completed %d jobs, want 16", completed.Load())
+	}
+	for i, b := range bombs {
+		select {
+		case err := <-b.failed:
+			if !errors.Is(err, errWorkerPanic) {
+				t.Fatalf("bomb %d error = %v", i, err)
+			}
+		default:
+			t.Fatalf("bomb %d never failed", i)
+		}
+	}
+	if got := s.restarts.Load(); got != int64(len(bombs)) {
+		t.Fatalf("restarts = %d, want %d", got, len(bombs))
+	}
+}
+
+// TestSchedulerChaosHookPanicIsolated routes a panic through the chaos
+// hook seam instead of the job body: same typed failure, same restart.
+func TestSchedulerChaosHookPanicIsolated(t *testing.T) {
+	s := newScheduler(1, 8)
+	s.hook = func(seq int64, id string) {
+		if seq == 1 {
+			panic("chaos: scheduled worker panic")
+		}
+	}
+	j := newPanicJob("unused") // run never executes; the hook panics first
+	j.run = func(context.Context) { t.Error("run must not execute when the hook panics") }
+	if err := s.submit(j); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-j.failed:
+		if !errors.Is(err, errWorkerPanic) {
+			t.Fatalf("hook panic error = %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("hook panic was not delivered")
+	}
+	done := make(chan struct{})
+	if err := s.submit(newTestJob("interactive", func() { close(done) })); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("pool dead after hook panic")
+	}
+	_ = s.drain(time.Second)
 }

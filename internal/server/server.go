@@ -11,8 +11,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"distmwis/internal/chaos"
 	"distmwis/internal/graph"
 	"distmwis/internal/maxis"
+	"distmwis/internal/reliable"
 )
 
 // Options configures a Server. The zero value is usable; every field has a
@@ -39,6 +41,15 @@ type Options struct {
 	DrainTimeout time.Duration
 	// JobHistory bounds the GET /v1/jobs records kept (default 4096).
 	JobHistory int
+	// RestartBudget is the worker-restart count beyond which /readyz
+	// reports 503 (default 32; negative disables the check). Worker panics
+	// are isolated and the pool self-heals, but a process that keeps
+	// panicking is telling its load balancer something.
+	RestartBudget int
+	// Chaos, when non-nil, installs the fault injector: its middleware
+	// wraps the HTTP API and its job hook runs before every scheduled
+	// solve (see internal/chaos). Nil means no injection.
+	Chaos *chaos.Injector
 }
 
 func (o Options) withDefaults() Options {
@@ -69,10 +80,14 @@ func (o Options) withDefaults() Options {
 	if o.JobHistory <= 0 {
 		o.JobHistory = 4096
 	}
+	if o.RestartBudget == 0 {
+		o.RestartBudget = 32
+	}
 	return o
 }
 
-// Server is the MaxIS service: scheduler + cache + admission + HTTP API.
+// Server is the MaxIS service: scheduler + cache + admission + HTTP API,
+// with optional chaos injection and a write-ahead request journal.
 type Server struct {
 	opts    Options
 	sched   *scheduler
@@ -84,12 +99,18 @@ type Server struct {
 	jobs     *jobStore
 	jobSeq   atomic.Int64
 	shutdown atomic.Bool
+
+	// wal, when set via OpenJournal, durably records every accepted async
+	// job before the 202 is written and retires it when it reaches a
+	// terminal state; see journal.go.
+	wal       *reliable.WAL
+	recovered atomic.Int64
 }
 
 // New assembles a Server; Handler exposes it over HTTP.
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
-	return &Server{
+	s := &Server{
 		opts:    opts,
 		sched:   newScheduler(opts.Workers, opts.QueueDepth),
 		cache:   newResultCache(opts.CacheBytes),
@@ -98,9 +119,14 @@ func New(opts Options) *Server {
 		metrics: newMetrics(),
 		jobs:    newJobStore(opts.JobHistory),
 	}
+	if opts.Chaos != nil {
+		s.sched.hook = opts.Chaos.JobHook()
+	}
+	return s
 }
 
-// Handler returns the HTTP API mux.
+// Handler returns the HTTP API mux, wrapped in the chaos middleware when
+// an injector is configured.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
@@ -108,18 +134,41 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
-	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
-		if s.shutdown.Load() {
-			http.Error(w, "draining", http.StatusServiceUnavailable)
-			return
-		}
-		fmt.Fprintln(w, "ready")
-	})
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		s.metrics.write(w, s)
 	})
+	if s.opts.Chaos != nil {
+		return s.opts.Chaos.Middleware(mux)
+	}
 	return mux
+}
+
+// handleReady is the load-balancer signal. Beyond draining, readiness
+// degrades when the node is visibly unhealthy: the worker pool has
+// restarted past its budget (persistent panics) or the scheduler backlog
+// has crossed the shed threshold (new work is being answered by the
+// degraded tier anyway, so better routed elsewhere). Liveness (/healthz)
+// stays green in both cases — the process is functioning, just impaired.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if s.shutdown.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	if b := s.opts.RestartBudget; b >= 0 {
+		if restarts := s.sched.restarts.Load(); restarts > int64(b) {
+			http.Error(w, fmt.Sprintf("degraded: %d worker restarts exceed budget %d", restarts, b),
+				http.StatusServiceUnavailable)
+			return
+		}
+	}
+	if depth := s.sched.depth(); depth >= s.opts.ShedDepth {
+		http.Error(w, fmt.Sprintf("saturated: %d jobs queued (shed threshold %d)", depth, s.opts.ShedDepth),
+			http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ready")
 }
 
 // BeginShutdown flips the server to draining: /readyz turns 503 and new
@@ -133,6 +182,41 @@ func (s *Server) Drain() error {
 	return s.sched.drain(s.opts.DrainTimeout)
 }
 
+// Close releases the journal (if open). Call after Drain; jobs completing
+// later will fail to commit and simply be re-run on the next boot, which
+// determinism makes harmless.
+func (s *Server) Close() error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.Close()
+}
+
+// ServiceStats is a point-in-time snapshot of the scheduler and journal
+// counters, for drain-outcome logging and tests.
+type ServiceStats struct {
+	JobsDone         int64 // jobs completed by the worker pool
+	JobsExpired      int64 // jobs skipped because their deadline passed in queue
+	JobsInFlight     int64 // jobs being solved right now
+	QueueDepth       int64 // jobs queued and not yet started
+	WorkerPanics     int64 // jobs failed by a worker panic
+	WorkerRestarts   int64 // worker goroutines replaced after a panic
+	JournalRecovered int64 // jobs re-enqueued from the journal at boot
+}
+
+// Stats snapshots the service counters.
+func (s *Server) Stats() ServiceStats {
+	return ServiceStats{
+		JobsDone:         s.sched.done.Load(),
+		JobsExpired:      s.sched.expired.Load(),
+		JobsInFlight:     s.sched.inflight.Load(),
+		QueueDepth:       int64(s.sched.depth()),
+		WorkerPanics:     s.sched.panics.Load(),
+		WorkerRestarts:   s.sched.restarts.Load(),
+		JournalRecovered: s.recovered.Load(),
+	}
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -142,6 +226,45 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func errorResponse(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, SolveResponse{Status: "failed", Error: fmt.Sprintf(format, args...)})
+}
+
+// prepared is everything handleSolve derives from a normalized request
+// before executing it; recovery re-derives the identical values from the
+// journaled request, which is what makes replayed solves bit-identical.
+type prepared struct {
+	g    *graph.Graph
+	cfg  maxis.Config
+	key  string
+	hash string
+}
+
+// prepare materialises the graph, assembles the solve config and computes
+// the cache key for a normalized request.
+func (s *Server) prepare(req *SolveRequest) (prepared, error) {
+	g, err := req.buildGraph()
+	if err != nil {
+		return prepared{}, fmt.Errorf("graph: %w", err)
+	}
+	cfg, err := req.maxisConfig(s.opts.SolveWorkers)
+	if err != nil {
+		return prepared{}, err
+	}
+	if cfg.Faults.Enabled() {
+		if err := cfg.Faults.ValidateFor(g.N()); err != nil {
+			return prepared{}, fmt.Errorf("fault schedule: %w", err)
+		}
+	}
+	// Mirror the cmd/maxis wiring: generator specs with bounded weight
+	// families hand the nominal bound W to the engine instead of letting it
+	// scan the graph.
+	if req.Gen != nil && (req.Gen.Weights == "uniform" || req.Gen.Weights == "skewed") {
+		cfg.MaxWeight = req.Gen.MaxW
+		if cfg.MaxWeight <= 0 {
+			cfg.MaxWeight = 1000
+		}
+	}
+	key := cacheKey(g.Canonical(), req.fingerprint()+fmt.Sprintf("|W=%d", cfg.MaxWeight))
+	return prepared{g: g, cfg: cfg, key: key, hash: g.HashString()}, nil
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -170,7 +293,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// is advisory: on any miss (either level) we fall through to the full
 	// build-hash-lookup path below.
 	var specKey string
-	if req.Gen != nil && !req.NoCache {
+	if req.Gen != nil && !req.NoCache && !req.Degraded {
 		specKey = req.specFingerprint()
 		if !req.Async {
 			if t, ok := s.specs.get(specKey); ok {
@@ -187,42 +310,50 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	g, err := req.buildGraph()
-	if err != nil {
-		errorResponse(w, http.StatusBadRequest, "graph: %v", err)
-		return
-	}
-	cfg, err := req.maxisConfig(s.opts.SolveWorkers)
+	p, err := s.prepare(&req)
 	if err != nil {
 		errorResponse(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if cfg.Faults.Enabled() {
-		if err := cfg.Faults.ValidateFor(g.N()); err != nil {
-			errorResponse(w, http.StatusBadRequest, "fault schedule: %v", err)
-			return
-		}
-	}
-	// Mirror the cmd/maxis wiring: generator specs with bounded weight
-	// families hand the nominal bound W to the engine instead of letting it
-	// scan the graph.
-	if req.Gen != nil && (req.Gen.Weights == "uniform" || req.Gen.Weights == "skewed") {
-		cfg.MaxWeight = req.Gen.MaxW
-		if cfg.MaxWeight <= 0 {
-			cfg.MaxWeight = 1000
-		}
-	}
 	s.metrics.requests.Add(1)
 
-	key := cacheKey(g.Canonical(), req.fingerprint()+fmt.Sprintf("|W=%d", cfg.MaxWeight))
 	id := fmt.Sprintf("job-%d", s.jobSeq.Add(1))
-	hash := g.HashString()
 	if specKey != "" {
-		s.specs.put(specKey, specTarget{key: key, hash: hash})
+		s.specs.put(specKey, specTarget{key: p.key, hash: p.hash})
+	}
+
+	// Explicitly degraded requests — the circuit-breaker fallback tier of
+	// internal/server/client — are answered host-side immediately: no
+	// scheduler, no cache, no simulator, deterministic. Always synchronous,
+	// even with Async set: the answer is cheaper than the bookkeeping.
+	if req.Degraded {
+		set, weight := greedyDegraded(p.g)
+		s.metrics.shed.Add(1)
+		s.metrics.latency.observe("degraded", time.Since(start).Seconds())
+		writeJSON(w, http.StatusOK, SolveResponse{
+			ID:        id,
+			Status:    "done",
+			Set:       setIndices(set),
+			Size:      graph.SetSize(set),
+			Weight:    weight,
+			GraphHash: p.hash,
+			Degraded:  true,
+			ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+		})
+		return
 	}
 
 	if req.Async {
 		rec := s.jobs.create(id)
+		// The write-ahead contract: the begin record is durable before the
+		// 202 acknowledgement, so a crash after this point cannot lose the
+		// job — boot-time recovery re-enqueues and re-solves it.
+		if err := s.journalBegin(id, &req); err != nil {
+			s.metrics.failures.Add(1)
+			rec.store(SolveResponse{ID: id, Status: "failed", Error: err.Error()})
+			errorResponse(w, http.StatusInternalServerError, "journal: %v", err)
+			return
+		}
 		ctx := context.Background()
 		var cancel context.CancelFunc = func() {}
 		if req.DeadlineMS > 0 {
@@ -230,10 +361,11 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		}
 		go func() {
 			defer cancel()
-			resp := s.execute(ctx, &req, g, cfg, key, id, hash, start)
+			resp := s.execute(ctx, &req, p, id, start, true)
 			rec.store(resp)
+			s.journalCommit(id)
 		}()
-		writeJSON(w, http.StatusAccepted, SolveResponse{ID: id, Status: "queued", GraphHash: hash})
+		writeJSON(w, http.StatusAccepted, SolveResponse{ID: id, Status: "queued", GraphHash: p.hash})
 		return
 	}
 
@@ -243,7 +375,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
 	}
 	defer cancel()
-	resp := s.execute(ctx, &req, g, cfg, key, id, hash, start)
+	resp := s.execute(ctx, &req, p, id, start, true)
 	writeJSON(w, statusCode(&resp), resp)
 }
 
@@ -264,17 +396,19 @@ func statusCode(resp *SolveResponse) int {
 
 // execute runs the full pipeline for one request: cache lookup, shed
 // decision, single-flight, scheduling, solve. It always returns a terminal
-// response.
-func (s *Server) execute(ctx context.Context, req *SolveRequest, g *graph.Graph, cfg maxis.Config, key, id, hash string, start time.Time) SolveResponse {
+// response. allowShed is false for journal-recovered jobs: they were
+// accepted with full-solve semantics and must be replayed bit-identically,
+// never downgraded by present-day load.
+func (s *Server) execute(ctx context.Context, req *SolveRequest, p prepared, id string, start time.Time, allowShed bool) SolveResponse {
 	finish := func(resp SolveResponse) SolveResponse {
 		resp.ID = id
-		resp.GraphHash = hash
+		resp.GraphHash = p.hash
 		resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
 		return resp
 	}
 
 	if !req.NoCache {
-		if e, ok := s.cache.get(key); ok {
+		if e, ok := s.cache.get(p.key); ok {
 			s.metrics.latency.observe("cache_hit", time.Since(start).Seconds())
 			return finish(entryResponse(e, true, false))
 		}
@@ -282,8 +416,8 @@ func (s *Server) execute(ctx context.Context, req *SolveRequest, g *graph.Graph,
 
 	// Load shedding: past the queue-depth threshold, answer with the cheap
 	// deterministic greedy tier instead of queueing a full solve.
-	if s.sched.depth() >= s.opts.ShedDepth {
-		set, weight := greedyDegraded(g)
+	if allowShed && s.sched.depth() >= s.opts.ShedDepth {
+		set, weight := greedyDegraded(p.g)
 		s.metrics.shed.Add(1)
 		s.metrics.latency.observe("degraded", time.Since(start).Seconds())
 		return finish(SolveResponse{
@@ -295,26 +429,42 @@ func (s *Server) execute(ctx context.Context, req *SolveRequest, g *graph.Graph,
 		})
 	}
 
-	entry, shared, err := s.cache.do(ctx, key, func() (*cacheEntry, error) {
-		return s.runScheduled(ctx, req, g, cfg, key)
-	})
-	if err != nil {
-		switch {
-		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-			s.metrics.deadlines.Add(1)
-			return finish(SolveResponse{Status: "deadline", Error: err.Error()})
-		default:
-			s.metrics.failures.Add(1)
-			return finish(SolveResponse{Status: "failed", Error: err.Error()})
+	for {
+		entry, shared, err := s.cache.do(ctx, p.key, func() (*cacheEntry, error) {
+			return s.runScheduled(ctx, req, p.g, p.cfg, p.key)
+		})
+		if err != nil {
+			isCtxErr := errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+			if isCtxErr && shared && ctx.Err() == nil {
+				// The single-flight leader died of its own deadline or
+				// disconnect — not ours. The worker-side solve still
+				// completes and lands in the cache, so check it, then retry
+				// with this request as (or following) a fresh leader rather
+				// than failing a healthy request with someone else's error.
+				if e, ok := s.cache.get(p.key); ok {
+					s.metrics.latency.observe("cache_hit", time.Since(start).Seconds())
+					return finish(entryResponse(e, true, false))
+				}
+				continue
+			}
+			switch {
+			case isCtxErr:
+				s.metrics.deadlines.Add(1)
+				return finish(SolveResponse{Status: "deadline", Error: err.Error()})
+			default:
+				s.metrics.failures.Add(1)
+				return finish(SolveResponse{Status: "failed", Error: err.Error()})
+			}
 		}
+		s.metrics.latency.observe(req.Alg, time.Since(start).Seconds())
+		return finish(entryResponse(entry, false, shared))
 	}
-	s.metrics.latency.observe(req.Alg, time.Since(start).Seconds())
-	return finish(entryResponse(entry, false, shared))
 }
 
 // runScheduled enqueues the solve on the worker pool and waits for it (or
 // for ctx). The solve result is cached worker-side, so even if this waiter
-// times out the completed work is kept.
+// times out the completed work is kept. A worker panic fails this job only:
+// the typed error surfaces here while the worker restarts.
 func (s *Server) runScheduled(ctx context.Context, req *SolveRequest, g *graph.Graph, cfg maxis.Config, key string) (*cacheEntry, error) {
 	type outcome struct {
 		entry *cacheEntry
@@ -326,6 +476,7 @@ func (s *Server) runScheduled(ctx context.Context, req *SolveRequest, g *graph.G
 		priority: req.Priority,
 		ctx:      ctx,
 		skipped:  make(chan struct{}),
+		failed:   make(chan error, 1),
 		run: func(context.Context) {
 			entry, err := s.solve(req, g, cfg, key)
 			if err == nil && !req.NoCache {
@@ -340,6 +491,8 @@ func (s *Server) runScheduled(ctx context.Context, req *SolveRequest, g *graph.G
 	select {
 	case out := <-ch:
 		return out.entry, out.err
+	case err := <-j.failed:
+		return nil, err
 	case <-j.skipped:
 		return nil, context.DeadlineExceeded
 	case <-ctx.Done():

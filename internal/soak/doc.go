@@ -1,0 +1,16 @@
+// Package soak holds the end-to-end chaos soak suite for the serving
+// tier. It lives outside internal/server so its tests can drive the full
+// HTTP stack — chaos injector, retrying client, write-ahead journal —
+// without perturbing the server package's own test binary (whose golden
+// tests enumerate the protocol registry).
+//
+// The suite asserts the availability story of the crash-tolerant tier:
+// a pinned chaos schedule (injected 5xx, connection resets, latency,
+// scheduled worker panics) must not push the retrying client below its
+// SLO; a forced crash must lose no accepted async job; and every
+// journal-replayed job must reproduce its result bit-identically.
+//
+// Run it the way CI does:
+//
+//	go test -race -run TestChaosSoak ./internal/soak/
+package soak
