@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet lint build build-cmds test race fuzz experiments recovery-sweep serve loadtest smoke chaos-soak bench-serve bench-json clean
+.PHONY: all vet lint build build-cmds test race fuzz experiments recovery-sweep serve loadtest smoke chaos-soak bench-serve bench-json bench-diff bench-scale clean
 
 # PR number stamped into the bench-json report filename.
 PR ?= 6
@@ -73,6 +73,21 @@ bench-json:
 		-bench='^BenchmarkMessageDelivery$$' ./internal/congest/ ; } \
 		| $(GO) run ./cmd/benchjson -o BENCH_$(PR).json
 	@echo "wrote BENCH_$(PR).json"
+
+# Benchmark regression gate: compares the two highest-numbered
+# BENCH_<n>.json snapshots in the repo root and fails on >15% ns/op or
+# allocs/op regressions. Pinned to the macro benchmarks only: the
+# nanosecond-scale MessageDelivery microbenchmarks are pure noise at the
+# snapshot's -benchtime=5x and would trip the gate randomly.
+bench-diff:
+	$(GO) run ./cmd/benchdiff -pin \
+		BenchmarkE13Headline,BenchmarkServeColdVsCacheHit/cold,BenchmarkServeColdVsCacheHit/hit,BenchmarkServeSchedulerDepth1
+
+# Scale benchmarks, one iteration each: the 1M-node seam-parity suite and
+# the 10M-node round loop. Minutes of wall clock — not part of `make test`.
+bench-scale:
+	$(GO) test -run='^$$' -benchtime=1x -benchmem \
+		-bench='^(BenchmarkPowerLawSeams1M|BenchmarkRoundLoop10M)$$' .
 
 experiments:
 	$(GO) run ./cmd/experiments -o EXPERIMENTS.md

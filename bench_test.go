@@ -12,18 +12,23 @@ import (
 	"math/rand/v2"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"testing"
 
 	"distmwis/internal/coloring"
+	"distmwis/internal/congest"
 	"distmwis/internal/exact"
 	"distmwis/internal/experiments"
+	"distmwis/internal/fault"
 	"distmwis/internal/graph"
 	"distmwis/internal/graph/gen"
 	"distmwis/internal/localapprox"
 	"distmwis/internal/lowerbound"
 	"distmwis/internal/maxis"
 	"distmwis/internal/mis"
+	"distmwis/internal/reliable"
 	"distmwis/internal/server"
+	"distmwis/internal/trace"
 )
 
 // BenchmarkE1GoodNodes measures the Theorem 8 O(Δ)-approximation.
@@ -290,6 +295,107 @@ func BenchmarkTableE3(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchSeamRun executes Luby's MIS on g with a hard stop bounding the work,
+// under the base benchmark seed plus any seam-specific options.
+func benchSeamRun(b *testing.B, g *graph.Graph, extra ...congest.Option) *congest.Result {
+	b.Helper()
+	opts := append([]congest.Option{congest.WithSeed(11), congest.WithHardStop(9)}, extra...)
+	res, err := congest.Run(g, mis.Luby{}.NewProcess, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkPowerLawSeams1M drives the pooled, batched-delivery round loop
+// over a degree-skewed 1,000,000-node power-law graph (the workload the
+// guided-chunking fix targets: hubs cluster at low indices) through every
+// delivery seam the simulator offers — plain, fault injection, event
+// tracing, and the reliable transport over a lossy link. Each sub-benchmark
+// first computes a sequential-engine reference outside the timed region,
+// then times the pool engine and requires its outputs bit-identical to that
+// reference on every iteration, so the numbers double as a standing proof
+// that message pooling and batched delivery are invisible to protocol
+// semantics at scale.
+func BenchmarkPowerLawSeams1M(b *testing.B) {
+	if testing.Short() {
+		b.Skip("1M-node graph: skipped in -short mode")
+	}
+	g := gen.PowerLaw(1_000_000, 2.5, 2000, 41)
+	seams := []struct {
+		name string
+		opts func() []congest.Option // fresh per run: seams carry run-local state
+	}{
+		{"plain", func() []congest.Option { return nil }},
+		{"faults", func() []congest.Option {
+			return []congest.Option{congest.WithFaults(fault.NewInjector(fault.Schedule{
+				Seed: 5, Loss: 0.02, Dup: 0.01, Corrupt: 0.005,
+			}))}
+		}},
+		{"trace", func() []congest.Option {
+			return []congest.Option{congest.WithTracer(trace.NewRing(64))}
+		}},
+		{"reliable", func() []congest.Option {
+			return []congest.Option{
+				congest.WithFaults(fault.NewInjector(fault.Schedule{Seed: 6, Loss: 0.02})),
+				congest.WithReliable(reliable.New(reliable.Options{})),
+			}
+		}},
+	}
+	for _, seam := range seams {
+		b.Run(seam.name, func(b *testing.B) {
+			ref := benchSeamRun(b, g, append(seam.opts(), congest.WithEngine(congest.EngineSequential))...)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := benchSeamRun(b, g,
+					append(seam.opts(), congest.WithEngine(congest.EnginePool), congest.WithWorkers(4))...)
+				b.StopTimer()
+				if !reflect.DeepEqual(ref.Outputs, res.Outputs) {
+					b.Fatalf("seam %q: pool-engine outputs diverge from the sequential engine", seam.name)
+				}
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(ref.Rounds), "rounds")
+		})
+	}
+}
+
+// BenchmarkRoundLoop10M is the ROADMAP scale target: ten million nodes
+// through the full round loop — pooled messages, flat inbox slabs, batched
+// delivery, persistent pool workers — on a sparse GNP graph (mean degree
+// 2.5, so ~12.5M edges). The hard stop bounds the run at nine simulator
+// rounds of Luby's MIS; completing at all is the acceptance criterion, the
+// ns/op figure is the trend to watch. Run with -benchtime=1x unless you
+// mean it.
+func BenchmarkRoundLoop10M(b *testing.B) {
+	if testing.Short() {
+		b.Skip("10M-node graph: skipped in -short mode")
+	}
+	const n = 10_000_000
+	g := gen.GNP(n, 2.5/n, 17)
+	b.ResetTimer()
+	inSet := 0
+	for i := 0; i < b.N; i++ {
+		res, err := congest.Run(g, mis.Luby{}.NewProcess,
+			congest.WithSeed(uint64(i+1)), congest.WithHardStop(9),
+			congest.WithEngine(congest.EnginePool), congest.WithWorkers(4))
+		if err != nil {
+			b.Fatal(err)
+		}
+		inSet = 0
+		for _, out := range res.Outputs {
+			if joined, ok := out.(bool); ok && joined {
+				inSet++
+			}
+		}
+		if inSet == 0 {
+			b.Fatal("no node joined the MIS in 9 rounds on a 10M-node graph")
+		}
+	}
+	b.ReportMetric(float64(inSet), "set-size")
+	b.ReportMetric(float64(g.M()), "edges")
 }
 
 func benchSolve(b *testing.B, h http.Handler, raw []byte) server.SolveResponse {

@@ -1,0 +1,226 @@
+// Command benchdiff compares two benchjson reports (BENCH_<pr>.json) and
+// fails when a pinned benchmark regressed beyond a threshold on ns/op or
+// allocs/op. It is the CI tripwire closing the loop around the per-PR
+// benchmark snapshots: benchjson archives the numbers, benchdiff refuses
+// the next PR when the numbers move the wrong way.
+//
+// Usage:
+//
+//	benchdiff [-threshold 0.15] [-pin Name1,Name2] [OLD.json NEW.json]
+//
+// With no positional arguments it scans the working directory for files
+// named BENCH_<n>.json and compares the two highest n (the previous and
+// the current PR snapshot). The default pin set is every benchmark present
+// in both reports; -pin narrows it to a comma-separated list of names
+// (sub-benchmark paths included, e.g. BenchmarkServeColdVsCacheHit/hit).
+//
+// Exit status: 0 when no pinned benchmark regressed beyond the threshold,
+// 1 on regression, 2 on usage or input errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result mirrors the benchjson schema (cmd/benchjson); only the fields the
+// comparison needs are decoded.
+type Result struct {
+	Name        string   `json:"name"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Report mirrors the benchjson file format.
+type Report struct {
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	threshold := fs.Float64("threshold", 0.15, "max tolerated relative regression (0.15 = +15%)")
+	pin := fs.String("pin", "", "comma-separated benchmark names to enforce (default: all common)")
+	dir := fs.String("dir", ".", "directory scanned for BENCH_<n>.json when no files are given")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	oldPath, newPath := "", ""
+	switch fs.NArg() {
+	case 0:
+		var err error
+		oldPath, newPath, err = latestPair(*dir)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+			return 2
+		}
+	case 2:
+		oldPath, newPath = fs.Arg(0), fs.Arg(1)
+	default:
+		fmt.Fprintln(stderr, "benchdiff: want zero or two positional arguments: [OLD.json NEW.json]")
+		return 2
+	}
+	oldRep, err := load(oldPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	newRep, err := load(newPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "benchdiff: %s -> %s (threshold %+.0f%%)\n", oldPath, newPath, *threshold*100)
+	regressions := Compare(oldRep, newRep, pinSet(*pin), *threshold, stdout)
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintf(stderr, "benchdiff: REGRESSION %s\n", r)
+		}
+		return 1
+	}
+	fmt.Fprintln(stdout, "benchdiff: ok")
+	return 0
+}
+
+// benchFile matches the per-PR snapshot naming scheme, capturing n.
+var benchFile = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// latestPair finds the two highest-numbered BENCH_<n>.json in dir:
+// the previous snapshot and the current one.
+func latestPair(dir string) (oldPath, newPath string, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", "", err
+	}
+	type snap struct {
+		n    int
+		path string
+	}
+	var snaps []snap
+	for _, e := range entries {
+		if m := benchFile.FindStringSubmatch(e.Name()); m != nil {
+			n, _ := strconv.Atoi(m[1])
+			snaps = append(snaps, snap{n, filepath.Join(dir, e.Name())})
+		}
+	}
+	if len(snaps) < 2 {
+		return "", "", fmt.Errorf("need at least two BENCH_<n>.json snapshots in %s, found %d", dir, len(snaps))
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].n < snaps[j].n })
+	return snaps[len(snaps)-2].path, snaps[len(snaps)-1].path, nil
+}
+
+func load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in report", path)
+	}
+	return &rep, nil
+}
+
+// pinSet parses the -pin list; nil means "every common benchmark".
+func pinSet(pin string) map[string]bool {
+	if strings.TrimSpace(pin) == "" {
+		return nil
+	}
+	set := make(map[string]bool)
+	for _, name := range strings.Split(pin, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			set[name] = true
+		}
+	}
+	return set
+}
+
+// Compare prints a delta line per pinned benchmark and returns descriptions
+// of those whose ns/op or allocs/op regressed beyond threshold. Benchmarks
+// present in only one report are reported but never fail the diff: new
+// benchmarks appear and obsolete ones retire as the suite evolves, and
+// punishing that would teach people not to add benchmarks.
+func Compare(oldRep, newRep *Report, pins map[string]bool, threshold float64, out io.Writer) []string {
+	oldBy := byName(oldRep)
+	newBy := byName(newRep)
+	names := make([]string, 0, len(oldBy))
+	for name := range oldBy {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var regressions []string
+	for _, name := range names {
+		if pins != nil && !pins[name] {
+			continue
+		}
+		o := oldBy[name]
+		n, ok := newBy[name]
+		if !ok {
+			fmt.Fprintf(out, "  %-50s retired (not in new report)\n", name)
+			continue
+		}
+		nsDelta := rel(o.NsPerOp, n.NsPerOp)
+		line := fmt.Sprintf("  %-50s ns/op %12.0f -> %12.0f (%+6.1f%%)", name, o.NsPerOp, n.NsPerOp, nsDelta*100)
+		if nsDelta > threshold {
+			regressions = append(regressions, fmt.Sprintf("%s: ns/op %+.1f%% (limit %+.0f%%)", name, nsDelta*100, threshold*100))
+		}
+		if o.AllocsPerOp != nil && n.AllocsPerOp != nil {
+			aDelta := rel(*o.AllocsPerOp, *n.AllocsPerOp)
+			line += fmt.Sprintf("  allocs/op %10.0f -> %10.0f (%+6.1f%%)", *o.AllocsPerOp, *n.AllocsPerOp, aDelta*100)
+			if aDelta > threshold {
+				regressions = append(regressions, fmt.Sprintf("%s: allocs/op %+.1f%% (limit %+.0f%%)", name, aDelta*100, threshold*100))
+			}
+		}
+		fmt.Fprintln(out, line)
+	}
+	for name := range newBy {
+		if _, ok := oldBy[name]; !ok && (pins == nil || pins[name]) {
+			fmt.Fprintf(out, "  %-50s new (no baseline)\n", name)
+		}
+	}
+	for name := range pins {
+		if _, ok := oldBy[name]; !ok {
+			if _, ok := newBy[name]; !ok {
+				regressions = append(regressions, fmt.Sprintf("%s: pinned but missing from both reports", name))
+			}
+		}
+	}
+	return regressions
+}
+
+func byName(rep *Report) map[string]Result {
+	m := make(map[string]Result, len(rep.Benchmarks))
+	for _, b := range rep.Benchmarks {
+		m[b.Name] = b
+	}
+	return m
+}
+
+// rel is the signed relative change new vs old; an old value of zero can
+// only regress (to any positive value) — treated as +inf via a large
+// sentinel so the threshold always trips.
+func rel(oldV, newV float64) float64 {
+	if oldV == 0 {
+		if newV == 0 {
+			return 0
+		}
+		return 1e9
+	}
+	return (newV - oldV) / oldV
+}

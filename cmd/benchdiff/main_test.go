@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const oldReport = `{"benchmarks": [
+  {"name": "BenchmarkE13Headline", "ns_per_op": 34941836, "allocs_per_op": 215988},
+  {"name": "BenchmarkServeSchedulerDepth1", "ns_per_op": 100000, "allocs_per_op": 50},
+  {"name": "BenchmarkRetired", "ns_per_op": 5}
+]}`
+
+func TestComparePassesWithinThreshold(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "BENCH_6.json", oldReport)
+	newP := writeReport(t, dir, "BENCH_7.json", `{"benchmarks": [
+	  {"name": "BenchmarkE13Headline", "ns_per_op": 33000000, "allocs_per_op": 70892},
+	  {"name": "BenchmarkServeSchedulerDepth1", "ns_per_op": 110000, "allocs_per_op": 55},
+	  {"name": "BenchmarkNew", "ns_per_op": 7}
+	]}`)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{oldP, newP}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s\nstdout: %s", code, stderr.String(), stdout.String())
+	}
+	for _, want := range []string{"BenchmarkE13Headline", "retired", "new (no baseline)"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Fatalf("stdout missing %q:\n%s", want, stdout.String())
+		}
+	}
+}
+
+func TestCompareFailsOnNsRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "BENCH_6.json", oldReport)
+	newP := writeReport(t, dir, "BENCH_7.json", `{"benchmarks": [
+	  {"name": "BenchmarkE13Headline", "ns_per_op": 50000000, "allocs_per_op": 215988},
+	  {"name": "BenchmarkServeSchedulerDepth1", "ns_per_op": 100000, "allocs_per_op": 50}
+	]}`)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{oldP, newP}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1 (ns/op +43%%)", code)
+	}
+	if !strings.Contains(stderr.String(), "REGRESSION BenchmarkE13Headline: ns/op") {
+		t.Fatalf("stderr: %s", stderr.String())
+	}
+}
+
+func TestCompareFailsOnAllocRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "BENCH_6.json", oldReport)
+	newP := writeReport(t, dir, "BENCH_7.json", `{"benchmarks": [
+	  {"name": "BenchmarkE13Headline", "ns_per_op": 34941836, "allocs_per_op": 300000},
+	  {"name": "BenchmarkServeSchedulerDepth1", "ns_per_op": 100000, "allocs_per_op": 50}
+	]}`)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{oldP, newP}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1 (allocs/op +39%%)", code)
+	}
+	if !strings.Contains(stderr.String(), "allocs/op") {
+		t.Fatalf("stderr: %s", stderr.String())
+	}
+}
+
+func TestThresholdFlagLoosens(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "BENCH_6.json", `{"benchmarks": [{"name": "B", "ns_per_op": 100}]}`)
+	newP := writeReport(t, dir, "BENCH_7.json", `{"benchmarks": [{"name": "B", "ns_per_op": 130}]}`)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{oldP, newP}, &stdout, &stderr); code != 1 {
+		t.Fatalf("default threshold: exit %d, want 1 on +30%%", code)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-threshold", "0.5", oldP, newP}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-threshold 0.5: exit %d, stderr: %s", code, stderr.String())
+	}
+}
+
+func TestPinNarrowsAndRequiresPresence(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "BENCH_6.json", `{"benchmarks": [
+	  {"name": "BenchmarkCare", "ns_per_op": 100},
+	  {"name": "BenchmarkNoise", "ns_per_op": 100}
+	]}`)
+	newP := writeReport(t, dir, "BENCH_7.json", `{"benchmarks": [
+	  {"name": "BenchmarkCare", "ns_per_op": 105},
+	  {"name": "BenchmarkNoise", "ns_per_op": 900}
+	]}`)
+	var stdout, stderr bytes.Buffer
+	// Noise regressed 9x but is not pinned: must pass.
+	if code := run([]string{"-pin", "BenchmarkCare", oldP, newP}, &stdout, &stderr); code != 0 {
+		t.Fatalf("pinned run: exit %d, stderr: %s", code, stderr.String())
+	}
+	// A pinned benchmark missing from both reports is itself a failure:
+	// silently dropping the tripwire must not pass CI.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-pin", "BenchmarkGone", oldP, newP}, &stdout, &stderr); code != 1 {
+		t.Fatalf("missing pin: exit %d, want 1", code)
+	}
+}
+
+func TestAutodiscoverLatestPair(t *testing.T) {
+	dir := t.TempDir()
+	writeReport(t, dir, "BENCH_5.json", `{"benchmarks": [{"name": "B", "ns_per_op": 1}]}`)
+	writeReport(t, dir, "BENCH_6.json", `{"benchmarks": [{"name": "B", "ns_per_op": 100}]}`)
+	writeReport(t, dir, "BENCH_7.json", `{"benchmarks": [{"name": "B", "ns_per_op": 101}]}`)
+	writeReport(t, dir, "BENCH_note.json", `not even json`)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-dir", dir}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	// 6 -> 7 (+1%), not 5 -> 7 (+10000%): proves the pair choice.
+	if !strings.Contains(stdout.String(), "BENCH_6.json") || !strings.Contains(stdout.String(), "BENCH_7.json") {
+		t.Fatalf("stdout: %s", stdout.String())
+	}
+}
+
+func TestAutodiscoverNeedsTwoSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	writeReport(t, dir, "BENCH_7.json", `{"benchmarks": [{"name": "B", "ns_per_op": 1}]}`)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-dir", dir}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2 with a single snapshot", code)
+	}
+}
+
+func TestZeroBaselineAlwaysRegresses(t *testing.T) {
+	if rel(0, 5) < 1 {
+		t.Fatal("zero baseline must read as a regression")
+	}
+	if rel(0, 0) != 0 {
+		t.Fatal("0 -> 0 is not a regression")
+	}
+}

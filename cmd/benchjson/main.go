@@ -146,12 +146,17 @@ func parseLine(line string) (Result, bool) {
 	}
 	res.Iterations = iters
 
-	// The remainder is (value, unit) pairs.
+	// The remainder is (value, unit) pairs. A malformed pair ends the scan
+	// but keeps what already parsed: dropping the whole line here is how
+	// this tool used to lose every benchmark that lacked -benchmem columns
+	// and carried a trailing annotation — the ns/op figure was valid, yet
+	// the line vanished and the report could come out empty. A line only
+	// fails as a whole when no ns/op pair was recovered.
 	sawNs := false
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
-			return Result{}, false
+			break
 		}
 		switch unit := fields[i+1]; unit {
 		case "ns/op":

@@ -51,6 +51,52 @@ func TestParseSample(t *testing.T) {
 	}
 }
 
+// TestParseAllocsLessLines pins the fix for the silent-drop bug: output
+// from `go test -bench` without -benchmem has no B/op or allocs/op columns,
+// and a trailing annotation after the valid pairs used to void the whole
+// line. Such lines must keep their ns/op (and any custom metrics already
+// parsed), with the memory fields simply absent.
+func TestParseAllocsLessLines(t *testing.T) {
+	const in = `goos: linux
+BenchmarkPlain-4      	     100	   1234567 ns/op
+BenchmarkAnnotated-4  	      50	   7654321 ns/op	        9.000 rounds/op	(truncated run)
+BenchmarkNoPairs-4    	      10	garbled
+PASS
+`
+	rep, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+	plain := rep.Benchmarks[0]
+	if plain.Name != "BenchmarkPlain" || plain.NsPerOp != 1234567 {
+		t.Fatalf("plain = %+v", plain)
+	}
+	if plain.BytesPerOp != nil || plain.AllocsPerOp != nil {
+		t.Fatalf("allocs-less line grew memory stats: %+v", plain)
+	}
+	ann := rep.Benchmarks[1]
+	if ann.NsPerOp != 7654321 || ann.Extra["rounds/op"] != 9 {
+		t.Fatalf("salvaged prefix wrong: %+v", ann)
+	}
+}
+
+// TestRunNothingParsesFails covers the exit-code half of the bug: input
+// full of Benchmark-prefixed lines none of which yields a result must exit
+// non-zero, never write an empty report with status 0.
+func TestRunNothingParsesFails(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	in := "BenchmarkBroken-4 notanumber 12 ns/op\nBenchmarkWorse xyz\nPASS\n"
+	if code := run(nil, strings.NewReader(in), &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1 when no line parses", code)
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("report written despite empty parse: %s", stdout.String())
+	}
+}
+
 func TestParseSkipsGarbage(t *testing.T) {
 	rep, err := Parse(strings.NewReader("hello\nBenchmarkBad notanumber ns/op\nPASS\n"))
 	if err != nil {

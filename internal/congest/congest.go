@@ -37,7 +37,6 @@ import (
 	"math/bits"
 	"math/rand/v2"
 	"runtime"
-	"sort"
 	"time"
 
 	"distmwis/internal/graph"
@@ -64,6 +63,11 @@ var ErrRoundLimit = errors.New("congest: protocol exceeded round limit")
 type Message struct {
 	data []byte
 	bitN int
+	// pooled marks the message as recyclable via the round-boundary batch
+	// return (see msgpool.go); free guards against double-release when one
+	// broadcast object occupies several inbox slots.
+	pooled bool
+	free   bool
 }
 
 // NewMessage freezes the contents of w into a Message. The writer can be
@@ -359,19 +363,35 @@ func Run(g *graph.Graph, newProcess func() Process, opts ...Option) (*Result, er
 		sim.physBandwidth = bandwidth + cfg.reliable.HeaderBits()
 	}
 	sim.procs = make([]Process, n)
-	sim.done = make([]bool, n)
+	sim.done = graph.NewBitset(n)
+	// Inboxes are per-node views into two flat slabs (one per round parity).
+	// Two allocations instead of 2n keeps 10M-node setup out of the
+	// allocator, and the delivery phase can clear or recycle a whole round's
+	// messages with a single linear pass over the slab.
+	ports := 2 * g.M()
+	sim.inboxSlab = make([]*Message, ports)
+	sim.nextSlab = make([]*Message, ports)
 	sim.inbox = make([][]*Message, n)
 	sim.nextInbox = make([][]*Message, n)
 	sim.reversePort = buildReversePorts(g)
+	// Per-node randomness lives in two slabs as well: rand.New and
+	// rand.NewPCG both inline, so filling value slots allocates nothing
+	// beyond the two backing arrays.
+	pcgs := make([]rand.PCG, n)
+	rnds := make([]rand.Rand, n)
+	off := 0
 	for v := 0; v < n; v++ {
 		deg := g.Degree(v)
-		sim.inbox[v] = make([]*Message, deg)
-		sim.nextInbox[v] = make([]*Message, deg)
+		sim.inbox[v] = sim.inboxSlab[off : off+deg : off+deg]
+		sim.nextInbox[v] = sim.nextSlab[off : off+deg : off+deg]
+		off += deg
 		proc := newProcess()
 		if cfg.reliable != nil {
 			proc = cfg.reliable.Wrap(proc)
 		}
 		sim.procs[v] = proc
+		pcgs[v] = *rand.NewPCG(cfg.seed, 0x6a09e667f3bcc908^uint64(v))
+		rnds[v] = *rand.New(&pcgs[v])
 		sim.procs[v].Init(NodeInfo{
 			Index:     v,
 			ID:        g.ID(v),
@@ -382,7 +402,7 @@ func Run(g *graph.Graph, newProcess func() Process, opts ...Option) (*Result, er
 			MaxWeight: maxWeight,
 			Bandwidth: bandwidth,
 			Faulty:    cfg.hook != nil,
-			Rand:      rand.New(rand.NewPCG(cfg.seed, 0x6a09e667f3bcc908^uint64(v))),
+			Rand:      &rnds[v],
 		})
 	}
 	return sim.run()
@@ -397,12 +417,25 @@ type simulator struct {
 	// reliable transport's header headroom (equal to bandwidth without one).
 	physBandwidth int
 	procs         []Process
-	done          []bool
-	inbox         [][]*Message
-	nextInbox     [][]*Message
-	reversePort   [][]int32
-	pendingDups   []pendingDup
-	res           Result
+	done          graph.Bitset
+	// inbox/nextInbox are per-node windows into inboxSlab/nextSlab; the
+	// pairs swap together at the end of every delivery phase.
+	inbox     [][]*Message
+	nextInbox [][]*Message
+	inboxSlab []*Message
+	nextSlab  []*Message
+	// nextPooled records whether any message delivered into nextSlab this
+	// round is pool-recyclable; inboxPooled is the same fact for inboxSlab.
+	// They let the clear pass fall back to a plain memclr when no pooled
+	// messages are in flight.
+	nextPooled  bool
+	inboxPooled bool
+	reversePort [][]int32
+	pendingDups []pendingDup
+	// freeList is recycleSlab's scratch: pooled messages marked this pass,
+	// put back into the pool only after the whole slab has been walked.
+	freeList []*Message
+	res      Result
 }
 
 // pendingDup is a duplicate copy scheduled by the fault hook: the original
@@ -413,17 +446,27 @@ type pendingDup struct {
 	m    *Message
 }
 
+// buildReversePorts computes, for every directed edge (v, p), the port q at
+// the far end u such that u's q-th neighbour is v. Because neighbour lists
+// are sorted ascending, scanning v in ascending order means each u sees its
+// neighbours arrive in exactly port order, so a per-node cursor assigns the
+// reverse ports in one O(n + m) pass — no per-edge binary search. The table
+// itself is per-node windows over a single flat slab (two allocations).
 func buildReversePorts(g *graph.Graph) [][]int32 {
 	n := g.N()
 	rev := make([][]int32, n)
+	slab := make([]int32, 2*g.M())
+	off := 0
 	for v := 0; v < n; v++ {
-		nbrs := g.Neighbors(v)
-		rev[v] = make([]int32, len(nbrs))
-		for p, u := range nbrs {
-			// Port q at u such that u's q-th neighbour is v.
-			un := g.Neighbors(int(u))
-			q := sort.Search(len(un), func(i int) bool { return un[i] >= int32(v) })
-			rev[v][p] = int32(q)
+		deg := g.Degree(v)
+		rev[v] = slab[off : off+deg : off+deg]
+		off += deg
+	}
+	cur := make([]int32, n)
+	for v := 0; v < n; v++ {
+		for p, u := range g.Neighbors(v) {
+			rev[v][p] = cur[u]
+			cur[u]++
 		}
 	}
 	return rev
@@ -455,7 +498,7 @@ func (s *simulator) run() (*Result, error) {
 	errs := make([]error, n)
 
 	step := func(v, round int) {
-		if s.done[v] {
+		if s.done.Get(v) {
 			return
 		}
 		if s.cfg.hook != nil && s.cfg.hook.State(round, v) != NodeUp {
@@ -536,6 +579,7 @@ func (s *simulator) run() (*Result, error) {
 			s.res.Truncated = true
 			finishReliable()
 			s.collectOutputs()
+			s.recycleAll()
 			partial := s.res
 			return nil, &TruncationError{Limit: s.cfg.maxRounds, Partial: &partial}
 		}
@@ -560,8 +604,8 @@ func (s *simulator) run() (*Result, error) {
 		// the live count never races with the engine workers.
 		if s.cfg.hook != nil {
 			for v := 0; v < n; v++ {
-				if !s.done[v] && s.cfg.hook.State(round, v) == NodeStopped {
-					s.done[v] = true
+				if !s.done.Get(v) && s.cfg.hook.State(round, v) == NodeStopped {
+					s.done.Set(v)
 					live--
 				}
 			}
@@ -572,12 +616,18 @@ func (s *simulator) run() (*Result, error) {
 			phaseT0 = time.Now()
 		}
 
-		// Delivery phase: clear next inboxes, move messages.
-		for v := 0; v < n; v++ {
-			next := s.nextInbox[v]
-			for i := range next {
-				next[i] = nil
-			}
+		// Delivery phase: clear next inboxes, move messages. nextSlab holds
+		// the messages consumed during the *previous* round's compute phase
+		// (the slabs swapped after they were delivered), so this pass is the
+		// batched pool-return point: every surviving read happened at least
+		// one full compute phase ago. The free flag dedups broadcast fan-out
+		// (one object in many slots); when no pooled messages were delivered
+		// into this slab the whole pass degenerates to one memclr.
+		if s.nextPooled {
+			s.recycleSlab(s.nextSlab)
+			s.nextPooled = false
+		} else {
+			clear(s.nextSlab)
 		}
 		// Duplicates scheduled during the previous round's delivery arrive
 		// first, so a fresh message on the same port overwrites the copy.
@@ -593,15 +643,17 @@ func (s *simulator) run() (*Result, error) {
 		}
 		roundMaxBits := 0
 		for v := 0; v < n; v++ {
-			if s.done[v] {
+			if s.done.Get(v) {
 				continue
 			}
+			nbrs := s.g.Neighbors(v)
+			rports := s.reversePort[v]
 			for p, m := range outboxes[v] {
 				if m == nil {
 					continue
 				}
-				u := int(s.g.Neighbors(v)[p])
-				rport := int(s.reversePort[v][p])
+				u := int(nbrs[p])
+				rport := int(rports[p])
 				s.res.Messages++
 				s.res.Bits += int64(m.bitN)
 				if m.bitN > roundMaxBits {
@@ -612,11 +664,12 @@ func (s *simulator) run() (*Result, error) {
 						continue
 					}
 				}
+				s.nextPooled = s.nextPooled || m.pooled
 				s.nextInbox[u][rport] = m
 			}
 			outboxes[v] = nil
 			if doneNow[v] {
-				s.done[v] = true
+				s.done.Set(v)
 				doneNow[v] = false
 				live--
 			}
@@ -625,6 +678,8 @@ func (s *simulator) run() (*Result, error) {
 			s.res.MaxMessageBits = roundMaxBits
 		}
 		s.inbox, s.nextInbox = s.nextInbox, s.inbox
+		s.inboxSlab, s.nextSlab = s.nextSlab, s.inboxSlab
+		s.inboxPooled, s.nextPooled = s.nextPooled, s.inboxPooled
 
 		if tr != nil {
 			var retransmitsNow int64
@@ -655,6 +710,7 @@ func (s *simulator) run() (*Result, error) {
 
 	finishReliable()
 	s.collectOutputs()
+	s.recycleAll()
 	out := s.res
 	return &out, nil
 }
@@ -665,6 +721,11 @@ func (s *simulator) run() (*Result, error) {
 // that is down when it would arrive (round+1). Duplicates of the original
 // payload are queued for the following round.
 func (s *simulator) deliverFaulty(round, from, to, rport int, m *Message) *Message {
+	// A hook may retain the message beyond this round — duplicates re-arrive
+	// a round later via pendingDups, and arbitrary hooks may log payloads —
+	// so messages that cross the fault seam are withdrawn from pool
+	// recycling and left to the garbage collector.
+	m.pooled = false
 	if s.cfg.hook.State(round+1, to) != NodeUp {
 		s.res.FaultLost++
 		return nil

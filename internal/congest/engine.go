@@ -37,6 +37,6 @@ func newEngineRunner(engine Engine, n, workers int, step func(v, round int), err
 	case EngineActors:
 		return newActorPool(n, step)
 	default:
-		return &poolEngine{n: n, workers: workers, step: step}
+		return newPoolEngine(n, workers, step)
 	}
 }

@@ -1,0 +1,107 @@
+package congest
+
+import (
+	"sync"
+
+	"distmwis/internal/wire"
+)
+
+// Message pooling.
+//
+// On large graphs the round loop's allocation profile is dominated by one
+// object class: the per-round, per-edge Message (header + payload buffer),
+// built by a process, delivered into an inbox, read once the next round and
+// then garbage. The pool below recycles those objects with returns batched
+// at the one point in the round structure where ownership is provably
+// unambiguous: the delivery phase's "clear last round's inboxes" pass.
+//
+// Lifecycle of a pooled message (round numbers relative to the send):
+//
+//	round r   compute    process calls NewPooledMessage, returns it in send
+//	round r   delivery   simulator places it into receiver inbox slots
+//	round r+1 compute    receiver(s) parse it via Reader/AppendData
+//	round r+2 delivery   the clear pass releases it back to the pool
+//
+// The release point runs strictly after the last possible read (compute
+// precedes delivery within a round) and on the single delivery goroutine,
+// so no synchronisation beyond sync.Pool's own is needed.
+//
+// Two per-message flags keep the batched return sound:
+//
+//   - free guards against double-release when the same *Message occupies
+//     several inbox slots (broadcast fan-out delivers one object to every
+//     port); the clear pass releases the first occurrence and skips the rest.
+//   - pooled marks objects eligible for recycling at all. The fault layer
+//     clears it in deliverFaulty: a delivery hook may retain the message
+//     (duplicates re-arrive a round later, and arbitrary hooks may log it),
+//     which would leave stale pointers behind after a release. Unpooled
+//     messages simply fall to the garbage collector, so the fault path is
+//     correct at the cost of recycling — acceptable, because fault runs
+//     measure behaviour, not throughput.
+var msgPool = sync.Pool{New: func() any { return new(Message) }}
+
+// NewPooledMessage freezes the contents of w into a recycled Message. The
+// writer can be reused afterwards. Semantically identical to NewMessage;
+// the only contract change is ownership: the returned message must be
+// handed to the simulator (returned from Process.Round) and not retained
+// by the sender, because the simulator returns it to the pool one round
+// after delivery. Protocol code that stores messages across rounds must
+// keep using NewMessage.
+func NewPooledMessage(w *wire.Writer) *Message {
+	m := msgPool.Get().(*Message)
+	m.pooled = true
+	m.free = false
+	b := w.Bytes()
+	if cap(m.data) < len(b) {
+		m.data = make([]byte, len(b))
+	} else {
+		m.data = m.data[:len(b)]
+	}
+	copy(m.data, b)
+	m.bitN = w.Len()
+	return m
+}
+
+// recycleSlab nils every slot of one inbox slab and returns its pooled
+// messages to the allocator. The scan marks (free flag) before any Put:
+// because nothing enters the pool until the whole slab has been walked, a
+// concurrent run's Get can never hand a marked object back out while later
+// fan-out slots of this slab still point at it — the mark/Put split is what
+// makes the batched return safe under concurrent simulations sharing the
+// package-level pool. Runs on the single delivery goroutine.
+func (s *simulator) recycleSlab(slab []*Message) {
+	fl := s.freeList[:0]
+	for i, m := range slab {
+		if m == nil {
+			continue
+		}
+		if m.pooled && !m.free {
+			m.free = true
+			fl = append(fl, m)
+		}
+		slab[i] = nil
+	}
+	for _, m := range fl {
+		msgPool.Put(m)
+	}
+	s.freeList = fl[:0]
+}
+
+// recycleAll returns the in-flight messages of both slabs once a run ends.
+// Outputs have been collected and no process will run again, so the final
+// rounds' messages — which the per-round clear pass never reached — are
+// reclaimable. Without this, protocols built from many short phases (the
+// boosting pipeline runs 2–3 round phases back to back) would leak a large
+// fraction of their messages to the garbage collector and refill the pool
+// from cold on every phase. A message only ever occupies slots of a single
+// slab (one delivery round), so the two passes never double-release.
+func (s *simulator) recycleAll() {
+	if s.inboxPooled {
+		s.recycleSlab(s.inboxSlab)
+		s.inboxPooled = false
+	}
+	if s.nextPooled {
+		s.recycleSlab(s.nextSlab)
+		s.nextPooled = false
+	}
+}

@@ -1,0 +1,91 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	b := NewBitset(130)
+	if !b.None() || b.Count() != 0 {
+		t.Fatal("fresh bitset not empty")
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		b.Set(i)
+		if !b.Get(i) {
+			t.Fatalf("Set(%d) not visible", i)
+		}
+	}
+	if b.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", b.Count())
+	}
+	b.Unset(64)
+	if b.Get(64) {
+		t.Fatal("Unset(64) not visible")
+	}
+	b.SetTo(64, true)
+	b.SetTo(65, false)
+	if !b.Get(64) || b.Get(65) {
+		t.Fatal("SetTo misbehaved")
+	}
+	b.Reset()
+	if !b.None() {
+		t.Fatal("Reset left bits")
+	}
+}
+
+func TestBitsetSetFirst(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 128, 130} {
+		b := NewBitset(130)
+		b.Set(129) // stale bit that SetFirst must clear when n <= 129
+		b.SetFirst(n)
+		if got := b.Count(); got != n {
+			t.Fatalf("SetFirst(%d): Count = %d", n, got)
+		}
+		for i := 0; i < 130; i++ {
+			if b.Get(i) != (i < n) {
+				t.Fatalf("SetFirst(%d): Get(%d) = %v", n, i, b.Get(i))
+			}
+		}
+	}
+}
+
+func TestBitsetForEachMatchesBools(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 7))
+	ref := make([]bool, 517)
+	b := NewBitset(len(ref))
+	for i := range ref {
+		if r.Uint64()&1 == 1 {
+			ref[i] = true
+			b.Set(i)
+		}
+	}
+	var got []int
+	b.ForEach(func(i int) { got = append(got, i) })
+	var want []int
+	for i, in := range ref {
+		if in {
+			want = append(want, i)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %d indices, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach[%d] = %d, want %d (ascending order)", i, got[i], want[i])
+		}
+	}
+	round := BitsetFromBools(ref)
+	for i := range ref {
+		if round.Get(i) != ref[i] {
+			t.Fatalf("BitsetFromBools mismatch at %d", i)
+		}
+	}
+	back := b.ToBools(len(ref))
+	for i := range ref {
+		if back[i] != ref[i] {
+			t.Fatalf("ToBools mismatch at %d", i)
+		}
+	}
+}

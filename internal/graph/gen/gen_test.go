@@ -358,3 +358,29 @@ func TestGeneratorsValidate(t *testing.T) {
 		}
 	}
 }
+
+func TestPowerLaw(t *testing.T) {
+	g := PowerLaw(3000, 2.5, 60, 11)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() == 0 {
+		t.Error("PowerLaw produced empty graph")
+	}
+	// Hubs cluster at the low indices by construction.
+	lo, hi := 0, 0
+	for v := 0; v < 100; v++ {
+		lo += g.Degree(v)
+	}
+	for v := g.N() - 100; v < g.N(); v++ {
+		hi += g.Degree(v)
+	}
+	if lo <= hi {
+		t.Errorf("expected hub degrees at low IDs: low-100 sum %d, high-100 sum %d", lo, hi)
+	}
+	// Determinism: same seed, same graph.
+	h := PowerLaw(3000, 2.5, 60, 11)
+	if g.M() != h.M() {
+		t.Errorf("PowerLaw not deterministic: m=%d vs %d", g.M(), h.M())
+	}
+}

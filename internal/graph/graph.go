@@ -14,6 +14,7 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -84,12 +85,25 @@ func (b *Builder) Build() (*Graph, error) {
 			return nil, fmt.Errorf("graph: node %d has negative weight %d", v, w)
 		}
 	}
-	seen := make(map[uint64]int, b.n)
-	for v, id := range b.ids {
-		if prev, dup := seen[id]; dup {
-			return nil, fmt.Errorf("graph: nodes %d and %d share identifier %d", prev, v, id)
+	// Uniqueness check. Strictly increasing identifiers — the untouched
+	// NewBuilder default 1..n, and the common generator convention — are
+	// certified by one linear scan; only unordered identifier assignments
+	// pay for the map, which at 10M+ nodes would otherwise dominate Build.
+	increasing := true
+	for v := 1; v < b.n; v++ {
+		if b.ids[v] <= b.ids[v-1] {
+			increasing = false
+			break
 		}
-		seen[id] = v
+	}
+	if !increasing {
+		seen := make(map[uint64]int, b.n)
+		for v, id := range b.ids {
+			if prev, dup := seen[id]; dup {
+				return nil, fmt.Errorf("graph: nodes %d and %d share identifier %d", prev, v, id)
+			}
+			seen[id] = v
+		}
 	}
 	deg := make([]int32, b.n)
 	for _, e := range b.edges {
@@ -123,7 +137,7 @@ func (b *Builder) Build() (*Graph, error) {
 	g.adj = adj[:0]
 	for v := 0; v < b.n; v++ {
 		nbrs := adj[off[v]:off[v+1]]
-		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+		slices.Sort(nbrs)
 		prev := int32(-1)
 		for _, u := range nbrs {
 			if u != prev {

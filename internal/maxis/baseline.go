@@ -44,15 +44,13 @@ func BarYehuda(g *graph.Graph, cfg Config) (*Result, error) {
 	var stackValue int64
 	scales := 0
 
+	active := make([]bool, n) // reused across scales; fully rewritten below
 	for j := bits.Len64(uint64(maxW)); j >= 0 && maxW > 0; j-- {
 		threshold := int64(1) << uint(j)
-		active := make([]bool, n)
 		anyActive := false
 		for v := 0; v < n; v++ {
-			if cur[v] >= threshold {
-				active[v] = true
-				anyActive = true
-			}
+			active[v] = cur[v] >= threshold
+			anyActive = anyActive || active[v]
 		}
 		if !anyActive {
 			continue

@@ -78,14 +78,12 @@ func boostPush(g *graph.Graph, t int, inner Inner, cfg Config, seeds *protocol.S
 	var stack [][]bool
 	var stackValue int64
 
+	active := make([]bool, n) // reused across phases; fully rewritten below
 	for i := 1; i <= t; i++ {
-		active := make([]bool, n)
 		anyActive := false
 		for v := 0; v < n; v++ {
-			if cur[v] > 0 {
-				active[v] = true
-				anyActive = true
-			}
+			active[v] = cur[v] > 0
+			anyActive = anyActive || active[v]
 		}
 		if !anyActive {
 			break

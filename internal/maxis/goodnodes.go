@@ -64,12 +64,7 @@ func (p *goodDetect) Round(round int, recv []*congest.Message) ([]*congest.Messa
 		var w wire.Writer
 		w.WriteUint(uint64(p.info.Degree), uint64(p.info.NUpper))
 		w.WriteInt(p.info.Weight, p.info.MaxWeight)
-		m := congest.NewMessage(&w)
-		out := make([]*congest.Message, p.info.Degree)
-		for i := range out {
-			out[i] = m
-		}
-		return out, false
+		return broadcast(congest.NewPooledMessage(&w), p.info.Degree), false
 	default:
 		maxDeg := p.info.Degree
 		sumW := p.info.Weight

@@ -99,27 +99,25 @@ type peelProcess struct {
 	threshold int
 	budget    int
 	aliveDeg  int
-	alivePort []bool
+	alivePort graph.Bitset
 	removed   bool
 }
 
 func (p *peelProcess) Init(info congest.NodeInfo) {
 	p.info = info
 	p.aliveDeg = info.Degree
-	p.alivePort = make([]bool, info.Degree)
-	for i := range p.alivePort {
-		p.alivePort[i] = true
-	}
+	p.alivePort = graph.NewBitset(info.Degree)
+	p.alivePort.SetFirst(info.Degree)
 }
 
 func (p *peelProcess) Round(round int, recv []*congest.Message) ([]*congest.Message, bool) {
 	for port, m := range recv {
-		if m == nil || !p.alivePort[port] {
+		if m == nil || !p.alivePort.Get(port) {
 			continue
 		}
 		gone, _ := m.Reader().ReadBool()
 		if gone {
-			p.alivePort[port] = false
+			p.alivePort.Unset(port)
 			p.aliveDeg--
 		}
 	}
@@ -128,12 +126,8 @@ func (p *peelProcess) Round(round int, recv []*congest.Message) ([]*congest.Mess
 		var w wire.Writer
 		w.WriteBool(true)
 		out := make([]*congest.Message, p.info.Degree)
-		m := congest.NewMessage(&w)
-		for port, aliveP := range p.alivePort {
-			if aliveP {
-				out[port] = m
-			}
-		}
+		m := congest.NewPooledMessage(&w)
+		p.alivePort.ForEach(func(port int) { out[port] = m })
 		return out, true
 	}
 	return nil, round >= p.budget

@@ -92,6 +92,8 @@ type rankingProcess struct {
 	nbrBits  []int
 	nbrSeen  []uint64 // fault mode: bitmask of chunks received per port
 	joined   bool
+	w        wire.Writer        // per-round scratch, reset before each use
+	out      []*congest.Message // reused broadcast slice
 }
 
 func (p *rankingProcess) Init(info congest.NodeInfo) {
@@ -109,6 +111,7 @@ func (p *rankingProcess) Init(info congest.NodeInfo) {
 	}
 	p.nbrRanks = make([]uint64, info.Degree)
 	p.nbrBits = make([]int, info.Degree)
+	p.out = make([]*congest.Message, info.Degree)
 }
 
 // initChunkTags splits the bandwidth into tag + payload: the smallest tag
@@ -161,12 +164,16 @@ func (p *rankingProcess) Round(round int, recv []*congest.Message) ([]*congest.M
 		if hi > p.bits {
 			hi = p.bits
 		}
-		var w wire.Writer
+		p.w.Reset()
 		if p.info.Faulty && p.seqBits > 0 {
-			w.WriteBits(uint64(round-1), p.seqBits)
+			p.w.WriteBits(uint64(round-1), p.seqBits)
 		}
-		w.WriteBits(p.rank>>uint(lo), hi-lo)
-		return broadcast(congest.NewMessage(&w), p.info.Degree), false
+		p.w.WriteBits(p.rank>>uint(lo), hi-lo)
+		m := congest.NewPooledMessage(&p.w)
+		for i := range p.out {
+			p.out[i] = m
+		}
+		return p.out, false
 	}
 	// round == rounds+1: all chunks received; decide.
 	p.joined = true

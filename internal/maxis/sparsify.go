@@ -118,7 +118,7 @@ func (p *sparsifySample) Round(round int, recv []*congest.Message) ([]*congest.M
 		var w wire.Writer
 		w.WriteUint(uint64(p.info.Degree), uint64(p.info.NUpper))
 		w.WriteInt(p.info.Weight, p.info.MaxWeight)
-		return broadcast(congest.NewMessage(&w), p.info.Degree), false
+		return broadcast(congest.NewPooledMessage(&w), p.info.Degree), false
 
 	case 2:
 		p.deltaV = p.info.Degree
@@ -139,7 +139,7 @@ func (p *sparsifySample) Round(round int, recv []*congest.Message) ([]*congest.M
 		}
 		var w wire.Writer
 		w.WriteInt(p.wDeg, p.maxSumW)
-		return broadcast(congest.NewMessage(&w), p.info.Degree), false
+		return broadcast(congest.NewPooledMessage(&w), p.info.Degree), false
 
 	default: // round 3
 		wmax := p.wDeg

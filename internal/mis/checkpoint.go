@@ -1,5 +1,11 @@
 package mis
 
+import (
+	"distmwis/internal/congest"
+	"distmwis/internal/graph"
+	"distmwis/internal/wire"
+)
+
 // Checkpoint/Restore implement the reliable transport's Checkpointer
 // interface (internal/reliable) for every MIS process: a snapshot is a
 // value copy of the process struct with its slices deep-copied, and Restore
@@ -11,58 +17,80 @@ package mis
 
 func (p *lubyProcess) Checkpoint() any {
 	s := *p
-	s.alive = append([]bool(nil), p.alive...)
+	s.alive = append(graph.Bitset(nil), p.alive...)
+	// Scratch (writer buffer, broadcast slice) is rebuilt on Restore, never
+	// shared: retaining it in the snapshot would alias live per-round state.
+	s.w = wire.Writer{}
+	s.out = nil
 	return &s
 }
 
 func (p *lubyProcess) Restore(state any) {
 	s := state.(*lubyProcess)
-	alive := append([]bool(nil), s.alive...)
+	alive := append(graph.Bitset(nil), s.alive...)
 	*p = *s
 	p.alive = alive
+	p.w = wire.Writer{}
+	p.out = make([]*congest.Message, p.info.Degree)
 }
 
 func (p *ghaffariProcess) Checkpoint() any {
 	s := *p
-	s.alive = append([]bool(nil), p.alive...)
+	s.alive = append(graph.Bitset(nil), p.alive...)
+	// Scratch (writer buffer, broadcast slice) is rebuilt on Restore, never
+	// shared: retaining it in the snapshot would alias live per-round state.
+	s.w = wire.Writer{}
+	s.out = nil
 	return &s
 }
 
 func (p *ghaffariProcess) Restore(state any) {
 	s := state.(*ghaffariProcess)
-	alive := append([]bool(nil), s.alive...)
+	alive := append(graph.Bitset(nil), s.alive...)
 	*p = *s
 	p.alive = alive
+	p.w = wire.Writer{}
+	p.out = make([]*congest.Message, p.info.Degree)
 }
 
 func (p *rankProcess) Checkpoint() any {
 	s := *p
-	s.alive = append([]bool(nil), p.alive...)
+	s.alive = append(graph.Bitset(nil), p.alive...)
+	// Scratch (writer buffer, broadcast slice) is rebuilt on Restore, never
+	// shared: retaining it in the snapshot would alias live per-round state.
+	s.w = wire.Writer{}
+	s.out = nil
 	return &s
 }
 
 func (p *rankProcess) Restore(state any) {
 	s := state.(*rankProcess)
-	alive := append([]bool(nil), s.alive...)
+	alive := append(graph.Bitset(nil), s.alive...)
 	*p = *s
 	p.alive = alive
+	p.w = wire.Writer{}
+	p.out = make([]*congest.Message, p.info.Degree)
 }
 
 func (p *greedyIDProcess) Checkpoint() any {
 	s := *p
 	s.nbrID = append([]uint64(nil), p.nbrID...)
-	s.nbrKnown = append([]bool(nil), p.nbrKnown...)
-	s.nbrActive = append([]bool(nil), p.nbrActive...)
+	s.nbrKnown = append(graph.Bitset(nil), p.nbrKnown...)
+	s.nbrActive = append(graph.Bitset(nil), p.nbrActive...)
+	s.w = wire.Writer{}
+	s.out = nil
 	return &s
 }
 
 func (p *greedyIDProcess) Restore(state any) {
 	s := state.(*greedyIDProcess)
 	nbrID := append([]uint64(nil), s.nbrID...)
-	nbrKnown := append([]bool(nil), s.nbrKnown...)
-	nbrActive := append([]bool(nil), s.nbrActive...)
+	nbrKnown := append(graph.Bitset(nil), s.nbrKnown...)
+	nbrActive := append(graph.Bitset(nil), s.nbrActive...)
 	*p = *s
 	p.nbrID = nbrID
 	p.nbrKnown = nbrKnown
 	p.nbrActive = nbrActive
+	p.w = wire.Writer{}
+	p.out = make([]*congest.Message, p.info.Degree)
 }

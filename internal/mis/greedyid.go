@@ -2,6 +2,7 @@ package mis
 
 import (
 	"distmwis/internal/congest"
+	"distmwis/internal/graph"
 	"distmwis/internal/wire"
 )
 
@@ -37,20 +38,21 @@ const (
 type greedyIDProcess struct {
 	info      congest.NodeInfo
 	nbrID     []uint64
-	nbrKnown  []bool // identifier received and parsed for this port
-	nbrActive []bool
+	nbrKnown  graph.Bitset // identifier received and parsed for this port
+	nbrActive graph.Bitset
 	joined    bool
 	dominated bool
+	w         wire.Writer        // per-round scratch, reset before each use
+	out       []*congest.Message // reused broadcast slice
 }
 
 func (p *greedyIDProcess) Init(info congest.NodeInfo) {
 	p.info = info
 	p.nbrID = make([]uint64, info.Degree)
-	p.nbrKnown = make([]bool, info.Degree)
-	p.nbrActive = make([]bool, info.Degree)
-	for i := range p.nbrActive {
-		p.nbrActive[i] = true
-	}
+	p.nbrKnown = graph.NewBitset(info.Degree)
+	p.nbrActive = graph.NewBitset(info.Degree)
+	p.nbrActive.SetFirst(info.Degree)
+	p.out = make([]*congest.Message, info.Degree)
 }
 
 // Under faults every message carries a leading type bit (false = identifier
@@ -66,17 +68,16 @@ const (
 func (p *greedyIDProcess) Round(round int, recv []*congest.Message) ([]*congest.Message, bool) {
 	if round == 1 {
 		// Identifier exchange.
-		var w wire.Writer
+		p.w.Reset()
 		if p.info.Faulty {
-			w.WriteBool(frameID)
+			p.w.WriteBool(frameID)
 		}
-		w.WriteUint(p.info.ID, p.info.MaxID)
-		out := make([]*congest.Message, p.info.Degree)
-		m := congest.NewMessage(&w)
-		for i := range out {
-			out[i] = m
+		p.w.WriteUint(p.info.ID, p.info.MaxID)
+		m := congest.NewPooledMessage(&p.w)
+		for i := range p.out {
+			p.out[i] = m
 		}
-		return out, false
+		return p.out, false
 	}
 	if round == 2 {
 		for port, m := range recv {
@@ -94,11 +95,11 @@ func (p *greedyIDProcess) Round(round int, recv []*congest.Message) ([]*congest.
 				continue
 			}
 			p.nbrID[port] = id
-			p.nbrKnown[port] = true
+			p.nbrKnown.Set(port)
 		}
 	} else {
 		for port, m := range recv {
-			if m == nil || !p.nbrActive[port] {
+			if m == nil || !p.nbrActive.Get(port) {
 				continue
 			}
 			r := m.Reader()
@@ -114,9 +115,9 @@ func (p *greedyIDProcess) Round(round int, recv []*congest.Message) ([]*congest.
 			switch status {
 			case statusJoined:
 				p.dominated = true
-				p.nbrActive[port] = false
+				p.nbrActive.Unset(port)
 			case statusRetired:
-				p.nbrActive[port] = false
+				p.nbrActive.Unset(port)
 			}
 		}
 	}
@@ -129,10 +130,10 @@ func (p *greedyIDProcess) Round(round int, recv []*congest.Message) ([]*congest.
 		done = true
 	default:
 		highestActive := true
-		for port, active := range p.nbrActive {
+		for port := 0; port < p.info.Degree; port++ {
 			// An unknown identifier (lost exchange) must be assumed to be
 			// higher: joining past it could collide with the neighbour.
-			if active && (!p.nbrKnown[port] || p.nbrID[port] > p.info.ID) {
+			if p.nbrActive.Get(port) && (!p.nbrKnown.Get(port) || p.nbrID[port] > p.info.ID) {
 				highestActive = false
 				break
 			}
@@ -143,16 +144,18 @@ func (p *greedyIDProcess) Round(round int, recv []*congest.Message) ([]*congest.
 			done = true
 		}
 	}
-	var w wire.Writer
+	p.w.Reset()
 	if p.info.Faulty {
-		w.WriteBool(frameStatus)
+		p.w.WriteBool(frameStatus)
 	}
-	w.WriteUint(status, 2)
-	out := make([]*congest.Message, p.info.Degree)
-	m := congest.NewMessage(&w)
-	for port, active := range p.nbrActive {
-		if active {
+	p.w.WriteUint(status, 2)
+	m := congest.NewPooledMessage(&p.w)
+	out := p.out
+	for port := range out {
+		if p.nbrActive.Get(port) {
 			out[port] = m
+		} else {
+			out[port] = nil
 		}
 	}
 	return out, done

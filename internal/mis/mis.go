@@ -151,20 +151,21 @@ func parseRetire(faulty bool, m *congest.Message) (retired, dominated bool) {
 	return true, joined || err != nil
 }
 
-// retireMsg builds the retirement announcement parseRetire expects.
-func retireMsg(faulty, retiring, joined bool) *congest.Message {
-	var w wire.Writer
+// retireMsg builds the retirement announcement parseRetire expects, using
+// the caller's scratch writer and the simulator's message pool.
+func retireMsg(w *wire.Writer, faulty, retiring, joined bool) *congest.Message {
+	w.Reset()
 	w.WriteBool(retiring)
 	if faulty {
 		w.WriteBool(joined)
 	}
-	return congest.NewMessage(&w)
+	return congest.NewPooledMessage(w)
 }
 
 // lubyProcess holds one node's Luby state.
 type lubyProcess struct {
 	info      congest.NodeInfo
-	alive     []bool // per-port: neighbour still active
+	alive     graph.Bitset // per-port: neighbour still active
 	aliveN    int
 	marked    bool
 	joined    bool
@@ -173,15 +174,20 @@ type lubyProcess struct {
 	// scratch from phaseMark messages: which alive neighbours are marked and
 	// their (degree, id) priority.
 	loseToNeighbor bool
+	// w and out are per-round scratch, reused so the hot loop stops
+	// allocating: the simulator is done reading the previous round's out
+	// slice before the next Round call, and pooled messages are owned by
+	// the simulator the moment they are returned.
+	w   wire.Writer
+	out []*congest.Message
 }
 
 func (p *lubyProcess) Init(info congest.NodeInfo) {
 	p.info = info
-	p.alive = make([]bool, info.Degree)
-	for i := range p.alive {
-		p.alive[i] = true
-	}
+	p.alive = graph.NewBitset(info.Degree)
+	p.alive.SetFirst(info.Degree)
 	p.aliveN = info.Degree
+	p.out = make([]*congest.Message, info.Degree)
 }
 
 // beats reports whether (d1,id1) has priority over (d2,id2).
@@ -217,11 +223,11 @@ func (p *lubyProcess) Round(round int, recv []*congest.Message) ([]*congest.Mess
 		case p.info.Rand.Float64() < 1/(2*float64(p.aliveN)):
 			p.marked = true
 		}
-		var w wire.Writer
-		w.WriteBool(p.marked)
-		w.WriteUint(uint64(p.aliveN), uint64(p.info.NUpper))
-		w.WriteUint(p.info.ID, p.info.MaxID)
-		return p.broadcastAlive(congest.NewMessage(&w)), false
+		p.w.Reset()
+		p.w.WriteBool(p.marked)
+		p.w.WriteUint(uint64(p.aliveN), uint64(p.info.NUpper))
+		p.w.WriteUint(p.info.ID, p.info.MaxID)
+		return p.broadcastAlive(congest.NewPooledMessage(&p.w)), false
 
 	case phaseJoin:
 		if p.marked && !p.dominated {
@@ -229,7 +235,7 @@ func (p *lubyProcess) Round(round int, recv []*congest.Message) ([]*congest.Mess
 			// mark message could hide a higher-priority marked neighbour.
 			informed := true
 			for port, m := range recv {
-				if !p.alive[port] {
+				if !p.alive.Get(port) {
 					continue
 				}
 				if m == nil {
@@ -252,13 +258,13 @@ func (p *lubyProcess) Round(round int, recv []*congest.Message) ([]*congest.Mess
 				p.joined = true
 			}
 		}
-		var w wire.Writer
-		w.WriteBool(p.joined)
-		return p.broadcastAlive(congest.NewMessage(&w)), false
+		p.w.Reset()
+		p.w.WriteBool(p.joined)
+		return p.broadcastAlive(congest.NewPooledMessage(&p.w)), false
 
 	default: // phaseRetire
 		for port, m := range recv {
-			if m == nil || !p.alive[port] {
+			if m == nil || !p.alive.Get(port) {
 				continue
 			}
 			nbrJoined, err := m.Reader().ReadBool()
@@ -267,7 +273,7 @@ func (p *lubyProcess) Round(round int, recv []*congest.Message) ([]*congest.Mess
 			}
 		}
 		retiring := p.joined || p.dominated
-		return p.broadcastAlive(retireMsg(p.info.Faulty, retiring, p.joined)), retiring
+		return p.broadcastAlive(retireMsg(&p.w, p.info.Faulty, retiring, p.joined)), retiring
 	}
 }
 
@@ -276,12 +282,12 @@ func (p *lubyProcess) absorbRetirements(round int, recv []*congest.Message) {
 		return
 	}
 	for port, m := range recv {
-		if m == nil || !p.alive[port] {
+		if m == nil || !p.alive.Get(port) {
 			continue
 		}
 		retired, dominated := parseRetire(p.info.Faulty, m)
 		if retired {
-			p.alive[port] = false
+			p.alive.Unset(port)
 			p.aliveN--
 		}
 		if dominated {
@@ -291,10 +297,12 @@ func (p *lubyProcess) absorbRetirements(round int, recv []*congest.Message) {
 }
 
 func (p *lubyProcess) broadcastAlive(m *congest.Message) []*congest.Message {
-	out := make([]*congest.Message, p.info.Degree)
+	out := p.out
 	for port := range out {
-		if p.alive[port] {
+		if p.alive.Get(port) {
 			out[port] = m
+		} else {
+			out[port] = nil
 		}
 	}
 	return out
@@ -331,7 +339,7 @@ var _ Algorithm = Ghaffari{}
 // bits for the probability field.
 type ghaffariProcess struct {
 	info      congest.NodeInfo
-	alive     []bool
+	alive     graph.Bitset
 	aliveN    int
 	pExp      int // p_v = 2^-pExp, pExp >= 1
 	marked    bool
@@ -340,15 +348,16 @@ type ghaffariProcess struct {
 	lastRound int
 	// maxExp caps the exponent so the wire field stays bounded.
 	maxExp int
+	w      wire.Writer
+	out    []*congest.Message
 }
 
 func (p *ghaffariProcess) Init(info congest.NodeInfo) {
 	p.info = info
-	p.alive = make([]bool, info.Degree)
-	for i := range p.alive {
-		p.alive[i] = true
-	}
+	p.alive = graph.NewBitset(info.Degree)
+	p.alive.SetFirst(info.Degree)
 	p.aliveN = info.Degree
+	p.out = make([]*congest.Message, info.Degree)
 	p.pExp = 1
 	p.maxExp = 2 * wire.BitsFor(uint64(info.NUpper)) // p never below n^-2
 }
@@ -362,10 +371,10 @@ func (p *ghaffariProcess) Round(round int, recv []*congest.Message) ([]*congest.
 	switch phaseOf(round) {
 	case phaseMark:
 		for port, m := range recv { // retirements from previous iteration
-			if round > 1 && m != nil && p.alive[port] {
+			if round > 1 && m != nil && p.alive.Get(port) {
 				retired, dominated := parseRetire(p.info.Faulty, m)
 				if retired {
-					p.alive[port] = false
+					p.alive.Unset(port)
 					p.aliveN--
 				}
 				if dominated {
@@ -388,18 +397,18 @@ func (p *ghaffariProcess) Round(round int, recv []*congest.Message) ([]*congest.
 				}
 			}
 		}
-		var w wire.Writer
-		w.WriteBool(p.marked)
-		w.WriteUint(uint64(p.pExp), uint64(p.maxExp))
-		w.WriteUint(p.info.ID, p.info.MaxID)
-		return p.broadcastAlive(congest.NewMessage(&w)), false
+		p.w.Reset()
+		p.w.WriteBool(p.marked)
+		p.w.WriteUint(uint64(p.pExp), uint64(p.maxExp))
+		p.w.WriteUint(p.info.ID, p.info.MaxID)
+		return p.broadcastAlive(congest.NewPooledMessage(&p.w)), false
 
 	case phaseJoin:
 		var effDeg float64
 		anyMarkedBeats := false
 		informed := true
 		for port, m := range recv {
-			if !p.alive[port] {
+			if !p.alive.Get(port) {
 				continue
 			}
 			if m == nil {
@@ -432,13 +441,13 @@ func (p *ghaffariProcess) Round(round int, recv []*congest.Message) ([]*congest.
 		} else if p.pExp > 1 {
 			p.pExp--
 		}
-		var w wire.Writer
-		w.WriteBool(p.joined)
-		return p.broadcastAlive(congest.NewMessage(&w)), false
+		p.w.Reset()
+		p.w.WriteBool(p.joined)
+		return p.broadcastAlive(congest.NewPooledMessage(&p.w)), false
 
 	default: // phaseRetire
 		for port, m := range recv {
-			if m == nil || !p.alive[port] {
+			if m == nil || !p.alive.Get(port) {
 				continue
 			}
 			nbrJoined, err := m.Reader().ReadBool()
@@ -447,7 +456,7 @@ func (p *ghaffariProcess) Round(round int, recv []*congest.Message) ([]*congest.
 			}
 		}
 		retiring := p.joined || p.dominated
-		return p.broadcastAlive(retireMsg(p.info.Faulty, retiring, p.joined)), retiring
+		return p.broadcastAlive(retireMsg(&p.w, p.info.Faulty, retiring, p.joined)), retiring
 	}
 }
 
@@ -460,10 +469,12 @@ func pow2neg(exp int) float64 {
 }
 
 func (p *ghaffariProcess) broadcastAlive(m *congest.Message) []*congest.Message {
-	out := make([]*congest.Message, p.info.Degree)
+	out := p.out
 	for port := range out {
-		if p.alive[port] {
+		if p.alive.Get(port) {
 			out[port] = m
+		} else {
+			out[port] = nil
 		}
 	}
 	return out
@@ -493,7 +504,7 @@ var _ Algorithm = Rank{}
 
 type rankProcess struct {
 	info      congest.NodeInfo
-	alive     []bool
+	alive     graph.Bitset
 	aliveN    int
 	rank      uint64
 	rankSpace uint64
@@ -501,15 +512,16 @@ type rankProcess struct {
 	dominated bool
 	wins      bool
 	lastRound int
+	w         wire.Writer
+	out       []*congest.Message
 }
 
 func (p *rankProcess) Init(info congest.NodeInfo) {
 	p.info = info
-	p.alive = make([]bool, info.Degree)
-	for i := range p.alive {
-		p.alive[i] = true
-	}
+	p.alive = graph.NewBitset(info.Degree)
+	p.alive.SetFirst(info.Degree)
 	p.aliveN = info.Degree
+	p.out = make([]*congest.Message, info.Degree)
 	n := uint64(info.NUpper)
 	p.rankSpace = n * n // collisions broken by ID
 }
@@ -524,10 +536,10 @@ func (p *rankProcess) Round(round int, recv []*congest.Message) ([]*congest.Mess
 	switch phaseOf(round) {
 	case phaseMark:
 		for port, m := range recv {
-			if round > 1 && m != nil && p.alive[port] {
+			if round > 1 && m != nil && p.alive.Get(port) {
 				retired, dominated := parseRetire(p.info.Faulty, m)
 				if retired {
-					p.alive[port] = false
+					p.alive.Unset(port)
 					p.aliveN--
 				}
 				if dominated {
@@ -536,15 +548,15 @@ func (p *rankProcess) Round(round int, recv []*congest.Message) ([]*congest.Mess
 			}
 		}
 		p.rank = 1 + p.info.Rand.Uint64N(p.rankSpace)
-		var w wire.Writer
-		w.WriteUint(p.rank, p.rankSpace)
-		w.WriteUint(p.info.ID, p.info.MaxID)
-		return p.broadcastAlive(congest.NewMessage(&w)), false
+		p.w.Reset()
+		p.w.WriteUint(p.rank, p.rankSpace)
+		p.w.WriteUint(p.info.ID, p.info.MaxID)
+		return p.broadcastAlive(congest.NewPooledMessage(&p.w)), false
 
 	case phaseJoin:
 		p.wins = true
 		for port, m := range recv {
-			if !p.alive[port] {
+			if !p.alive.Get(port) {
 				continue
 			}
 			if m == nil {
@@ -567,13 +579,13 @@ func (p *rankProcess) Round(round int, recv []*congest.Message) ([]*congest.Mess
 		if p.wins && !p.dominated {
 			p.joined = true
 		}
-		var w wire.Writer
-		w.WriteBool(p.joined)
-		return p.broadcastAlive(congest.NewMessage(&w)), false
+		p.w.Reset()
+		p.w.WriteBool(p.joined)
+		return p.broadcastAlive(congest.NewPooledMessage(&p.w)), false
 
 	default: // phaseRetire
 		for port, m := range recv {
-			if m == nil || !p.alive[port] {
+			if m == nil || !p.alive.Get(port) {
 				continue
 			}
 			nbrJoined, err := m.Reader().ReadBool()
@@ -582,15 +594,17 @@ func (p *rankProcess) Round(round int, recv []*congest.Message) ([]*congest.Mess
 			}
 		}
 		retiring := p.joined || p.dominated
-		return p.broadcastAlive(retireMsg(p.info.Faulty, retiring, p.joined)), retiring
+		return p.broadcastAlive(retireMsg(&p.w, p.info.Faulty, retiring, p.joined)), retiring
 	}
 }
 
 func (p *rankProcess) broadcastAlive(m *congest.Message) []*congest.Message {
-	out := make([]*congest.Message, p.info.Degree)
+	out := p.out
 	for port := range out {
-		if p.alive[port] {
+		if p.alive.Get(port) {
 			out[port] = m
+		} else {
+			out[port] = nil
 		}
 	}
 	return out

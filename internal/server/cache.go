@@ -21,9 +21,20 @@ type cacheEntry struct {
 	degraded bool
 }
 
+// bytes approximates the resident cost of the entry for budgeting. The
+// "sets are small" assumption above holds for the approximation tiers but
+// NOT for the degraded tier: greedy answers on sparse graphs have Θ(n)
+// members, so the accounting must charge the real backing array — cap, not
+// len, since put keeps whatever the solver allocated — plus the headers and
+// bookkeeping a resident entry drags along (string header 16 B, slice
+// header 24 B, the remaining fixed fields, the map cell and the LRU
+// list.Element ≈ 96 B). Undercounting here let used drift past budget
+// exactly when entries were largest.
 func (e *cacheEntry) bytes() int64 {
-	// key string + indices + fixed fields; close enough for budgeting.
-	return int64(len(e.key)) + int64(4*len(e.set)) + 64
+	const fixed = 16 + 24 + // key and set headers
+		8 + 8 + 8 + 8 + 8 + // weight, rounds, messages, bits, degraded (padded)
+		96 // map entry + list.Element overhead
+	return int64(len(e.key)) + int64(4*cap(e.set)) + fixed
 }
 
 // resultCache is a content-addressed LRU with a byte budget and

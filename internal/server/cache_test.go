@@ -18,9 +18,10 @@ func entryOf(key string, n int) *cacheEntry {
 }
 
 func TestCacheLRUEvictionByBytes(t *testing.T) {
-	// Each entry: len(key)=4 + 4*10 indices + 64 = 108 bytes. Budget for
+	// All entries are the same shape, so size them once and budget for
 	// exactly three.
-	c := newResultCache(3 * 108)
+	size := entryOf("k000", 10).bytes()
+	c := newResultCache(3 * size)
 	for i := 0; i < 4; i++ {
 		c.put(entryOf(fmt.Sprintf("k%03d", i), 10))
 	}
@@ -36,13 +37,13 @@ func TestCacheLRUEvictionByBytes(t *testing.T) {
 	if evictions != 1 || entries != 3 {
 		t.Fatalf("evictions=%d entries=%d, want 1 and 3", evictions, entries)
 	}
-	if used != 3*108 {
-		t.Fatalf("used=%d, want %d", used, 3*108)
+	if used != 3*size {
+		t.Fatalf("used=%d, want %d", used, 3*size)
 	}
 }
 
 func TestCacheLRURecencyOrder(t *testing.T) {
-	c := newResultCache(3 * 108)
+	c := newResultCache(3 * entryOf("k000", 10).bytes())
 	c.put(entryOf("k000", 10))
 	c.put(entryOf("k001", 10))
 	c.put(entryOf("k002", 10))
@@ -64,6 +65,63 @@ func TestCacheRejectsOversizedEntry(t *testing.T) {
 	c.put(entryOf("big0", 1000))
 	if _, ok := c.get("big0"); ok {
 		t.Fatal("entry larger than the whole budget must not be stored")
+	}
+}
+
+// TestCacheBudgetHoldsUnderDegradedEntries is the regression test for the
+// old "independent sets are small" accounting: degraded-tier greedy answers
+// on sparse graphs have Θ(n) members, and their slices arrive with whatever
+// capacity the solver's append-doubling left behind. The old bytes()
+// charged 4·len + 64 flat, so a stream of such entries drove used past the
+// budget by orders of magnitude. This pins the two halves of the fix: cap
+// is charged (not len) and used never exceeds budget at any point of an
+// adversarial insertion stream.
+func TestCacheBudgetHoldsUnderDegradedEntries(t *testing.T) {
+	// A degraded-tier-shaped entry: Θ(n) members, slack capacity from
+	// append growth, sha256-hex-length key.
+	degraded := func(i, members int) *cacheEntry {
+		set := make([]int32, members, 2*members) // adversarial slack: cap = 2·len
+		for j := range set {
+			set[j] = int32(j)
+		}
+		return &cacheEntry{
+			key:      fmt.Sprintf("%064d", i),
+			set:      set,
+			degraded: true,
+		}
+	}
+	if small, big := degraded(0, 100).bytes(), degraded(0, 100); small < int64(4*cap(big.set)) {
+		t.Fatalf("bytes()=%d does not cover the %d-byte backing array (len-based undercount)", small, 4*cap(big.set))
+	}
+
+	const budget = 1 << 16 // 64 KiB: a handful of large entries
+	c := newResultCache(budget)
+	for i := 0; i < 200; i++ {
+		c.put(degraded(i, 1000+13*i))
+		_, _, _, _, used, entries := c.stats()
+		if used > budget {
+			t.Fatalf("after put %d: used=%d exceeds budget=%d (entries=%d)", i, used, budget, entries)
+		}
+	}
+	// The budget must hold because entries were evicted, not because
+	// nothing fit: the cache should still be serving recent entries.
+	_, _, evictions, _, used, entries := c.stats()
+	if entries == 0 || evictions == 0 {
+		t.Fatalf("vacuous run: entries=%d evictions=%d", entries, evictions)
+	}
+	if used > budget {
+		t.Fatalf("final used=%d exceeds budget=%d", used, budget)
+	}
+	// And the accounting must be exact: used equals the sum over resident
+	// entries of bytes(), so drift cannot accumulate across evictions.
+	var sum int64
+	for i := 0; i < 200; i++ {
+		if e, ok := c.get(fmt.Sprintf("%064d", i)); ok {
+			sum += e.bytes()
+		}
+	}
+	if sum != used {
+		t.Fatalf("used=%d but resident entries sum to %d (accounting drift)", used, sum)
 	}
 }
 
