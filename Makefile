@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet lint build build-cmds test race fuzz experiments recovery-sweep serve loadtest smoke chaos-soak bench-serve bench-json bench-diff bench-scale clean
+.PHONY: all vet lint build build-cmds test race fuzz experiments recovery-sweep serve loadtest smoke chaos-soak mutate-soak bench-serve bench-json bench-diff bench-scale clean
 
 # PR number stamped into the bench-json report filename.
 PR ?= 6
@@ -59,6 +59,13 @@ smoke:
 # Used by the CI chaos-smoke job.
 chaos-soak:
 	$(GO) test -race -run TestChaosSoak -count=1 -v ./internal/soak/
+
+# Deterministic mutation soak: storms of journaled PATCHes raced against
+# readers under injected 500s/resets/panics, shadow-state hash verification,
+# healed-answer quality climb to "full", crash/replay of the graph journal.
+# Used by the CI chaos-smoke job.
+mutate-soak:
+	$(GO) test -race -run TestMutationSoak -count=1 -v ./internal/soak/
 
 # Serving-layer benchmarks: cache hit vs cold solve, scheduler overhead.
 bench-serve:

@@ -60,11 +60,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	oldPath, newPath := "", ""
 	switch fs.NArg() {
 	case 0:
+		var ok bool
 		var err error
-		oldPath, newPath, err = latestPair(*dir)
+		oldPath, newPath, ok, err = latestPair(*dir)
 		if err != nil {
 			fmt.Fprintf(stderr, "benchdiff: %v\n", err)
 			return 2
+		}
+		if !ok {
+			// The first PR of a repo (or a fresh CI workspace) has nothing to
+			// compare against. That is not a failure — the gate exists to
+			// catch regressions between snapshots, not to demand history.
+			fmt.Fprintln(stdout, "benchdiff: no baseline, skipping")
+			return 0
 		}
 	case 2:
 		oldPath, newPath = fs.Arg(0), fs.Arg(1)
@@ -98,11 +106,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 var benchFile = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
 
 // latestPair finds the two highest-numbered BENCH_<n>.json in dir:
-// the previous snapshot and the current one.
-func latestPair(dir string) (oldPath, newPath string, err error) {
+// the previous snapshot and the current one. ok is false when fewer than
+// two snapshots exist — no baseline to diff against, which callers treat
+// as a skip rather than an error.
+func latestPair(dir string) (oldPath, newPath string, ok bool, err error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return "", "", err
+		return "", "", false, err
 	}
 	type snap struct {
 		n    int
@@ -116,10 +126,10 @@ func latestPair(dir string) (oldPath, newPath string, err error) {
 		}
 	}
 	if len(snaps) < 2 {
-		return "", "", fmt.Errorf("need at least two BENCH_<n>.json snapshots in %s, found %d", dir, len(snaps))
+		return "", "", false, nil
 	}
 	sort.Slice(snaps, func(i, j int) bool { return snaps[i].n < snaps[j].n })
-	return snaps[len(snaps)-2].path, snaps[len(snaps)-1].path, nil
+	return snaps[len(snaps)-2].path, snaps[len(snaps)-1].path, true, nil
 }
 
 func load(path string) (*Report, error) {

@@ -129,12 +129,35 @@ func TestAutodiscoverLatestPair(t *testing.T) {
 	}
 }
 
-func TestAutodiscoverNeedsTwoSnapshots(t *testing.T) {
-	dir := t.TempDir()
-	writeReport(t, dir, "BENCH_7.json", `{"benchmarks": [{"name": "B", "ns_per_op": 1}]}`)
+// Fewer than two snapshots means there is no baseline to regress against —
+// a skip, not a failure: the first PR of a repo must not fail its own CI.
+func TestAutodiscoverSkipsWithoutBaseline(t *testing.T) {
+	for name, files := range map[string][]string{
+		"empty":           nil,
+		"single-snapshot": {"BENCH_7.json"},
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			for _, f := range files {
+				writeReport(t, dir, f, `{"benchmarks": [{"name": "B", "ns_per_op": 1}]}`)
+			}
+			var stdout, stderr bytes.Buffer
+			if code := run([]string{"-dir", dir}, &stdout, &stderr); code != 0 {
+				t.Fatalf("exit %d, want 0 skip; stderr: %s", code, stderr.String())
+			}
+			if !strings.Contains(stdout.String(), "no baseline, skipping") {
+				t.Fatalf("stdout missing skip notice:\n%s", stdout.String())
+			}
+		})
+	}
+}
+
+// An unreadable directory is still a hard error: "skip" is only for the
+// legitimately-empty case, never for a misconfigured -dir.
+func TestAutodiscoverBadDirStillFails(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-dir", dir}, &stdout, &stderr); code != 2 {
-		t.Fatalf("exit %d, want 2 with a single snapshot", code)
+	if code := run([]string{"-dir", filepath.Join(t.TempDir(), "nope")}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2 on unreadable dir", code)
 	}
 }
 

@@ -15,11 +15,19 @@
 //	        -duration 10s -repeat 0.9 -graphs gnp,cycle,tree -n 200 \
 //	        -retries 2 -breaker 8 -slo 0.99
 //
+// With -mutate F in (0,1], the workload switches to the dynamic-graph API:
+// one seeded graph is PUT as a shared handle, an F fraction of requests
+// PATCH it with deterministic mutation batches, and the rest solve it by
+// graph_ref — reads racing writes through cache invalidation and healing.
+// The report then breaks latency percentiles out per op type (solve vs
+// patch).
+//
 // Without -slo the exit code is non-zero if any request failed, which
 // makes a short loadgen burst a usable CI smoke assertion.
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -33,21 +41,27 @@ import (
 	"sync/atomic"
 	"time"
 
+	"distmwis/internal/chaos"
+	"distmwis/internal/graph"
+	"distmwis/internal/graph/gen"
 	"distmwis/internal/server"
 	"distmwis/internal/server/client"
 	"distmwis/internal/stats"
 )
 
 type tally struct {
-	sent, ok, failed, cached, shared, degraded atomic.Int64
+	sent, ok, failed, cached, shared, degraded, mutations atomic.Int64
 
 	mu        sync.Mutex
-	latencies []float64 // seconds
+	latencies map[string][]float64 // op type → seconds
 }
 
-func (t *tally) observe(seconds float64) {
+func (t *tally) observe(op string, seconds float64) {
 	t.mu.Lock()
-	t.latencies = append(t.latencies, seconds)
+	if t.latencies == nil {
+		t.latencies = make(map[string][]float64)
+	}
+	t.latencies[op] = append(t.latencies[op], seconds)
 	t.mu.Unlock()
 }
 
@@ -78,6 +92,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		breaker     = fs.Int("breaker", 8, "consecutive failures that open the circuit breaker (0 = off)")
 		cooldown    = fs.Duration("breaker-cooldown", time.Second, "open-breaker cooldown before a probe")
 		slo         = fs.Float64("slo", 0, "required success ratio in (0,1]; 0 keeps the legacy any-failure exit")
+		mutate      = fs.Float64("mutate", 0, "fraction of requests that PATCH a shared dynamic graph handle (0 = static workload)")
+		mutateOps   = fs.Int("mutate-ops", 4, "edge/weight operations per mutation PATCH")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -94,6 +110,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "loadgen: -slo must be in [0,1]")
 		return 1
 	}
+	if *mutate < 0 || *mutate > 1 {
+		fmt.Fprintln(stderr, "loadgen: -mutate must be in [0,1]")
+		return 1
+	}
+	if *mutate > 0 && *mutateOps < 1 {
+		fmt.Fprintln(stderr, "loadgen: -mutate-ops must be positive")
+		return 1
+	}
 	kinds := strings.Split(*graphs, ",")
 	for i := range kinds {
 		kinds[i] = strings.TrimSpace(kinds[i])
@@ -108,6 +132,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		BreakerCooldown:  *cooldown,
 	})
 	var t tally
+	// Dynamic-graph mode: all traffic targets one shared handle — the
+	// -mutate fraction PATCHes it with deterministic chaos storm batches,
+	// the rest solve it by reference. The original PUT hash keeps resolving
+	// through every mutation (handle aliasing), so workers never coordinate
+	// on the moving content hash.
+	var refHash string
+	var storm *chaos.Injector
+	var stormSeq atomic.Int64
+	if *mutate > 0 {
+		g := gen.Weighted(gen.GNP(*n, *p, *seed), gen.PolyWeights(2), *seed)
+		var doc bytes.Buffer
+		if err := g.WriteJSON(&doc); err != nil {
+			fmt.Fprintf(stderr, "loadgen: encode seed graph: %v\n", err)
+			return 1
+		}
+		put, err := cl.PutGraph(context.Background(), doc.Bytes())
+		if err != nil {
+			fmt.Fprintf(stderr, "loadgen: PUT seed graph: %v\n", err)
+			return 1
+		}
+		refHash = put.Hash
+		storm = chaos.NewInjector(chaos.Schedule{Seed: *seed, StormEvery: 1, StormOps: *mutateOps})
+	}
 	// Rate pacing: a token channel fed at the target rate. Closed-loop:
 	// when the server lags, tokens back up to the channel bound and the
 	// offered rate drops instead of piling unbounded requests.
@@ -187,6 +234,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 						return
 					}
 				}
+				if refHash != "" {
+					if rng.Float64() < *mutate {
+						issuePatch(cl, refHash, stormEdit(storm.Storm(stormSeq.Add(1), *n)), &t)
+					} else {
+						req := server.SolveRequest{GraphRef: refHash, Alg: *alg, Seed: 1 + uint64(rng.IntN(*poolSize))}
+						issue(cl, req, &t)
+					}
+					continue
+				}
 				req := server.SolveRequest{Alg: *alg}
 				kind := kinds[rng.IntN(len(kinds))]
 				gs := server.GenSpec{Kind: kind, N: *n, P: *p, Weights: *weights}
@@ -240,7 +296,7 @@ func issue(cl *client.Client, req server.SolveRequest, t *tally) {
 		t.failed.Add(1)
 		return
 	}
-	t.observe(time.Since(reqStart).Seconds())
+	t.observe("solve", time.Since(reqStart).Seconds())
 	t.ok.Add(1)
 	if resp.Cached {
 		t.cached.Add(1)
@@ -253,24 +309,71 @@ func issue(cl *client.Client, req server.SolveRequest, t *tally) {
 	}
 }
 
+// issuePatch sends one mutation through the retrying client and books it
+// under the "patch" latency label, keeping read and write tails separately
+// visible in the report.
+func issuePatch(cl *client.Client, hash string, edit graph.Edit, t *tally) {
+	t.sent.Add(1)
+	reqStart := time.Now()
+	resp, err := cl.PatchGraph(context.Background(), hash, edit)
+	if err != nil || resp.Error != "" {
+		t.failed.Add(1)
+		return
+	}
+	t.observe("patch", time.Since(reqStart).Seconds())
+	t.ok.Add(1)
+	t.mutations.Add(1)
+}
+
+// stormEdit maps a chaos storm batch onto the PATCH wire format.
+func stormEdit(ops []chaos.MutationOp) graph.Edit {
+	var e graph.Edit
+	for _, op := range ops {
+		switch op.Kind {
+		case "add":
+			e.AddEdges = append(e.AddEdges, [2]int32{op.U, op.V})
+		case "remove":
+			e.RemoveEdges = append(e.RemoveEdges, [2]int32{op.U, op.V})
+		case "weight":
+			e.Weights = append(e.Weights, graph.WeightUpdate{V: op.U, W: op.W})
+		}
+	}
+	return e
+}
+
 func report(w io.Writer, t *tally, cs client.Stats, elapsed time.Duration) {
 	t.mu.Lock()
-	lat := append([]float64(nil), t.latencies...)
-	t.mu.Unlock()
-	sort.Float64s(lat)
-	ms := func(q float64) float64 {
-		if len(lat) == 0 {
-			return 0
-		}
-		return stats.Quantile(lat, q) * 1000
+	byOp := make(map[string][]float64, len(t.latencies))
+	for op, lat := range t.latencies {
+		byOp[op] = append([]float64(nil), lat...)
 	}
+	t.mu.Unlock()
 	sent := t.sent.Load()
 	fmt.Fprintf(w, "loadgen: %d requests in %.2fs → %.1f req/s\n",
 		sent, elapsed.Seconds(), float64(sent)/elapsed.Seconds())
-	fmt.Fprintf(w, "  ok=%d failed=%d cached=%d shared=%d degraded=%d\n",
-		t.ok.Load(), t.failed.Load(), t.cached.Load(), t.shared.Load(), t.degraded.Load())
+	fmt.Fprintf(w, "  ok=%d failed=%d cached=%d shared=%d degraded=%d mutations=%d\n",
+		t.ok.Load(), t.failed.Load(), t.cached.Load(), t.shared.Load(), t.degraded.Load(), t.mutations.Load())
 	fmt.Fprintf(w, "  client: retries=%d hedges=%d breaker_opens=%d fallbacks=%d\n",
 		cs.Retries, cs.Hedges, cs.BreakerOpens, cs.Fallbacks)
-	fmt.Fprintf(w, "  latency ms: p50=%.2f p95=%.2f p99=%.2f max=%.2f\n",
-		ms(0.50), ms(0.95), ms(0.99), ms(1.0))
+	ops := make([]string, 0, len(byOp))
+	for op := range byOp {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	if len(ops) == 0 {
+		ops = append(ops, "solve") // an all-failure run still prints the line
+		byOp["solve"] = nil
+	}
+	for _, op := range ops {
+		lat := byOp[op]
+		sort.Float64s(lat)
+		ms := func(q float64) float64 {
+			if len(lat) == 0 {
+				return 0
+			}
+			return stats.Quantile(lat, q) * 1000
+		}
+		fmt.Fprintf(w, "  latency ms [%s]: p50=%.2f p95=%.2f p99=%.2f max=%.2f\n",
+			op, ms(0.50), ms(0.95), ms(0.99), ms(1.0))
+	}
 }

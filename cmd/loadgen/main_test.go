@@ -44,12 +44,52 @@ func TestLoadgenAgainstRealServer(t *testing.T) {
 	}
 }
 
+// TestLoadgenMutateMixedTraffic drives the dynamic-graph workload: a
+// shared handle PATCHed by a third of the traffic while the rest solves it
+// by reference, with per-op-type latency percentiles in the report.
+func TestLoadgenMutateMixedTraffic(t *testing.T) {
+	s := server.New(server.Options{Workers: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer func() { _ = s.Drain() }()
+
+	var out, errBuf bytes.Buffer
+	code := run([]string{
+		"-addr", ts.URL,
+		"-duration", "2s",
+		"-rps", "150",
+		"-concurrency", "8",
+		"-mutate", "0.3",
+		"-mutate-ops", "3",
+		"-n", "60",
+		"-alg", "goodnodes",
+	}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("loadgen exit %d\nstdout: %s\nstderr: %s", code, out.String(), errBuf.String())
+	}
+	report := out.String()
+	for _, want := range []string{"latency ms [solve]:", "latency ms [patch]:", "failed=0"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	if strings.Contains(report, "mutations=0 ") || strings.Contains(report, "mutations=0\n") {
+		t.Errorf("expected acked mutations in report:\n%s", report)
+	}
+	// The mutator left the server holding a mutated handle.
+	if s.Stats().Mutations == 0 {
+		t.Error("server counted no graph mutations")
+	}
+}
+
 func TestLoadgenFlagValidation(t *testing.T) {
 	cases := [][]string{
 		{"-concurrency", "0"},
 		{"-repeat", "1.5"},
 		{"-batch", "-0.1"},
 		{"-slo", "1.1"},
+		{"-mutate", "1.5"},
+		{"-mutate", "0.5", "-mutate-ops", "0"},
 	}
 	for _, args := range cases {
 		var out, errBuf bytes.Buffer

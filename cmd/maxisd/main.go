@@ -5,11 +5,15 @@
 //
 // Endpoints:
 //
-//	POST /v1/solve      solve a graph (sync, or async with "async": true)
-//	GET  /v1/jobs/{id}  poll an async job
-//	GET  /healthz       liveness (200 while the process runs)
-//	GET  /readyz        readiness (503 once draining, restart budget blown, or saturated)
-//	GET  /metrics       Prometheus text exposition
+//	POST  /v1/solve            solve a graph (sync, async, or by graph_ref)
+//	GET   /v1/jobs/{id}        poll an async job
+//	PUT   /v1/graph            upload a dynamic graph handle
+//	GET   /v1/graph/{hash}     inspect a handle (any hash it has ever had)
+//	PATCH /v1/graph/{hash}     mutate a handle (edge add/remove, weights)
+//	GET   /v1/answers/{key}    watch a published answer's quality climb
+//	GET   /healthz             liveness (200 while the process runs)
+//	GET   /readyz              readiness (503 once draining, restart budget blown, or saturated)
+//	GET   /metrics             Prometheus text exposition
 //
 // Usage:
 //
@@ -18,8 +22,11 @@
 //
 // -journal enables the write-ahead request journal: accepted async jobs
 // are durably logged before the 202 and replayed deterministically on the
-// next boot if the process dies mid-solve. -chaos installs the seeded
-// fault injector of internal/chaos for soak testing.
+// next boot if the process dies mid-solve. -graph-journal does the same for
+// graph mutations: every accepted PUT/PATCH is durable before its ack and
+// replayed (hash-verified) on boot. -repair-interval and -repair-budget
+// tune the background tier that upgrades degraded answers. -chaos installs
+// the seeded fault injector of internal/chaos for soak testing.
 //
 // SIGINT and SIGTERM are equivalent: both start a graceful shutdown — new
 // requests get 503, accepted jobs finish, and the process exits within
@@ -64,6 +71,9 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 		restarts     = fs.Int("restart-budget", 32, "worker restarts beyond which /readyz degrades (negative disables)")
 		journal      = fs.String("journal", "", "write-ahead journal path for accepted async jobs (empty disables)")
+		graphJournal = fs.String("graph-journal", "", "write-ahead journal path for dynamic graph mutations (empty disables)")
+		repairEvery  = fs.Duration("repair-interval", 0, "background repair tier tick interval (0 = default 50ms)")
+		repairBudget = fs.Int("repair-budget", 0, "re-admission examinations per repair tick (0 = default 4096)")
 		chaosSpec    = fs.String("chaos", "", "chaos schedule, e.g. seed=7,err=0.05,latency=0.1:20ms,panic-every=40 (empty disables)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -71,6 +81,10 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	}
 	if *workers < 1 || *solveWorkers < 1 || *queueDepth < 1 {
 		fmt.Fprintln(stderr, "maxisd: -workers, -solve-workers and -queue must be positive")
+		return 1
+	}
+	if *repairEvery < 0 || *repairBudget < 0 {
+		fmt.Fprintln(stderr, "maxisd: -repair-interval and -repair-budget must be non-negative")
 		return 1
 	}
 	var injector *chaos.Injector
@@ -85,16 +99,18 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	}
 
 	s := server.New(server.Options{
-		Workers:       *workers,
-		SolveWorkers:  *solveWorkers,
-		QueueDepth:    *queueDepth,
-		CacheBytes:    *cacheBytes,
-		Rate:          *rate,
-		Burst:         *burst,
-		ShedDepth:     *shedDepth,
-		DrainTimeout:  *drainTimeout,
-		RestartBudget: *restarts,
-		Chaos:         injector,
+		Workers:        *workers,
+		SolveWorkers:   *solveWorkers,
+		QueueDepth:     *queueDepth,
+		CacheBytes:     *cacheBytes,
+		Rate:           *rate,
+		Burst:          *burst,
+		ShedDepth:      *shedDepth,
+		DrainTimeout:   *drainTimeout,
+		RestartBudget:  *restarts,
+		Chaos:          injector,
+		RepairInterval: *repairEvery,
+		RepairBudget:   *repairBudget,
 	})
 	if *journal != "" {
 		recovered, err := s.OpenJournal(*journal)
@@ -103,6 +119,14 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 			return 1
 		}
 		fmt.Fprintf(stdout, "maxisd: journal %s open, recovered %d jobs\n", *journal, recovered)
+	}
+	if *graphJournal != "" {
+		replayed, err := s.OpenGraphJournal(*graphJournal)
+		if err != nil {
+			fmt.Fprintf(stderr, "maxisd: graph journal: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "maxisd: graph journal %s open, replayed %d mutations\n", *graphJournal, replayed)
 	}
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
 

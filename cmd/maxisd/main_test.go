@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -142,6 +143,91 @@ func TestDaemonSIGINTWithJournalAndChaos(t *testing.T) {
 	if pending := reliable.PendingWAL(recs); len(pending) != 0 {
 		t.Fatalf("journal has %d pending jobs after a clean drain: %+v", len(pending), pending)
 	}
+}
+
+// TestDaemonGraphJournalSurvivesRestart boots the daemon with
+// -graph-journal, PUTs and PATCHes a graph, stops the daemon, then boots a
+// second one on the same journal: the mutation must have been replayed and
+// the handle must resolve through its original hash.
+func TestDaemonGraphJournalSurvivesRestart(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "graphs.wal")
+	boot := func() (addr string, out *bytes.Buffer, done chan int) {
+		out = &bytes.Buffer{}
+		ready := make(chan string, 1)
+		done = make(chan int, 1)
+		go func() {
+			done <- run([]string{
+				"-addr", "127.0.0.1:0", "-workers", "2",
+				"-graph-journal", journal,
+				"-repair-interval", "1ms", "-repair-budget", "64",
+			}, out, out, ready)
+		}()
+		select {
+		case addr = <-ready:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("daemon never became ready; output: %s", out.String())
+		}
+		return addr, out, done
+	}
+	stop := func(done chan int, out *bytes.Buffer) {
+		t.Helper()
+		if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case code := <-done:
+			if code != 0 {
+				t.Fatalf("exit code %d; output: %s", code, out.String())
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon did not exit after SIGTERM")
+		}
+	}
+	doReq := func(method, url, body string) (int, string) {
+		t.Helper()
+		req, err := http.NewRequest(method, url, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, buf.String()
+	}
+
+	addr, out, done := boot()
+	base := "http://" + addr
+	code, body := doReq("PUT", base+"/v1/graph", `{"n":4,"ids":[1,2,3,4],"weights":[5,6,7,8],"edges":[[0,1],[2,3]]}`)
+	if code != http.StatusOK {
+		t.Fatalf("PUT: code=%d body=%s", code, body)
+	}
+	var put struct {
+		Hash string `json:"hash"`
+	}
+	if err := json.Unmarshal([]byte(body), &put); err != nil {
+		t.Fatal(err)
+	}
+	if code, body = doReq("PATCH", base+"/v1/graph/"+put.Hash, `{"add_edges":[[1,2]]}`); code != http.StatusOK {
+		t.Fatalf("PATCH: code=%d body=%s", code, body)
+	}
+	if !strings.Contains(out.String(), "graph journal "+journal+" open, replayed 0 mutations") {
+		t.Fatalf("missing graph journal boot line:\n%s", out.String())
+	}
+	stop(done, out)
+
+	addr, out, done = boot()
+	if !strings.Contains(out.String(), "replayed 2 mutations") {
+		t.Fatalf("second boot did not replay the journal:\n%s", out.String())
+	}
+	code, body = doReq("GET", "http://"+addr+"/v1/graph/"+put.Hash, "")
+	if code != http.StatusOK || !strings.Contains(body, `"m":3`) || !strings.Contains(body, `"version":1`) {
+		t.Fatalf("restarted handle: code=%d body=%s", code, body)
+	}
+	stop(done, out)
 }
 
 func TestDaemonBadChaosSpec(t *testing.T) {

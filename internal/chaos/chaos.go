@@ -66,12 +66,20 @@ type Schedule struct {
 	// PanicEvery panics the worker on every k-th executed job
 	// (spec key "panic-every=K"; 0 disables).
 	PanicEvery int64
+
+	// StormEvery fires a mutation storm on every k-th storm query and
+	// StormOps sizes it (spec key "storm=EVERY:OPS"; 0 disables). The
+	// injector only decides and derives the ops — the traffic driver (soak
+	// test, loadgen) turns them into PATCHes, keeping the injector free of
+	// graph-store knowledge.
+	StormEvery int64
+	StormOps   int
 }
 
 // Enabled reports whether the schedule perturbs anything at all.
 func (s Schedule) Enabled() bool {
 	return s.LatencyP > 0 || s.ErrorP > 0 || s.ResetP > 0 || s.SlowP > 0 ||
-		len(s.Panics) > 0 || s.PanicEvery > 0
+		len(s.Panics) > 0 || s.PanicEvery > 0 || s.StormEvery > 0
 }
 
 // Validate rejects out-of-range probabilities, negative durations and
@@ -117,6 +125,12 @@ func (s Schedule) Validate() error {
 	if s.PanicEvery < 0 {
 		return fmt.Errorf("chaos: panic-every must be non-negative, got %d", s.PanicEvery)
 	}
+	if s.StormEvery < 0 {
+		return fmt.Errorf("chaos: storm interval must be non-negative, got %d", s.StormEvery)
+	}
+	if s.StormEvery > 0 && s.StormOps <= 0 {
+		return fmt.Errorf("chaos: storm interval %d needs a positive op count", s.StormEvery)
+	}
 	return nil
 }
 
@@ -143,6 +157,9 @@ func (s Schedule) String() string {
 	}
 	if s.PanicEvery > 0 {
 		parts = append(parts, fmt.Sprintf("panic-every=%d", s.PanicEvery))
+	}
+	if s.StormEvery > 0 {
+		parts = append(parts, fmt.Sprintf("storm=%d:%d", s.StormEvery, s.StormOps))
 	}
 	return strings.Join(parts, ",")
 }
@@ -183,6 +200,8 @@ func ParseSchedule(spec string) (Schedule, error) {
 			s.Panics = append(s.Panics, n)
 		case "panic-every":
 			s.PanicEvery, err = strconv.ParseInt(value, 10, 64)
+		case "storm":
+			s.StormEvery, s.StormOps, err = parseStorm(value)
 		default:
 			return s, fmt.Errorf("chaos: unknown spec key %q", key)
 		}
@@ -194,6 +213,22 @@ func ParseSchedule(spec string) (Schedule, error) {
 		return s, err
 	}
 	return s, nil
+}
+
+func parseStorm(value string) (int64, int, error) {
+	everyStr, opsStr, ok := strings.Cut(value, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("%q: want EVERY:OPS", value)
+	}
+	every, err := strconv.ParseInt(everyStr, 10, 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	ops, err := strconv.Atoi(opsStr)
+	if err != nil {
+		return 0, 0, err
+	}
+	return every, ops, nil
 }
 
 func parseProbDuration(value string) (float64, time.Duration, error) {
@@ -220,6 +255,7 @@ type Stats struct {
 	Resets    int64 // aborted connections
 	Slows     int64 // jobs delayed by Slow on a worker
 	Panics    int64 // scheduled worker panics fired
+	Storms    int64 // mutation storms derived for the traffic driver
 }
 
 // Injector derives per-event fault decisions from a Schedule. It is safe
@@ -234,6 +270,7 @@ type Injector struct {
 	resets   atomic.Int64
 	slows    atomic.Int64
 	panics   atomic.Int64
+	storms   atomic.Int64
 	sleep    func(time.Duration) // injectable for tests
 }
 
@@ -263,6 +300,7 @@ func (i *Injector) Stats() Stats {
 		Resets:    i.resets.Load(),
 		Slows:     i.slows.Load(),
 		Panics:    i.panics.Load(),
+		Storms:    i.storms.Load(),
 	}
 }
 
@@ -273,6 +311,7 @@ const (
 	saltReset
 	saltError
 	saltSlow
+	saltStorm
 )
 
 // roll returns the uniform decision variable for event seq and fault kind.
@@ -326,6 +365,46 @@ func (i *Injector) Middleware(next http.Handler) http.Handler {
 		}
 		next.ServeHTTP(w, r)
 	})
+}
+
+// MutationOp is one operation of a mutation storm: add or remove an edge,
+// or set a node weight. The traffic driver maps ops onto its PATCH wire
+// format; self-collisions (adding an existing edge, removing a missing
+// one) are legal — the graph store tolerates them as no-ops.
+type MutationOp struct {
+	// Kind is "add", "remove" or "weight".
+	Kind string
+	U, V int32
+	W    int64
+}
+
+// Storm returns the deterministic mutation batch for storm event seq
+// (1-based) over a node universe of size n, or nil when seq fires no
+// storm. Like every other decision, the batch is a pure function of
+// (Seed, seq): replaying the same event order replays the same storms.
+func (i *Injector) Storm(seq int64, n int) []MutationOp {
+	if i.sched.StormEvery <= 0 || seq%i.sched.StormEvery != 0 || n < 2 {
+		return nil
+	}
+	i.storms.Add(1)
+	r := rand.New(rand.NewPCG(i.sched.Seed, uint64(seq)<<3|saltStorm))
+	ops := make([]MutationOp, 0, i.sched.StormOps)
+	for k := 0; k < i.sched.StormOps; k++ {
+		u := int32(r.IntN(n))
+		v := int32(r.IntN(n - 1))
+		if v >= u {
+			v++ // uniform over nodes != u, no self-loops
+		}
+		switch r.IntN(3) {
+		case 0:
+			ops = append(ops, MutationOp{Kind: "add", U: u, V: v})
+		case 1:
+			ops = append(ops, MutationOp{Kind: "remove", U: u, V: v})
+		default:
+			ops = append(ops, MutationOp{Kind: "weight", U: u, W: 1 + r.Int64N(1000)})
+		}
+	}
+	return ops
 }
 
 // JobHook returns the scheduler worker hook: called with each job's

@@ -9,14 +9,14 @@ import (
 )
 
 func TestParseScheduleRoundTrip(t *testing.T) {
-	spec := "seed=7,latency=0.1:20ms,err=0.05,reset=0.02,slow=0.5:10ms,panic=3,panic=9,panic-every=40"
+	spec := "seed=7,latency=0.1:20ms,err=0.05,reset=0.02,slow=0.5:10ms,panic=3,panic=9,panic-every=40,storm=5:12"
 	s, err := ParseSchedule(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if s.Seed != 7 || s.LatencyP != 0.1 || s.Latency != 20*time.Millisecond ||
 		s.ErrorP != 0.05 || s.ResetP != 0.02 || s.SlowP != 0.5 || s.Slow != 10*time.Millisecond ||
-		len(s.Panics) != 2 || s.PanicEvery != 40 {
+		len(s.Panics) != 2 || s.PanicEvery != 40 || s.StormEvery != 5 || s.StormOps != 12 {
 		t.Fatalf("parsed schedule %+v does not match spec %q", s, spec)
 	}
 	// String renders the same grammar; reparsing it yields the same schedule.
@@ -55,6 +55,10 @@ func TestParseScheduleErrors(t *testing.T) {
 		"reset=-0.1",           // negative probability
 		"err=0.1,panic=-3",     // negative panic index
 		"latency=0.1:20ms:3ms", // trailing garbage in duration
+		"storm=5",              // missing op count
+		"storm=5:0",            // empty storm
+		"storm=-1:4",           // negative interval
+		"storm=5:xyz",          // bad op count
 	} {
 		if _, err := ParseSchedule(spec); err == nil {
 			t.Errorf("ParseSchedule(%q) accepted an invalid spec", spec)
@@ -196,5 +200,70 @@ func TestEnabledAndValidateZero(t *testing.T) {
 	}
 	if err := s.Validate(); err != nil {
 		t.Fatalf("zero schedule invalid: %v", err)
+	}
+}
+
+// Storms fire on the schedule's cadence, derive deterministically from
+// (Seed, seq), and never emit self-loops or out-of-range nodes.
+func TestStormDeterministicAndWellFormed(t *testing.T) {
+	s, err := ParseSchedule("seed=21,storm=3:16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := NewInjector(s), NewInjector(s)
+	const n = 40
+	fired := 0
+	for seq := int64(1); seq <= 30; seq++ {
+		opsA, opsB := a.Storm(seq, n), b.Storm(seq, n)
+		if (opsA == nil) != (seq%3 != 0) {
+			t.Fatalf("seq %d: storm fired=%v, want every 3rd", seq, opsA != nil)
+		}
+		if len(opsA) != len(opsB) {
+			t.Fatalf("seq %d: injectors disagree on storm size", seq)
+		}
+		for k := range opsA {
+			if opsA[k] != opsB[k] {
+				t.Fatalf("seq %d op %d: %+v vs %+v", seq, k, opsA[k], opsB[k])
+			}
+		}
+		if opsA == nil {
+			continue
+		}
+		fired++
+		if len(opsA) != 16 {
+			t.Fatalf("seq %d: %d ops, want 16", seq, len(opsA))
+		}
+		for _, op := range opsA {
+			switch op.Kind {
+			case "add", "remove":
+				if op.U == op.V || op.U < 0 || op.V < 0 || op.U >= n || op.V >= n {
+					t.Fatalf("malformed edge op %+v", op)
+				}
+			case "weight":
+				if op.U < 0 || op.U >= n || op.W < 0 {
+					t.Fatalf("malformed weight op %+v", op)
+				}
+			default:
+				t.Fatalf("unknown op kind %q", op.Kind)
+			}
+		}
+	}
+	if fired != 10 {
+		t.Fatalf("%d storms over 30 events at every-3, want 10", fired)
+	}
+	if got := a.Stats().Storms; got != 10 {
+		t.Fatalf("storm counter %d, want 10", got)
+	}
+}
+
+// A disabled storm schedule and a tiny universe both yield no ops.
+func TestStormDisabledAndDegenerate(t *testing.T) {
+	off := NewInjector(Schedule{Seed: 1})
+	if ops := off.Storm(3, 100); ops != nil {
+		t.Fatalf("disabled schedule fired a storm: %v", ops)
+	}
+	on := NewInjector(Schedule{Seed: 1, StormEvery: 1, StormOps: 4})
+	if ops := on.Storm(1, 1); ops != nil {
+		t.Fatalf("single-node universe cannot host edge mutations: %v", ops)
 	}
 }

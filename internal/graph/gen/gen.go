@@ -400,7 +400,7 @@ func PowerLaw(n int, gamma float64, maxDeg int, seed uint64) *graph.Graph {
 		for v < n && p > 0 {
 			if p < 1 {
 				// Geometric skip over the run of probability-p trials.
-				v += int(math.Floor(math.Log(1 - r.Float64()) / math.Log1p(-p)))
+				v += int(math.Floor(math.Log(1-r.Float64()) / math.Log1p(-p)))
 			}
 			if v >= n {
 				break

@@ -1,0 +1,133 @@
+package graph
+
+import "testing"
+
+func buildPath(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 0; v < n-1; v++ {
+		b.AddEdge(v, v+1)
+	}
+	return b.MustBuild()
+}
+
+func TestApplyEditAddRemoveWeights(t *testing.T) {
+	g := buildPath(5) // 0-1-2-3-4
+	ng, rep, err := g.ApplyEdit(Edit{
+		AddEdges:    [][2]int32{{0, 4}, {1, 3}},
+		RemoveEdges: [][2]int32{{2, 3}},
+		Weights:     []WeightUpdate{{V: 2, W: 7}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.HasEdge(0, 4) || !g.HasEdge(2, 3) || g.Weight(2) != 1 {
+		t.Fatal("ApplyEdit modified its receiver")
+	}
+	if !ng.HasEdge(0, 4) || !ng.HasEdge(1, 3) || ng.HasEdge(2, 3) {
+		t.Fatalf("edited topology wrong: %v", ng)
+	}
+	if ng.Weight(2) != 7 {
+		t.Fatalf("weight update lost: w(2)=%d", ng.Weight(2))
+	}
+	if rep.EdgesAdded != 2 || rep.EdgesRemoved != 1 || rep.WeightsSet != 1 || rep.Noops != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	wantTouched := map[int]bool{0: true, 1: true, 2: true, 3: true, 4: true}
+	for v, touched := range rep.Touched {
+		if touched != wantTouched[v] {
+			t.Fatalf("touched[%d] = %v, want %v (report %+v)", v, touched, wantTouched[v], rep)
+		}
+	}
+	if err := ng.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyEditNoops(t *testing.T) {
+	g := buildPath(4)
+	ng, rep, err := g.ApplyEdit(Edit{
+		AddEdges:    [][2]int32{{0, 1}, {1, 0}}, // both already present
+		RemoveEdges: [][2]int32{{0, 3}},         // never existed
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Noops != 3 || rep.EdgesAdded != 0 || rep.EdgesRemoved != 0 {
+		t.Fatalf("report = %+v, want 3 noops and no changes", rep)
+	}
+	if ng.Hash() != g.Hash() {
+		t.Fatal("no-op edit changed the content hash")
+	}
+	for _, touched := range rep.Touched {
+		if touched {
+			t.Fatalf("no-op edit touched nodes: %+v", rep.Touched)
+		}
+	}
+}
+
+func TestApplyEditValidation(t *testing.T) {
+	g := buildPath(3)
+	cases := []Edit{
+		{AddEdges: [][2]int32{{0, 3}}},           // out of range
+		{AddEdges: [][2]int32{{1, 1}}},           // self-loop
+		{RemoveEdges: [][2]int32{{-1, 0}}},       // negative endpoint
+		{Weights: []WeightUpdate{{V: 9, W: 1}}},  // node out of range
+		{Weights: []WeightUpdate{{V: 0, W: -5}}}, // negative weight
+	}
+	for i, e := range cases {
+		if _, _, err := g.ApplyEdit(e); err == nil {
+			t.Fatalf("case %d: edit %+v must fail", i, e)
+		}
+	}
+}
+
+func TestApplyEditDeterministicHash(t *testing.T) {
+	g := buildPath(6)
+	e := Edit{
+		AddEdges:    [][2]int32{{0, 3}, {2, 5}},
+		RemoveEdges: [][2]int32{{3, 4}},
+		Weights:     []WeightUpdate{{V: 1, W: 42}},
+	}
+	a, _, err := g.ApplyEdit(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := g.ApplyEdit(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.HashString() != b.HashString() {
+		t.Fatal("same edit on same graph produced different content hashes")
+	}
+	// Reversed endpoint order must yield the identical graph.
+	rev := Edit{
+		AddEdges:    [][2]int32{{3, 0}, {5, 2}},
+		RemoveEdges: [][2]int32{{4, 3}},
+		Weights:     []WeightUpdate{{V: 1, W: 42}},
+	}
+	c, _, err := g.ApplyEdit(rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.HashString() != c.HashString() {
+		t.Fatal("endpoint order changed the edit outcome")
+	}
+}
+
+func TestApplyEditComponentSplitAndMerge(t *testing.T) {
+	g := buildPath(4) // one component
+	split, _, err := g.ApplyEdit(Edit{RemoveEdges: [][2]int32{{1, 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, count := split.Components(); count != 2 {
+		t.Fatalf("removing the bridge should split into 2 components, got %d", count)
+	}
+	merged, _, err := split.ApplyEdit(Edit{AddEdges: [][2]int32{{0, 3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, count := merged.Components(); count != 1 {
+		t.Fatalf("adding a bridge should merge back to 1 component, got %d", count)
+	}
+}

@@ -1,0 +1,110 @@
+package maxis
+
+import (
+	"testing"
+
+	"distmwis/internal/graph"
+	"distmwis/internal/mis"
+)
+
+// twoIslands builds a graph of two path components: 0..k-1 and k..n-1.
+func twoIslands(k, n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for v := 0; v < k-1; v++ {
+		b.AddEdge(v, v+1)
+	}
+	for v := k; v < n-1; v++ {
+		b.AddEdge(v, v+1)
+	}
+	for v := 0; v < n; v++ {
+		b.SetWeight(v, int64(1+(v*5)%11))
+	}
+	return b.MustBuild()
+}
+
+func incCfg() Config {
+	return Config{Seed: 7, MIS: mis.Luby{}}
+}
+
+// A warm cache must answer every component without re-solving, and the
+// cached answer must be bit-identical to the fresh one.
+func TestSolveByComponentCacheHitBitIdentical(t *testing.T) {
+	g := twoIslands(6, 14)
+	cache := map[string][]int32{}
+	cc := ComponentCache{
+		Lookup: func(h string) ([]int32, bool) { s, ok := cache[h]; return s, ok },
+		Store:  func(h string, set []int32, _ int64) { cache[h] = set },
+	}
+	fresh, st, err := SolveByComponent("goodnodes", g, 0.5, 0, incCfg(), cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Components != 2 || st.Solved != 2 || st.Reused != 0 {
+		t.Fatalf("cold stats = %+v", st)
+	}
+	warm, st, err := SolveByComponent("goodnodes", g, 0.5, 0, incCfg(), cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Solved != 0 || st.Reused != 2 {
+		t.Fatalf("warm stats = %+v", st)
+	}
+	if warm.Weight != fresh.Weight || !graph.SameSet(warm.Set, fresh.Set) {
+		t.Fatal("cached answer differs from fresh solve")
+	}
+	if !g.IsIndependentSet(fresh.Set) {
+		t.Fatal("component-wise union is not independent")
+	}
+}
+
+// Mutating one component must leave the other's cache entry usable: after
+// an edit confined to the second island, exactly one component re-solves.
+func TestSolveByComponentPartialReuseAfterEdit(t *testing.T) {
+	g := twoIslands(6, 14)
+	cache := map[string][]int32{}
+	cc := ComponentCache{
+		Lookup: func(h string) ([]int32, bool) { s, ok := cache[h]; return s, ok },
+		Store:  func(h string, set []int32, _ int64) { cache[h] = set },
+	}
+	if _, _, err := SolveByComponent("goodnodes", g, 0.5, 0, incCfg(), cc); err != nil {
+		t.Fatal(err)
+	}
+	ng, _, err := g.ApplyEdit(graph.Edit{AddEdges: [][2]int32{{7, 12}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, st, err := SolveByComponent("goodnodes", ng, 0.5, 0, incCfg(), cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Components != 2 || st.Reused != 1 || st.Solved != 1 {
+		t.Fatalf("after a one-island edit stats = %+v, want 1 reused / 1 solved", st)
+	}
+	if !ng.IsIndependentSet(res.Set) {
+		t.Fatal("post-edit union is not independent")
+	}
+}
+
+// The empty graph has zero components and a zero answer.
+func TestSolveByComponentEmptyGraph(t *testing.T) {
+	g := graph.NewBuilder(0).MustBuild()
+	res, st, err := SolveByComponent("goodnodes", g, 0.5, 0, incCfg(), ComponentCache{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Components != 0 || res.Weight != 0 || len(res.Set) != 0 {
+		t.Fatalf("empty graph: stats %+v weight %d", st, res.Weight)
+	}
+}
+
+// A cache returning garbage indices must surface an error, not corrupt the
+// answer silently.
+func TestSolveByComponentBadCacheEntry(t *testing.T) {
+	g := twoIslands(4, 8)
+	cc := ComponentCache{
+		Lookup: func(string) ([]int32, bool) { return []int32{99}, true },
+	}
+	if _, _, err := SolveByComponent("goodnodes", g, 0.5, 0, incCfg(), cc); err == nil {
+		t.Fatal("out-of-range cached member must error")
+	}
+}

@@ -29,6 +29,13 @@ const (
 	WALBegin WALOp = "begin"
 	// WALCommit marks a previously begun unit of work as completed.
 	WALCommit WALOp = "commit"
+	// WALApply is a durable state-change record: unlike begin/commit pairs,
+	// which describe pending work and retire each other, an apply record
+	// describes work already done to some replicated state (a graph
+	// mutation, a configuration change). Compaction keeps every apply
+	// record — dropping one would fork replayed state from the state that
+	// was acknowledged — until the owner snapshots via Rewrite.
+	WALApply WALOp = "apply"
 )
 
 // WALRecord is one journal line. Begin records carry the replayable
@@ -50,10 +57,11 @@ type WAL struct {
 }
 
 // OpenWAL opens (creating if needed) the journal at path, returning the
-// pending records — begins recorded without a matching commit, in original
-// append order. Before returning it compacts the file down to exactly
-// those pending begins, so the journal never grows beyond the live
-// backlog plus the records appended since the last open.
+// retained records: begins recorded without a matching commit plus every
+// apply record, in original append order (filter with PendingWAL /
+// ApplyWAL). Before returning it compacts the file down to exactly those
+// retained records, so the journal never grows beyond the live backlog,
+// the state log, and the records appended since the last open.
 //
 // A truncated final line (the signature of a crash mid-append) is
 // discarded silently: an incomplete begin was never acknowledged to
@@ -64,21 +72,54 @@ func OpenWAL(path string) (*WAL, []WALRecord, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	pending := PendingWAL(prior)
+	retained := retainWAL(prior)
+	if err := writeWALFile(path, retained); err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("reliable: wal open: %w", err)
+	}
+	return &WAL{path: path, f: f}, retained, nil
+}
 
-	// Compaction: rewrite the journal as just the pending begins, then
-	// atomically swap it into place before opening for append.
+// retainWAL reduces a record sequence to what compaction must keep:
+// uncommitted begins and every apply record, original order preserved.
+func retainWAL(recs []WALRecord) []WALRecord {
+	committed := make(map[string]bool)
+	for _, rec := range recs {
+		if rec.Op == WALCommit {
+			committed[rec.ID] = true
+		}
+	}
+	var keep []WALRecord
+	for _, rec := range recs {
+		switch rec.Op {
+		case WALBegin:
+			if !committed[rec.ID] {
+				keep = append(keep, rec)
+			}
+		case WALApply:
+			keep = append(keep, rec)
+		}
+	}
+	return keep
+}
+
+// writeWALFile atomically replaces the journal at path with recs: write to
+// a temp file, fsync, rename.
+func writeWALFile(path string, recs []WALRecord) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".compact-*")
 	if err != nil {
-		return nil, nil, fmt.Errorf("reliable: wal compact: %w", err)
+		return fmt.Errorf("reliable: wal compact: %w", err)
 	}
 	w := bufio.NewWriter(tmp)
 	enc := json.NewEncoder(w)
-	for _, rec := range pending {
+	for _, rec := range recs {
 		if err := enc.Encode(rec); err != nil {
 			tmp.Close()
 			os.Remove(tmp.Name())
-			return nil, nil, fmt.Errorf("reliable: wal compact: %w", err)
+			return fmt.Errorf("reliable: wal compact: %w", err)
 		}
 	}
 	if err := w.Flush(); err == nil {
@@ -87,22 +128,17 @@ func OpenWAL(path string) (*WAL, []WALRecord, error) {
 	if err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		return nil, nil, fmt.Errorf("reliable: wal compact: %w", err)
+		return fmt.Errorf("reliable: wal compact: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
-		return nil, nil, fmt.Errorf("reliable: wal compact: %w", err)
+		return fmt.Errorf("reliable: wal compact: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
-		return nil, nil, fmt.Errorf("reliable: wal compact: %w", err)
+		return fmt.Errorf("reliable: wal compact: %w", err)
 	}
-
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, nil, fmt.Errorf("reliable: wal open: %w", err)
-	}
-	return &WAL{path: path, f: f}, pending, nil
+	return nil
 }
 
 // Path returns the journal's file path.
@@ -116,6 +152,46 @@ func (w *WAL) Begin(id string, data any) error {
 		return fmt.Errorf("reliable: wal begin %s: %w", id, err)
 	}
 	return w.append(WALRecord{Op: WALBegin, ID: id, Data: raw})
+}
+
+// Apply durably records a completed state change with its replayable
+// payload. It must return before the change is acknowledged upstream:
+// a mutation whose apply record reached disk survives any crash, and
+// replaying the apply log in order reconstructs the state bit-identically.
+func (w *WAL) Apply(id string, data any) error {
+	raw, err := json.Marshal(data)
+	if err != nil {
+		return fmt.Errorf("reliable: wal apply %s: %w", id, err)
+	}
+	return w.append(WALRecord{Op: WALApply, ID: id, Data: raw})
+}
+
+// Rewrite atomically replaces the journal's contents with recs — the
+// snapshot-compaction primitive for apply logs: the owner replays the log,
+// then rewrites it as one snapshot record per live piece of state, so the
+// journal stays bounded by live state rather than by mutation history.
+// Concurrent appends are excluded for the duration; the WAL stays open for
+// append afterwards.
+func (w *WAL) Rewrite(recs []WALRecord) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("reliable: wal rewrite after Close")
+	}
+	if err := w.f.Close(); err != nil {
+		w.f = nil
+		return fmt.Errorf("reliable: wal rewrite: %w", err)
+	}
+	w.f = nil
+	if err := writeWALFile(w.path, recs); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(w.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("reliable: wal rewrite reopen: %w", err)
+	}
+	w.f = f
+	return nil
 }
 
 // Commit durably records the completion of unit id. Committing an id with
@@ -200,6 +276,18 @@ func PendingWAL(recs []WALRecord) []WALRecord {
 		}
 	}
 	return pending
+}
+
+// ApplyWAL reduces a record sequence to its apply records, preserving
+// append order — the state log to replay on boot.
+func ApplyWAL(recs []WALRecord) []WALRecord {
+	var out []WALRecord
+	for _, rec := range recs {
+		if rec.Op == WALApply {
+			out = append(out, rec)
+		}
+	}
+	return out
 }
 
 func readWALFile(path string) ([]WALRecord, error) {

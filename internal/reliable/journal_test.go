@@ -157,3 +157,73 @@ func TestWALAppendAfterClose(t *testing.T) {
 		t.Fatalf("double Close must be a no-op: %v", err)
 	}
 }
+
+func TestWALApplyRetainedAcrossCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "graphs.wal")
+	w, _ := openTestWAL(t, path)
+	for i := 0; i < 3; i++ {
+		if err := w.Apply("mut-"+string(rune('1'+i)), walPayload{Graph: "patch", Seed: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Interleave a completed begin/commit pair: compaction must drop it
+	// while keeping every apply record.
+	if err := w.Begin("job-1", walPayload{Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit("job-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, retained := openTestWAL(t, path)
+	applies := ApplyWAL(retained)
+	if len(applies) != 3 {
+		t.Fatalf("retained %d apply records, want 3: %+v", len(applies), retained)
+	}
+	for i, rec := range applies {
+		if want := "mut-" + string(rune('1'+i)); rec.ID != want {
+			t.Fatalf("apply order broken: got %s at %d, want %s", rec.ID, i, want)
+		}
+		var p walPayload
+		if err := json.Unmarshal(rec.Data, &p); err != nil {
+			t.Fatal(err)
+		}
+		if p.Seed != uint64(i) {
+			t.Fatalf("apply %d payload drifted: %+v", i, p)
+		}
+	}
+	if pending := PendingWAL(retained); len(pending) != 0 {
+		t.Fatalf("committed begin survived compaction: %+v", pending)
+	}
+}
+
+func TestWALRewriteSnapshotsApplyLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "graphs.wal")
+	w, _ := openTestWAL(t, path)
+	for i := 0; i < 20; i++ {
+		if err := w.Apply("mut", walPayload{Seed: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Snapshot: the twenty-mutation history collapses to one record.
+	snap := WALRecord{Op: WALApply, ID: "snapshot", Data: json.RawMessage(`{"graph":"final"}`)}
+	if err := w.Rewrite([]WALRecord{snap}); err != nil {
+		t.Fatal(err)
+	}
+	// The WAL must remain appendable after a rewrite.
+	if err := w.Apply("mut-after", walPayload{Seed: 99}); err != nil {
+		t.Fatalf("append after rewrite: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, retained := openTestWAL(t, path)
+	applies := ApplyWAL(retained)
+	if len(applies) != 2 || applies[0].ID != "snapshot" || applies[1].ID != "mut-after" {
+		t.Fatalf("rewritten journal = %+v, want [snapshot, mut-after]", applies)
+	}
+}

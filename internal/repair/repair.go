@@ -1,0 +1,305 @@
+// Package repair is the background answer-upgrade tier. The serving tier
+// publishes answers that are independent but not always best-effort-final:
+// deadline shedding degrades them, and graph mutations leave cached answers
+// for neighbouring components healed-but-unpolished. Rather than block a
+// request on recomputation, the server enqueues the degraded answer here
+// and republishes as quality improves.
+//
+// Each queued task carries an immutable snapshot of the graph version it
+// answers, so an upgrade is always for the exact bytes the original answer
+// described — a concurrent mutation enqueues its own task for the new
+// version instead of racing this one.
+//
+// A task advances through phases, each publish monotonically better:
+//
+//	heal     reliable.Repair withdraws the lower-weight endpoint of every
+//	         conflicting edge, restoring independence;
+//	improve  a budgeted greedy pass re-admits every still-feasible node in
+//	         descending weight order (ascending index on ties) — one full
+//	         pass reaches maximality, published as "improved";
+//	full     the task's Full callback (a real solve) replaces the greedy
+//	         answer, published as "full".
+//
+// Work per tick is bounded: the greedy pass examines at most Budget nodes
+// before yielding, so one huge component cannot starve the queue or stall
+// shutdown. All phase logic is deterministic; only tick timing is not.
+package repair
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"distmwis/internal/graph"
+	"distmwis/internal/reliable"
+)
+
+// Quality tags, ordered worst to best. The zero tag is the server's
+// "degraded"; this tier only ever publishes the two upgrades.
+const (
+	QualityImproved = "improved"
+	QualityFull     = "full"
+)
+
+// Answer is one published upgrade.
+type Answer struct {
+	// Set is the upgraded independent set, indexed by node of the task's
+	// graph snapshot.
+	Set []bool
+	// Weight is Set's total weight under the snapshot's weights.
+	Weight int64
+	// Quality is QualityImproved or QualityFull.
+	Quality string
+}
+
+// Task is one degraded answer awaiting upgrade.
+type Task struct {
+	// Key identifies the answer being upgraded; Publish receives it back.
+	// Enqueueing a key already queued is a no-op (the queued task already
+	// upgrades the same answer).
+	Key string
+	// G is the graph version the answer describes. Graphs are immutable, so
+	// holding the snapshot is safe under concurrent mutation.
+	G *graph.Graph
+	// Start is the degraded set to upgrade. The tier takes ownership.
+	Start []bool
+	// Full optionally computes the final answer (a real solve of G). It
+	// runs on the tier's goroutine after the improved publish; nil stops
+	// the task at QualityImproved.
+	Full func() (set []bool, weight int64, err error)
+
+	enqueued time.Time
+	order    []int32 // descending-weight admit order, built lazily
+	pos      int     // next order index to examine
+	improved bool    // greedy pass done, improved answer published
+}
+
+// Options configures a Tier. Zero values select the defaults noted.
+type Options struct {
+	// Budget is the maximum admit examinations per tick (default 4096).
+	Budget int
+	// Interval is the tick period (default 50ms).
+	Interval time.Duration
+	// QueueDepth bounds the queue; Enqueue beyond it drops the task and
+	// counts it (default 256). Dropping is safe — the degraded answer
+	// stays served, merely unimproved.
+	QueueDepth int
+	// Publish receives every upgrade. Called on the tier's goroutine (or
+	// the Step caller's); must not call back into the Tier.
+	Publish func(key string, a Answer)
+}
+
+// Stats is a point-in-time snapshot of the tier's counters.
+type Stats struct {
+	// QueueDepth is the number of tasks currently waiting or in progress.
+	QueueDepth int
+	// Enqueued / Dropped / Deduped count Enqueue outcomes.
+	Enqueued, Dropped, Deduped int64
+	// Improved and Upgraded count publishes at each quality.
+	Improved, Upgraded int64
+	// OldestWaitSeconds is the age of the oldest queued task (0 if empty):
+	// the staleness bound on published degraded answers.
+	OldestWaitSeconds float64
+}
+
+// Tier runs the upgrade loop. Create with New; it starts its goroutine
+// lazily on the first Enqueue and Stop joins it.
+type Tier struct {
+	opts Options
+
+	mu      sync.Mutex
+	queue   []*Task
+	pending map[string]bool
+	stats   Stats
+	started bool
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// New returns an idle Tier; no goroutine exists until the first Enqueue.
+func New(opts Options) *Tier {
+	if opts.Budget <= 0 {
+		opts.Budget = 4096
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = 50 * time.Millisecond
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 256
+	}
+	return &Tier{opts: opts, pending: make(map[string]bool)}
+}
+
+// Enqueue queues one degraded answer for upgrade. Returns false when the
+// task was not queued: duplicate key, full queue, or stopped tier.
+func (t *Tier) Enqueue(task Task) bool {
+	if task.G == nil || len(task.Start) != task.G.N() || task.Key == "" {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.started && t.stop == nil {
+		return false // stopped; server is draining
+	}
+	if t.pending[task.Key] {
+		t.stats.Deduped++
+		return false
+	}
+	if len(t.queue) >= t.opts.QueueDepth {
+		t.stats.Dropped++
+		return false
+	}
+	task.enqueued = time.Now()
+	t.queue = append(t.queue, &task)
+	t.pending[task.Key] = true
+	t.stats.Enqueued++
+	if !t.started {
+		t.started = true
+		t.stop = make(chan struct{})
+		t.done = make(chan struct{})
+		go t.loop(t.stop, t.done)
+	}
+	return true
+}
+
+// Stop halts the loop and joins its goroutine. Further Enqueues are
+// rejected; queued tasks are abandoned (their degraded answers stay
+// served). Safe to call more than once, or before any Enqueue.
+func (t *Tier) Stop() {
+	t.mu.Lock()
+	stop, done := t.stop, t.done
+	t.stop = nil
+	t.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// Stats returns a snapshot of the tier's counters.
+func (t *Tier) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.stats
+	s.QueueDepth = len(t.queue)
+	if len(t.queue) > 0 {
+		s.OldestWaitSeconds = time.Since(t.queue[0].enqueued).Seconds()
+	}
+	return s
+}
+
+func (t *Tier) loop(stop, done chan struct{}) {
+	defer close(done)
+	tick := time.NewTicker(t.opts.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			t.Step()
+		}
+	}
+}
+
+// Step performs one tick of work synchronously: it advances the head task
+// by at most Budget examinations, publishing any upgrades reached, and
+// reports whether any work was done. The loop calls it on each tick;
+// tests call it directly for deterministic scheduling.
+func (t *Tier) Step() bool {
+	t.mu.Lock()
+	if len(t.queue) == 0 {
+		t.mu.Unlock()
+		return false
+	}
+	task := t.queue[0]
+	t.mu.Unlock()
+
+	// Phase work runs unlocked: the task is only ever touched by the
+	// single loop/Step caller, and the graph snapshot is immutable.
+	finished := t.advance(task)
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if finished && len(t.queue) > 0 && t.queue[0] == task {
+		t.queue = t.queue[1:]
+		delete(t.pending, task.Key)
+	}
+	return true
+}
+
+// advance runs one budgeted slice of the task's phase machine. Returns
+// true when the task is complete and should leave the queue.
+func (t *Tier) advance(task *Task) bool {
+	g := task.G
+	if task.order == nil {
+		// First touch: heal, then fix the admit order. Repair mutates
+		// Start in place and only withdraws, so independence holds from
+		// here on.
+		reliable.Repair(g, task.Start)
+		order := make([]int32, g.N())
+		for v := range order {
+			order[v] = int32(v)
+		}
+		sort.SliceStable(order, func(i, j int) bool {
+			wi, wj := g.Weight(int(order[i])), g.Weight(int(order[j]))
+			if wi != wj {
+				return wi > wj
+			}
+			return order[i] < order[j]
+		})
+		task.order = order
+	}
+
+	if !task.improved {
+		budget := t.opts.Budget
+		for task.pos < len(task.order) && budget > 0 {
+			v := int(task.order[task.pos])
+			task.pos++
+			budget--
+			if task.Start[v] {
+				continue
+			}
+			feasible := true
+			for _, u := range g.Neighbors(v) {
+				if task.Start[u] {
+					feasible = false
+					break
+				}
+			}
+			if feasible {
+				task.Start[v] = true
+			}
+		}
+		if task.pos < len(task.order) {
+			return false // budget exhausted; resume next tick
+		}
+		task.improved = true
+		t.publish(task.Key, Answer{
+			Set:     append([]bool(nil), task.Start...),
+			Weight:  g.SetWeight(task.Start),
+			Quality: QualityImproved,
+		}, &t.stats.Improved)
+		// The full solve gets its own tick so one task never holds the
+		// queue for a greedy pass AND a solve in a single step.
+		return task.Full == nil
+	}
+
+	set, weight, err := task.Full()
+	if err != nil {
+		// The improved answer is already out; a failed solve just ends
+		// the task there.
+		return true
+	}
+	t.publish(task.Key, Answer{Set: set, Weight: weight, Quality: QualityFull}, &t.stats.Upgraded)
+	return true
+}
+
+func (t *Tier) publish(key string, a Answer, counter *int64) {
+	t.mu.Lock()
+	*counter++
+	t.mu.Unlock()
+	if t.opts.Publish != nil {
+		t.opts.Publish(key, a)
+	}
+}

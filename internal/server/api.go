@@ -77,6 +77,11 @@ type SolveRequest struct {
 	Graph json.RawMessage `json:"graph,omitempty"`
 	// Gen builds a generator graph server-side.
 	Gen *GenSpec `json:"gen,omitempty"`
+	// GraphRef solves a stored dynamic graph by content hash (any hash the
+	// handle has ever had resolves to its current state; see PUT/PATCH
+	// /v1/graph). Ref solves run component-wise so mutations re-solve only
+	// the affected subgraphs, and are synchronous only.
+	GraphRef string `json:"graph_ref,omitempty"`
 	// Alg selects the algorithm (maxis.AlgorithmNames; default theorem2).
 	Alg string `json:"alg,omitempty"`
 	// Eps is the boosting parameter (default 0.5).
@@ -133,15 +138,36 @@ type SolveResponse struct {
 	Shared bool `json:"shared,omitempty"`
 	// Degraded reports the admission layer downgraded this request to the
 	// greedy Δ+1-approximation instead of the requested algorithm.
-	Degraded  bool    `json:"degraded,omitempty"`
+	Degraded bool `json:"degraded,omitempty"`
+	// Quality tags graph_ref answers: "degraded" answers are queued for the
+	// background repair tier, which republishes them as "improved" then
+	// "full"; poll GET /v1/answers/{answer_key} to watch the upgrade.
+	Quality   string  `json:"quality,omitempty"`
+	AnswerKey string  `json:"answer_key,omitempty"`
 	Error     string  `json:"error,omitempty"`
 	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
 // normalize fills defaults and validates the request shape.
 func (r *SolveRequest) normalize() error {
-	if (r.Graph == nil) == (r.Gen == nil) {
-		return fmt.Errorf("exactly one of graph and gen must be set")
+	sources := 0
+	if r.Graph != nil {
+		sources++
+	}
+	if r.Gen != nil {
+		sources++
+	}
+	if r.GraphRef != "" {
+		sources++
+	}
+	if sources != 1 {
+		return fmt.Errorf("exactly one of graph, gen and graph_ref must be set")
+	}
+	if r.GraphRef != "" && r.Async {
+		// A journaled async job must replay bit-identically, but a graph_ref
+		// resolves to whatever the handle holds at replay time — a moving
+		// target. Ref solves therefore stay synchronous.
+		return fmt.Errorf("graph_ref solves are synchronous; async is not supported")
 	}
 	if r.Alg == "" {
 		r.Alg = "theorem2"

@@ -19,6 +19,10 @@ type cacheEntry struct {
 	messages int64
 	bits     int64
 	degraded bool
+	// tag groups entries for bulk invalidation: dynamic-graph entries carry
+	// the content hash of the graph (or connected component) they answer
+	// for, so a mutation can evict exactly the subgraphs it changed.
+	tag string
 }
 
 // bytes approximates the resident cost of the entry for budgeting. The
@@ -31,10 +35,10 @@ type cacheEntry struct {
 // list.Element ≈ 96 B). Undercounting here let used drift past budget
 // exactly when entries were largest.
 func (e *cacheEntry) bytes() int64 {
-	const fixed = 16 + 24 + // key and set headers
+	const fixed = 16 + 16 + 24 + // key, tag and set headers
 		8 + 8 + 8 + 8 + 8 + // weight, rounds, messages, bits, degraded (padded)
 		96 // map entry + list.Element overhead
-	return int64(len(e.key)) + int64(4*cap(e.set)) + fixed
+	return int64(len(e.key)) + int64(len(e.tag)) + int64(4*cap(e.set)) + fixed
 }
 
 // resultCache is a content-addressed LRU with a byte budget and
@@ -49,7 +53,7 @@ type resultCache struct {
 	entries  map[string]*list.Element // key → element holding *cacheEntry
 	inflight map[string]*flight
 
-	hits, misses, evictions, dedups int64
+	hits, misses, evictions, dedups, invalidations int64
 }
 
 // flight is one in-progress solve other requests can attach to.
@@ -120,6 +124,32 @@ func (c *resultCache) put(e *cacheEntry) {
 	c.used += sz
 }
 
+// invalidateTag evicts every entry whose tag matches, returning the count.
+// Content addressing already keeps stale entries unreachable (a mutated
+// graph has a new hash, hence new keys); invalidation reclaims the bytes
+// of dead subgraph answers instead of waiting for LRU pressure.
+func (c *resultCache) invalidateTag(tag string) int {
+	if tag == "" {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var victims []*list.Element
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		if el.Value.(*cacheEntry).tag == tag {
+			victims = append(victims, el)
+		}
+	}
+	for _, el := range victims {
+		e := el.Value.(*cacheEntry)
+		c.used -= e.bytes()
+		c.order.Remove(el)
+		delete(c.entries, e.key)
+		c.invalidations++
+	}
+	return len(victims)
+}
+
 // do runs solve for key exactly once across concurrent callers: the first
 // caller becomes the leader and executes solve; followers block until the
 // leader finishes (or their own ctx expires) and share its outcome. The
@@ -150,10 +180,10 @@ func (c *resultCache) do(ctx context.Context, key string, solve func() (*cacheEn
 }
 
 // stats returns a snapshot of the counters for /metrics.
-func (c *resultCache) stats() (hits, misses, evictions, dedups, used int64, entries int) {
+func (c *resultCache) stats() (hits, misses, evictions, dedups, invalidations, used int64, entries int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses, c.evictions, c.dedups, c.used, len(c.entries)
+	return c.hits, c.misses, c.evictions, c.dedups, c.invalidations, c.used, len(c.entries)
 }
 
 // specTarget is what a generator-spec fingerprint resolves to: the

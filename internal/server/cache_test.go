@@ -33,7 +33,7 @@ func TestCacheLRUEvictionByBytes(t *testing.T) {
 			t.Fatalf("entry k%03d missing", i)
 		}
 	}
-	_, _, evictions, _, used, entries := c.stats()
+	_, _, evictions, _, _, used, entries := c.stats()
 	if evictions != 1 || entries != 3 {
 		t.Fatalf("evictions=%d entries=%d, want 1 and 3", evictions, entries)
 	}
@@ -98,14 +98,14 @@ func TestCacheBudgetHoldsUnderDegradedEntries(t *testing.T) {
 	c := newResultCache(budget)
 	for i := 0; i < 200; i++ {
 		c.put(degraded(i, 1000+13*i))
-		_, _, _, _, used, entries := c.stats()
+		_, _, _, _, _, used, entries := c.stats()
 		if used > budget {
 			t.Fatalf("after put %d: used=%d exceeds budget=%d (entries=%d)", i, used, budget, entries)
 		}
 	}
 	// The budget must hold because entries were evicted, not because
 	// nothing fit: the cache should still be serving recent entries.
-	_, _, evictions, _, used, entries := c.stats()
+	_, _, evictions, _, _, used, entries := c.stats()
 	if entries == 0 || evictions == 0 {
 		t.Fatalf("vacuous run: entries=%d evictions=%d", entries, evictions)
 	}
@@ -133,7 +133,7 @@ func TestCacheOverwriteSameKey(t *testing.T) {
 	if !ok || len(e.set) != 20 {
 		t.Fatalf("overwrite failed: ok=%t len=%d", ok, len(e.set))
 	}
-	_, _, _, _, used, entries := c.stats()
+	_, _, _, _, _, used, entries := c.stats()
 	if entries != 1 {
 		t.Fatalf("entries=%d, want 1", entries)
 	}

@@ -1,0 +1,99 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"distmwis/internal/graph"
+	"distmwis/internal/server"
+)
+
+// PutGraph uploads a graph document (the graph JSON wire format) and
+// returns its handle. PUT is idempotent on the server — re-uploading bytes
+// that already have a handle is a no-op — so the full retry policy applies.
+func (c *Client) PutGraph(ctx context.Context, graphJSON []byte) (server.PutGraphResponse, error) {
+	var resp server.PutGraphResponse
+	err := c.doJSON(ctx, http.MethodPut, "/v1/graph", graphJSON, &resp)
+	return resp, err
+}
+
+// PatchGraph applies edit to the handle named by hash (any hash the handle
+// has ever had). Retries are safe for a single writer: an edit re-applied
+// to the state it already produced is all no-ops (adds exist, removes are
+// gone, weights match), so a lost acknowledgement converges rather than
+// double-mutating. Concurrent writers racing retries get last-write-wins
+// semantics, same as racing first attempts.
+func (c *Client) PatchGraph(ctx context.Context, hash string, edit graph.Edit) (server.PatchGraphResponse, error) {
+	body, err := json.Marshal(edit)
+	if err != nil {
+		return server.PatchGraphResponse{}, fmt.Errorf("client: encode edit: %w", err)
+	}
+	var resp server.PatchGraphResponse
+	err = c.doJSON(ctx, http.MethodPatch, "/v1/graph/"+hash, body, &resp)
+	return resp, err
+}
+
+// doJSON is the retry loop for the graph-handle endpoints: same backoff
+// and retryability classification as solves, without the solve-specific
+// breaker and hedging (mutations must not be hedged — two identical
+// in-flight PATCHes are not one mutation).
+func (c *Client) doJSON(ctx context.Context, method, path string, body []byte, out any) error {
+	var lastErr error
+	for attempt := 0; attempt <= c.opts.MaxRetries; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+			select {
+			case <-time.After(c.backoff(attempt - 1)):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		err := c.onceJSON(ctx, method, path, body, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable(err) || ctx.Err() != nil {
+			return err
+		}
+	}
+	return lastErr
+}
+
+func (c *Client) onceJSON(ctx context.Context, method, path string, body []byte, out any) error {
+	actx, cancel := context.WithTimeout(ctx, c.opts.Timeout)
+	defer cancel()
+	c.attempts.Add(1)
+	hreq, err := http.NewRequestWithContext(actx, method, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hr, err := c.opts.HTTPClient.Do(hreq)
+	if err != nil {
+		return errRetryable{fmt.Errorf("client: %w", err)}
+	}
+	defer hr.Body.Close()
+	var raw json.RawMessage
+	if err := json.NewDecoder(hr.Body).Decode(&raw); err != nil {
+		return errRetryable{fmt.Errorf("client: decode response (status %d): %w", hr.StatusCode, err)}
+	}
+	// The body's error field rides along in the returned struct; the status
+	// code alone classifies the outcome.
+	var msg struct {
+		Error string `json:"error"`
+	}
+	_ = json.Unmarshal(raw, &msg)
+	switch {
+	case hr.StatusCode == http.StatusOK || hr.StatusCode == http.StatusAccepted:
+		return json.Unmarshal(raw, out)
+	case hr.StatusCode == http.StatusTooManyRequests || hr.StatusCode >= 500:
+		return errRetryable{fmt.Errorf("client: server status %d: %s", hr.StatusCode, msg.Error)}
+	default:
+		return fmt.Errorf("client: server status %d: %s", hr.StatusCode, msg.Error)
+	}
+}

@@ -1,0 +1,492 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"distmwis/internal/graph"
+	"distmwis/internal/reliable"
+	"distmwis/internal/repair"
+)
+
+// This file is the dynamic-graph subsystem: named graph handles that
+// clients create with PUT /v1/graph and mutate with PATCH /v1/graph/{hash}.
+//
+// A handle is identified by content hash, and every hash it has ever had
+// keeps resolving to it — clients can hold an old hash across someone
+// else's PATCH and still reach the current state (last write wins). Graphs
+// themselves stay immutable: a PATCH rebuilds a new *graph.Graph, so
+// in-flight solves and queued repair tasks holding the old snapshot remain
+// sound.
+//
+// Durability mirrors the request journal (journal.go) but records state
+// changes, not pending work: every accepted PUT and PATCH is an apply
+// record in its own reliable.WAL, fsynced before the acknowledgement.
+// PATCH records carry the expected resulting hash, so boot-time replay
+// verifies bit-identical reconstruction — ApplyEdit is deterministic, so a
+// hash mismatch can only mean a corrupt journal, which is refused loudly
+// rather than served quietly. After replay the journal is snapshot-
+// compacted (Rewrite): one put record per live handle, so it is bounded by
+// live state, not mutation history.
+//
+// Each mutation also drives the self-healing pipeline:
+//
+//  1. connected components whose content vanished are invalidated from the
+//     result cache at component granularity (the metric counts them);
+//  2. the handle's last full answer, if any, is carried onto the new graph
+//     and healed with reliable.Repair — independence restored immediately,
+//     optimality degraded — and published in the answers registry;
+//  3. a repair-tier task is enqueued to upgrade that degraded answer to
+//     "improved" (budgeted greedy re-admission) and then "full" (a real
+//     component-wise re-solve), republishing at each step.
+
+// dynGraph is one mutable graph handle. All fields are guarded by the
+// owning graphStore's mutex; g itself is immutable and may be snapshotted
+// out under the lock and used freely after.
+type dynGraph struct {
+	id      string // journal identity, stable across hash changes
+	g       *graph.Graph
+	hash    string
+	aliases []string // prior hashes, oldest first
+	version int      // PATCHes applied since PUT
+
+	// compHashes is the content-hash set of the current components — the
+	// diff base for component-granular invalidation.
+	compHashes map[string]bool
+
+	// The last full-quality answer served for this handle, with the
+	// normalized request that produced it: the seed the healing pipeline
+	// repairs onto the next version.
+	lastReq *SolveRequest
+	lastSet []bool
+}
+
+// graphStore holds every dynamic graph handle, indexed by all their hashes.
+type graphStore struct {
+	mu     sync.Mutex
+	byHash map[string]*dynGraph
+	order  []*dynGraph // insertion order, for deterministic snapshots
+	seq    int
+	wal    *reliable.WAL
+
+	mutations   int64
+	invalidated int64
+	healed      int64
+}
+
+func newGraphStore() *graphStore {
+	return &graphStore{byHash: make(map[string]*dynGraph)}
+}
+
+// graphWALData is the payload of one graph-journal apply record.
+type graphWALData struct {
+	Kind string `json:"kind"` // "put" or "patch"
+	// Graph is the jsonDoc bytes of a put (or snapshot) record.
+	Graph json.RawMessage `json:"graph,omitempty"`
+	// Aliases restores prior hashes on snapshot records so stale client
+	// handles survive restarts.
+	Aliases []string `json:"aliases,omitempty"`
+	Version int      `json:"version,omitempty"`
+	// Prev/Next frame a patch record: the edit applies to the graph whose
+	// hash is Prev and must yield the graph whose hash is Next.
+	Prev string      `json:"prev,omitempty"`
+	Next string      `json:"next,omitempty"`
+	Edit *graph.Edit `json:"edit,omitempty"`
+}
+
+// componentHashes computes the content-hash set of g's components.
+func componentHashes(g *graph.Graph) map[string]bool {
+	comp, count := g.Components()
+	out := make(map[string]bool, count)
+	keep := make([]bool, g.N())
+	for c := 0; c < count; c++ {
+		for v := range keep {
+			keep[v] = comp[v] == int32(c)
+		}
+		out[g.Induce(keep).G.HashString()] = true
+	}
+	return out
+}
+
+// register creates a handle for g under the store lock.
+func (gs *graphStore) register(id string, g *graph.Graph, aliases []string, version int) *dynGraph {
+	h := &dynGraph{
+		id:         id,
+		g:          g,
+		hash:       g.HashString(),
+		aliases:    aliases,
+		version:    version,
+		compHashes: componentHashes(g),
+	}
+	gs.byHash[h.hash] = h
+	for _, a := range aliases {
+		gs.byHash[a] = h
+	}
+	gs.order = append(gs.order, h)
+	return h
+}
+
+// snapshot returns the handle's current graph and hash (immutable values,
+// safe to use unlocked).
+func (gs *graphStore) snapshot(hash string) (*graph.Graph, string, bool) {
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	h, ok := gs.byHash[hash]
+	if !ok {
+		return nil, "", false
+	}
+	return h.g, h.hash, true
+}
+
+// OpenGraphJournal attaches the graph write-ahead journal at path and
+// replays it: put records re-register handles, patch records re-apply
+// their edits and are verified against the journaled resulting hash.
+// After replay the journal is snapshot-compacted to one record per live
+// handle. Must be called before traffic, at most once. Returns the number
+// of records replayed.
+func (s *Server) OpenGraphJournal(path string) (int, error) {
+	gs := s.graphs
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	if gs.wal != nil {
+		return 0, fmt.Errorf("server: graph journal already open at %s", gs.wal.Path())
+	}
+	wal, retained, err := reliable.OpenWAL(path)
+	if err != nil {
+		return 0, err
+	}
+	replayed := 0
+	for _, rec := range reliable.ApplyWAL(retained) {
+		var d graphWALData
+		if err := json.Unmarshal(rec.Data, &d); err != nil {
+			wal.Close()
+			return 0, fmt.Errorf("server: graph journal %s: %w", rec.ID, err)
+		}
+		switch d.Kind {
+		case "put":
+			g, err := graph.ReadJSON(bytes.NewReader(d.Graph))
+			if err != nil {
+				wal.Close()
+				return 0, fmt.Errorf("server: graph journal %s: %w", rec.ID, err)
+			}
+			gs.register(rec.ID, g, d.Aliases, d.Version)
+			gs.seq++
+		case "patch":
+			h, ok := gs.byHash[d.Prev]
+			if !ok || h.hash != d.Prev || d.Edit == nil {
+				wal.Close()
+				return 0, fmt.Errorf("server: graph journal %s: patch against unknown state %s", rec.ID, d.Prev)
+			}
+			ng, _, err := h.g.ApplyEdit(*d.Edit)
+			if err != nil {
+				wal.Close()
+				return 0, fmt.Errorf("server: graph journal %s: %w", rec.ID, err)
+			}
+			if got := ng.HashString(); got != d.Next {
+				// Deterministic replay means this is impossible on an intact
+				// journal; refusing to boot beats serving forked state.
+				wal.Close()
+				return 0, fmt.Errorf("server: graph journal %s: replay hash %s != journaled %s", rec.ID, got, d.Next)
+			}
+			gs.advance(h, ng)
+		default:
+			wal.Close()
+			return 0, fmt.Errorf("server: graph journal %s: unknown kind %q", rec.ID, d.Kind)
+		}
+		replayed++
+	}
+	// Snapshot-compact: mutation history collapses to one put per handle.
+	snap := make([]reliable.WALRecord, 0, len(gs.order))
+	for _, h := range gs.order {
+		data, err := putRecord(h)
+		if err != nil {
+			wal.Close()
+			return 0, err
+		}
+		snap = append(snap, reliable.WALRecord{Op: reliable.WALApply, ID: h.id, Data: data})
+	}
+	if err := wal.Rewrite(snap); err != nil {
+		wal.Close()
+		return 0, err
+	}
+	gs.wal = wal
+	return replayed, nil
+}
+
+func putRecord(h *dynGraph) (json.RawMessage, error) {
+	var buf bytes.Buffer
+	if err := h.g.WriteJSON(&buf); err != nil {
+		return nil, fmt.Errorf("server: graph journal snapshot %s: %w", h.id, err)
+	}
+	return json.Marshal(graphWALData{
+		Kind:    "put",
+		Graph:   buf.Bytes(),
+		Aliases: h.aliases,
+		Version: h.version,
+	})
+}
+
+// advance moves a handle to a new graph version under the store lock: the
+// old hash becomes an alias and the component diff base updates.
+func (gs *graphStore) advance(h *dynGraph, ng *graph.Graph) (invalidated []string) {
+	newComps := componentHashes(ng)
+	for old := range h.compHashes {
+		if !newComps[old] {
+			invalidated = append(invalidated, old)
+		}
+	}
+	sort.Strings(invalidated)
+	if nh := ng.HashString(); nh != h.hash {
+		h.aliases = append(h.aliases, h.hash)
+		h.hash = nh
+		gs.byHash[nh] = h
+	}
+	h.g = ng
+	h.version++
+	h.compHashes = newComps
+	return invalidated
+}
+
+// PutGraphResponse is the body of PUT /v1/graph and GET /v1/graph/{hash}.
+type PutGraphResponse struct {
+	// Hash is the graph's current content hash — the handle name for
+	// PATCH and for graph_ref solves.
+	Hash string `json:"hash"`
+	N    int    `json:"n"`
+	M    int    `json:"m"`
+	// Components is the connected-component count, the granularity of
+	// cache invalidation.
+	Components int `json:"components"`
+	// Version counts PATCHes applied since PUT.
+	Version int    `json:"version"`
+	Error   string `json:"error,omitempty"`
+}
+
+// PatchGraphResponse is the body of PATCH /v1/graph/{hash}.
+type PatchGraphResponse struct {
+	// PrevHash/Hash are the content hashes before and after the edit. The
+	// previous hash keeps resolving to this handle.
+	PrevHash string `json:"prev_hash"`
+	Hash     string `json:"hash"`
+	Version  int    `json:"version"`
+	// EdgesAdded/EdgesRemoved/WeightsSet/Noops echo the graph.EditReport.
+	EdgesAdded   int `json:"edges_added"`
+	EdgesRemoved int `json:"edges_removed"`
+	WeightsSet   int `json:"weights_set"`
+	Noops        int `json:"noops"`
+	Components   int `json:"components"`
+	// InvalidatedComponents counts components of the previous version whose
+	// cached answers were evicted because their content no longer exists.
+	InvalidatedComponents int `json:"invalidated_components"`
+	// Healed reports that the handle's last full answer was repaired onto
+	// the new version and queued for background upgrade; AnswerKey is where
+	// GET /v1/answers observes the degraded→improved→full progression.
+	Healed    bool   `json:"healed,omitempty"`
+	AnswerKey string `json:"answer_key,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+func (s *Server) handlePutGraph(w http.ResponseWriter, r *http.Request) {
+	if s.shutdown.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, PutGraphResponse{Error: "server is draining"})
+		return
+	}
+	var raw json.RawMessage
+	if err := json.NewDecoder(r.Body).Decode(&raw); err != nil {
+		writeJSON(w, http.StatusBadRequest, PutGraphResponse{Error: fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	g, err := graph.ReadJSON(bytes.NewReader(raw))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, PutGraphResponse{Error: err.Error()})
+		return
+	}
+	hash := g.HashString()
+
+	gs := s.graphs
+	gs.mu.Lock()
+	if h, ok := gs.byHash[hash]; ok {
+		// Idempotent PUT: the content already has a handle (possibly as a
+		// prior version of one). Re-putting bytes that exist is a no-op.
+		resp := putResponse(h)
+		gs.mu.Unlock()
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	gs.seq++
+	id := fmt.Sprintf("g-%d", gs.seq)
+	if gs.wal != nil {
+		data, err := json.Marshal(graphWALData{Kind: "put", Graph: raw})
+		if err == nil {
+			err = gs.wal.Apply(id, json.RawMessage(data))
+		}
+		if err != nil {
+			gs.mu.Unlock()
+			writeJSON(w, http.StatusInternalServerError, PutGraphResponse{Error: fmt.Sprintf("journal: %v", err)})
+			return
+		}
+	}
+	h := gs.register(id, g, nil, 0)
+	resp := putResponse(h)
+	gs.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func putResponse(h *dynGraph) PutGraphResponse {
+	return PutGraphResponse{
+		Hash:       h.hash,
+		N:          h.g.N(),
+		M:          h.g.M(),
+		Components: len(h.compHashes),
+		Version:    h.version,
+	}
+}
+
+func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
+	gs := s.graphs
+	gs.mu.Lock()
+	h, ok := gs.byHash[r.PathValue("hash")]
+	if !ok {
+		gs.mu.Unlock()
+		writeJSON(w, http.StatusNotFound, PutGraphResponse{Error: "unknown graph"})
+		return
+	}
+	resp := putResponse(h)
+	gs.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handlePatchGraph(w http.ResponseWriter, r *http.Request) {
+	if s.shutdown.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, PatchGraphResponse{Error: "server is draining"})
+		return
+	}
+	var edit graph.Edit
+	if err := json.NewDecoder(r.Body).Decode(&edit); err != nil {
+		writeJSON(w, http.StatusBadRequest, PatchGraphResponse{Error: fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	if edit.Empty() {
+		writeJSON(w, http.StatusBadRequest, PatchGraphResponse{Error: "empty edit"})
+		return
+	}
+
+	gs := s.graphs
+	gs.mu.Lock()
+	h, ok := gs.byHash[r.PathValue("hash")]
+	if !ok {
+		gs.mu.Unlock()
+		writeJSON(w, http.StatusNotFound, PatchGraphResponse{Error: "unknown graph"})
+		return
+	}
+	// The edit always applies to the handle's CURRENT state, whatever hash
+	// named it: concurrent mutators serialize here, last write wins, and
+	// each acknowledgement returns the hash its writer actually produced.
+	prev := h.hash
+	ng, rep, err := h.g.ApplyEdit(edit)
+	if err != nil {
+		gs.mu.Unlock()
+		writeJSON(w, http.StatusBadRequest, PatchGraphResponse{Error: err.Error()})
+		return
+	}
+	next := ng.HashString()
+	// The write-ahead contract, same as for async jobs: the apply record —
+	// with the expected resulting hash, for verified replay — is durable
+	// before the mutation is acknowledged or even visible in memory.
+	if gs.wal != nil {
+		data, jerr := json.Marshal(graphWALData{Kind: "patch", Prev: prev, Next: next, Edit: &edit})
+		if jerr == nil {
+			jerr = gs.wal.Apply(h.id, json.RawMessage(data))
+		}
+		if jerr != nil {
+			gs.mu.Unlock()
+			writeJSON(w, http.StatusInternalServerError, PatchGraphResponse{Error: fmt.Sprintf("journal: %v", jerr)})
+			return
+		}
+	}
+	invalidated := gs.advance(h, ng)
+	gs.mutations++
+	gs.invalidated += int64(len(invalidated))
+	// Snapshot what healing needs before releasing the lock.
+	lastReq, lastSet := h.lastReq, h.lastSet
+	version := h.version
+	comps := len(h.compHashes)
+	if lastSet != nil {
+		gs.healed++
+	}
+	gs.mu.Unlock()
+
+	for _, tag := range invalidated {
+		s.cache.invalidateTag(tag)
+	}
+	s.cache.invalidateTag(prev)
+
+	resp := PatchGraphResponse{
+		PrevHash:              prev,
+		Hash:                  next,
+		Version:               version,
+		EdgesAdded:            rep.EdgesAdded,
+		EdgesRemoved:          rep.EdgesRemoved,
+		WeightsSet:            rep.WeightsSet,
+		Noops:                 rep.Noops,
+		Components:            comps,
+		InvalidatedComponents: len(invalidated),
+	}
+	if lastSet != nil {
+		resp.Healed = true
+		resp.AnswerKey = s.healAnswer(ng, next, lastReq, lastSet)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// healAnswer carries a full answer from the previous graph version onto the
+// new one: node indices are stable across versions, so the old set is a
+// valid candidate that at worst conflicts on freshly added edges.
+// reliable.Repair withdraws the cheaper endpoint of each conflict, giving
+// an immediately-publishable independent answer tagged degraded, and a
+// repair-tier task upgrades it in the background. Returns the answer key.
+func (s *Server) healAnswer(ng *graph.Graph, hash string, req *SolveRequest, prevSet []bool) string {
+	set := append([]bool(nil), prevSet...)
+	reliable.Repair(ng, set)
+	key := s.refCacheKey(ng, req)
+	s.answers.put(&storedAnswer{
+		Key:       key,
+		GraphHash: hash,
+		Set:       boolsToIndices(set),
+		Weight:    ng.SetWeight(set),
+		Quality:   qualityDegraded,
+		Updated:   time.Now().UTC(),
+	})
+	s.enqueueUpgrade(key, hash, ng, set, req)
+	return key
+}
+
+// enqueueUpgrade hands a degraded answer to the repair tier. The task
+// snapshots the graph version it answers for; the Full callback re-solves
+// component-wise through the same cache adapters as foreground ref solves,
+// so the final answer is bit-identical to an unshedded solve.
+func (s *Server) enqueueUpgrade(key, hash string, g *graph.Graph, set []bool, req *SolveRequest) {
+	cfg, err := req.maxisConfig(s.opts.SolveWorkers)
+	if err != nil {
+		return
+	}
+	cfg.Tracer = s.metrics.engine
+	cfg.TraceLabel = req.Alg
+	s.repairTier.Enqueue(repair.Task{
+		Key:   key,
+		G:     g,
+		Start: append([]bool(nil), set...),
+		Full: func() ([]bool, int64, error) {
+			res, _, err := s.solveComponents(req, g, cfg)
+			if err != nil {
+				return nil, 0, err
+			}
+			return res.Set, res.Weight, nil
+		},
+	})
+}

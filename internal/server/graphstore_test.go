@@ -1,0 +1,452 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"distmwis/internal/graph"
+	"distmwis/internal/graph/gen"
+	"distmwis/internal/reliable"
+)
+
+func graphJSON(t *testing.T, g *graph.Graph) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func putGraph(t *testing.T, ts *httptest.Server, g *graph.Graph) PutGraphResponse {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/graph", bytes.NewReader(graphJSON(t, g)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	var resp PutGraphResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT /v1/graph: %d %s", httpResp.StatusCode, resp.Error)
+	}
+	return resp
+}
+
+func patchGraph(t *testing.T, ts *httptest.Server, hash string, edit graph.Edit) (int, PatchGraphResponse) {
+	t.Helper()
+	body, err := json.Marshal(edit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPatch, ts.URL+"/v1/graph/"+hash, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	var resp PatchGraphResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	return httpResp.StatusCode, resp
+}
+
+func getAnswer(t *testing.T, ts *httptest.Server, key string) (int, storedAnswer) {
+	t.Helper()
+	httpResp, err := http.Get(ts.URL + "/v1/answers/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	var a storedAnswer
+	if err := json.NewDecoder(httpResp.Body).Decode(&a); err != nil {
+		t.Fatal(err)
+	}
+	return httpResp.StatusCode, a
+}
+
+// waitQuality polls the answers registry until key reaches quality, the
+// self-healing observation loop of the soak test in miniature.
+func waitQuality(t *testing.T, ts *httptest.Server, key, quality string) storedAnswer {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, a := getAnswer(t, ts, key)
+		if code == http.StatusOK && qualityRank(a.Quality) >= qualityRank(quality) {
+			return a
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("answer %s never reached quality %s (last: %d %+v)", key, quality, code, a)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// twoIslandGraph returns two disjoint weighted paths: 0..k-1 and k..n-1.
+func twoIslandGraph(t *testing.T, k, n int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n)
+	for v := 0; v < k-1; v++ {
+		b.AddEdge(v, v+1)
+	}
+	for v := k; v < n-1; v++ {
+		b.AddEdge(v, v+1)
+	}
+	for v := 0; v < n; v++ {
+		b.SetWeight(v, int64(1+(v*7)%23))
+	}
+	return b.MustBuild()
+}
+
+// The full dynamic-graph round trip: PUT names a graph by content, a
+// graph_ref solve answers component-wise at full quality, a PATCH moves
+// the handle to a new hash that old hashes still resolve to, and the
+// post-PATCH solve reflects the mutation.
+func TestGraphPutPatchSolve(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	g := twoIslandGraph(t, 8, 20)
+
+	put := putGraph(t, ts, g)
+	if put.Hash != g.HashString() || put.N != 20 || put.Components != 2 {
+		t.Fatalf("put = %+v", put)
+	}
+	// Idempotent re-PUT resolves to the same handle.
+	if again := putGraph(t, ts, g); again.Hash != put.Hash {
+		t.Fatalf("re-put changed hash: %+v", again)
+	}
+
+	code, resp := postSolve(t, ts, SolveRequest{GraphRef: put.Hash, Alg: "goodnodes", Seed: 3})
+	if code != http.StatusOK || resp.Status != "done" {
+		t.Fatalf("ref solve failed: %d %+v", code, resp)
+	}
+	if resp.Quality != "full" || resp.AnswerKey == "" || resp.GraphHash != put.Hash {
+		t.Fatalf("ref solve response: %+v", resp)
+	}
+	if !g.IsIndependentSet(indicesToSet(g.N(), resp.Set)) {
+		t.Fatal("ref answer is not independent")
+	}
+
+	code, patch := patchGraph(t, ts, put.Hash, graph.Edit{AddEdges: [][2]int32{{0, 19}}})
+	if code != http.StatusOK {
+		t.Fatalf("patch failed: %d %+v", code, patch)
+	}
+	if patch.PrevHash != put.Hash || patch.Hash == put.Hash || patch.Components != 1 {
+		t.Fatalf("patch = %+v", patch)
+	}
+	// Bridging the islands destroyed both old components.
+	if patch.InvalidatedComponents != 2 {
+		t.Fatalf("invalidated %d components, want 2", patch.InvalidatedComponents)
+	}
+	if !patch.Healed || patch.AnswerKey == "" {
+		t.Fatalf("patch should heal the prior full answer: %+v", patch)
+	}
+
+	// The old hash keeps resolving — to the CURRENT state.
+	code, resp2 := postSolve(t, ts, SolveRequest{GraphRef: put.Hash, Alg: "goodnodes", Seed: 3})
+	if code != http.StatusOK || resp2.GraphHash != patch.Hash {
+		t.Fatalf("stale-hash solve: %d %+v", code, resp2)
+	}
+	ng, _, err := g.ApplyEdit(graph.Edit{AddEdges: [][2]int32{{0, 19}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ng.IsIndependentSet(indicesToSet(ng.N(), resp2.Set)) {
+		t.Fatal("post-patch answer not independent on the new graph")
+	}
+}
+
+// Self-healing end to end: the healed answer published by a PATCH starts
+// degraded and is republished by the repair tier as improved and then full
+// — each step independent, the final step bit-identical to a foreground
+// solve of the new version.
+func TestPatchHealsAndRepairTierUpgrades(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2, RepairInterval: time.Millisecond})
+	g := twoIslandGraph(t, 8, 20)
+	put := putGraph(t, ts, g)
+
+	if _, resp := postSolve(t, ts, SolveRequest{GraphRef: put.Hash, Alg: "goodnodes", Seed: 3}); resp.Status != "done" {
+		t.Fatalf("seed solve failed: %+v", resp)
+	}
+	_, patch := patchGraph(t, ts, put.Hash, graph.Edit{AddEdges: [][2]int32{{2, 13}}, Weights: []graph.WeightUpdate{{V: 5, W: 100}}})
+	if !patch.Healed {
+		t.Fatalf("expected heal: %+v", patch)
+	}
+	ng, _, err := g.ApplyEdit(graph.Edit{AddEdges: [][2]int32{{2, 13}}, Weights: []graph.WeightUpdate{{V: 5, W: 100}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The healed answer is available immediately at degraded-or-better
+	// quality and is always independent on the new version.
+	_, healed := getAnswer(t, ts, patch.AnswerKey)
+	if healed.Quality == "" {
+		t.Fatalf("healed answer missing: %+v", healed)
+	}
+	if !ng.IsIndependentSet(indicesToSet(ng.N(), healed.Set)) {
+		t.Fatal("healed answer not independent")
+	}
+
+	full := waitQuality(t, ts, patch.AnswerKey, "full")
+	if !ng.IsIndependentSet(indicesToSet(ng.N(), full.Set)) {
+		t.Fatal("full upgrade not independent")
+	}
+	if full.GraphHash != patch.Hash {
+		t.Fatalf("full answer hash %s, want %s", full.GraphHash, patch.Hash)
+	}
+	// Bit-identical to the foreground component-wise solve of the same
+	// content: solving now must hit the cache entry the upgrade promoted.
+	code, resp := postSolve(t, ts, SolveRequest{GraphRef: patch.Hash, Alg: "goodnodes", Seed: 3})
+	if code != http.StatusOK {
+		t.Fatalf("post-upgrade solve: %d %+v", code, resp)
+	}
+	if !resp.Cached {
+		t.Fatalf("upgrade should have promoted the full answer into the cache: %+v", resp)
+	}
+	if resp.Weight != full.Weight || len(resp.Set) != len(full.Set) {
+		t.Fatalf("cache-promoted answer differs: %+v vs %+v", resp, full)
+	}
+	for i := range resp.Set {
+		if resp.Set[i] != full.Set[i] {
+			t.Fatal("cache-promoted set not bit-identical to the published upgrade")
+		}
+	}
+}
+
+// Degraded graph_ref solves are a deferred promise: the response carries
+// the answer key, and the repair tier upgrades the published answer to
+// full quality in the background.
+func TestDegradedRefSolveSelfHeals(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2, RepairInterval: time.Millisecond})
+	g := gen.Weighted(gen.GNP(60, 0.08, 9), gen.PolyWeights(2), 9)
+	put := putGraph(t, ts, g)
+
+	code, resp := postSolve(t, ts, SolveRequest{GraphRef: put.Hash, Alg: "goodnodes", Seed: 5, Degraded: true})
+	if code != http.StatusOK || !resp.Degraded || resp.Quality != "degraded" || resp.AnswerKey == "" {
+		t.Fatalf("degraded ref solve: %d %+v", code, resp)
+	}
+	full := waitQuality(t, ts, resp.AnswerKey, "full")
+	if !g.IsIndependentSet(indicesToSet(g.N(), full.Set)) {
+		t.Fatal("upgraded answer not independent")
+	}
+	// "full" is a provenance tag, not a weight claim: it promises the
+	// answer the requested algorithm would have computed without shedding.
+	// A later foreground solve must therefore agree bit for bit.
+	code, again := postSolve(t, ts, SolveRequest{GraphRef: put.Hash, Alg: "goodnodes", Seed: 5})
+	if code != http.StatusOK || again.Weight != full.Weight || len(again.Set) != len(full.Set) {
+		t.Fatalf("foreground solve disagrees with upgrade: %d %+v vs %+v", code, again, full)
+	}
+	for i := range again.Set {
+		if again.Set[i] != full.Set[i] {
+			t.Fatal("upgraded answer not bit-identical to the foreground solve")
+		}
+	}
+}
+
+// A PATCH confined to one component invalidates exactly that component,
+// and the untouched component's cached answer is reused by the next solve.
+func TestComponentGranularInvalidation(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 2})
+	g := twoIslandGraph(t, 8, 20)
+	put := putGraph(t, ts, g)
+
+	if _, resp := postSolve(t, ts, SolveRequest{GraphRef: put.Hash, Alg: "goodnodes", Seed: 3}); resp.Status != "done" {
+		t.Fatalf("seed solve failed: %+v", resp)
+	}
+	// Edit inside the second island only.
+	code, patch := patchGraph(t, ts, put.Hash, graph.Edit{AddEdges: [][2]int32{{9, 18}}})
+	if code != http.StatusOK || patch.InvalidatedComponents != 1 {
+		t.Fatalf("one-island patch: %d %+v", code, patch)
+	}
+	_, _, _, _, invalidations, _, _ := s.cache.stats()
+	if invalidations == 0 {
+		t.Fatal("invalidation evicted no cache entries")
+	}
+	if _, resp := postSolve(t, ts, SolveRequest{GraphRef: patch.Hash, Alg: "goodnodes", Seed: 3}); resp.Status != "done" {
+		t.Fatalf("post-patch solve failed: %+v", resp)
+	}
+}
+
+// The graph journal: every PUT and PATCH is durable before its ack, a
+// restart replays them bit-identically (verified against the journaled
+// hashes), aliases survive, and the journal is snapshot-compacted to put
+// records only.
+func TestGraphJournalReplayAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "graphs.wal")
+	g := twoIslandGraph(t, 8, 20)
+	edit := graph.Edit{AddEdges: [][2]int32{{0, 19}}, Weights: []graph.WeightUpdate{{V: 1, W: 50}}}
+
+	s1 := New(Options{Workers: 2})
+	if n, err := s1.OpenGraphJournal(path); err != nil || n != 0 {
+		t.Fatalf("first open: n=%d err=%v", n, err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	put := putGraph(t, ts1, g)
+	code, patch := patchGraph(t, ts1, put.Hash, edit)
+	if code != http.StatusOK {
+		t.Fatalf("patch: %d %+v", code, patch)
+	}
+	ts1.Close()
+	if err := s1.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := New(Options{Workers: 2})
+	replayed, err := s2.OpenGraphJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != 2 {
+		t.Fatalf("replayed %d records, want 2 (put + patch)", replayed)
+	}
+	t.Cleanup(func() { _ = s2.Drain(); _ = s2.Close() })
+
+	// Both the current hash and the pre-patch alias resolve to the state
+	// the dead process acknowledged.
+	for _, h := range []string{patch.Hash, put.Hash} {
+		rg, hash, ok := s2.graphs.snapshot(h)
+		if !ok {
+			t.Fatalf("hash %s lost across restart", h)
+		}
+		if hash != patch.Hash || rg.HashString() != patch.Hash {
+			t.Fatalf("replayed state %s, want %s", hash, patch.Hash)
+		}
+		if rg.Weight(1) != 50 || !rg.HasEdge(0, 19) {
+			t.Fatal("replayed graph missing the journaled mutation")
+		}
+	}
+
+	// Compaction: the rewritten journal holds one put snapshot, no patches.
+	f, err := reliable.ReadWAL(bytes.NewReader(readFile(t, path)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f) != 1 {
+		t.Fatalf("compacted journal has %d records, want 1 snapshot", len(f))
+	}
+	var d graphWALData
+	if err := json.Unmarshal(f[0].Data, &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Kind != "put" || len(d.Aliases) != 1 || d.Aliases[0] != put.Hash {
+		t.Fatalf("snapshot record = kind %s aliases %v", d.Kind, d.Aliases)
+	}
+}
+
+// Crash-mid-PATCH simulation: a journaled-but-unacknowledged mutation is
+// exactly as durable as an acknowledged one. Writing the apply record by
+// hand and booting replays it.
+func TestGraphJournalRecoversUnackedPatch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "graphs.wal")
+	g := twoIslandGraph(t, 8, 20)
+	edit := graph.Edit{AddEdges: [][2]int32{{3, 15}}}
+	ng, _, err := g.ApplyEdit(edit)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wal, _, err := reliable.OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	putData, _ := json.Marshal(graphWALData{Kind: "put", Graph: buf.Bytes()})
+	if err := wal.Apply("g-1", json.RawMessage(putData)); err != nil {
+		t.Fatal(err)
+	}
+	patchData, _ := json.Marshal(graphWALData{Kind: "patch", Prev: g.HashString(), Next: ng.HashString(), Edit: &edit})
+	if err := wal.Apply("g-1", json.RawMessage(patchData)); err != nil {
+		t.Fatal(err)
+	}
+	wal.Close() // the crash: no ack ever left the process
+
+	s := New(Options{Workers: 1})
+	if _, err := s.OpenGraphJournal(path); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Drain(); _ = s.Close() })
+	rg, _, ok := s.graphs.snapshot(ng.HashString())
+	if !ok || !rg.HasEdge(3, 15) {
+		t.Fatal("journaled-but-unacked mutation lost")
+	}
+}
+
+// PATCH error surface: unknown handles 404, malformed edits 400, and a
+// failed edit moves nothing.
+func TestPatchValidation(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	g := twoIslandGraph(t, 4, 8)
+	put := putGraph(t, ts, g)
+
+	if code, _ := patchGraph(t, ts, "deadbeef", graph.Edit{AddEdges: [][2]int32{{0, 1}}}); code != http.StatusNotFound {
+		t.Fatalf("unknown hash: %d", code)
+	}
+	if code, _ := patchGraph(t, ts, put.Hash, graph.Edit{}); code != http.StatusBadRequest {
+		t.Fatalf("empty edit: %d", code)
+	}
+	if code, _ := patchGraph(t, ts, put.Hash, graph.Edit{AddEdges: [][2]int32{{0, 99}}}); code != http.StatusBadRequest {
+		t.Fatalf("out-of-range edit: %d", code)
+	}
+	if code, resp := patchGraph(t, ts, put.Hash, graph.Edit{Weights: []graph.WeightUpdate{{V: 0, W: -1}}}); code != http.StatusBadRequest || resp.Error == "" {
+		t.Fatalf("negative weight: %d %+v", code, resp)
+	}
+	// The handle is untouched by the failures.
+	httpResp, err := http.Get(ts.URL + "/v1/graph/" + put.Hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	var info PutGraphResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Hash != put.Hash || info.Version != 0 {
+		t.Fatalf("failed patches moved the handle: %+v", info)
+	}
+}
+
+// graph_ref request-shape validation: async is rejected, unknown refs 404.
+func TestRefSolveValidation(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	if code, _ := postSolve(t, ts, SolveRequest{GraphRef: "abc", Async: true}); code != http.StatusBadRequest {
+		t.Fatalf("async ref solve: %d", code)
+	}
+	if code, _ := postSolve(t, ts, SolveRequest{GraphRef: "abc"}); code != http.StatusNotFound {
+		t.Fatalf("unknown ref: %d", code)
+	}
+	if code, _ := postSolve(t, ts, SolveRequest{}); code != http.StatusBadRequest {
+		t.Fatalf("no source: %d", code)
+	}
+}
+
+func readFile(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}

@@ -34,11 +34,14 @@ func (s *Server) OpenJournal(path string) (int, error) {
 	if s.wal != nil {
 		return 0, fmt.Errorf("server: journal already open at %s", s.wal.Path())
 	}
-	wal, pending, err := reliable.OpenWAL(path)
+	wal, retained, err := reliable.OpenWAL(path)
 	if err != nil {
 		return 0, err
 	}
 	s.wal = wal
+	// The request journal holds only begin/commit records; PendingWAL also
+	// screens out any apply records a misconfigured path might mix in.
+	pending := reliable.PendingWAL(retained)
 
 	// Job IDs keep their original names across the restart so clients can
 	// still poll them; bump the sequence past every recovered ID so new

@@ -113,13 +113,16 @@ func (m *metrics) write(w io.Writer, srv *Server) {
 	gauge := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
 	}
+	gaugeF := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
 	counter("maxisd_requests_total", "Solve requests accepted for processing.", m.requests.Load())
 	counter("maxisd_rejected_total", "Requests rejected by the token bucket (429).", m.rejected.Load())
 	counter("maxisd_degraded_total", "Requests answered by the degraded greedy tier.", m.shed.Load())
 	counter("maxisd_failures_total", "Solves that returned an error.", m.failures.Load())
 	counter("maxisd_deadline_total", "Jobs that missed their deadline.", m.deadlines.Load())
 
-	hits, misses, evictions, dedups, used, entries := srv.cache.stats()
+	hits, misses, evictions, dedups, invalidations, used, entries := srv.cache.stats()
 	counter("maxisd_cache_hits_total", "Content-addressed cache hits.", hits)
 	counter("maxisd_cache_misses_total", "Content-addressed cache misses.", misses)
 	counter("maxisd_cache_evictions_total", "Entries evicted by the byte budget.", evictions)
@@ -134,6 +137,25 @@ func (m *metrics) write(w io.Writer, srv *Server) {
 	counter("maxisd_worker_panics_total", "Jobs failed by a worker panic.", srv.sched.panics.Load())
 	counter("maxisd_worker_restarts_total", "Worker goroutines replaced after a panic.", srv.sched.restarts.Load())
 	counter("maxisd_journal_recovered_total", "Jobs re-enqueued from the write-ahead journal at boot.", srv.recovered.Load())
+	counter("maxisd_cache_invalidations_total", "Entries evicted by component-granular invalidation.", invalidations)
+
+	// Dynamic-graph subsystem: mutation volume, invalidation granularity
+	// and the self-healing pipeline's progress.
+	srv.graphs.mu.Lock()
+	graphs := int64(len(srv.graphs.order))
+	mutations, invalidatedComps, healed := srv.graphs.mutations, srv.graphs.invalidated, srv.graphs.healed
+	srv.graphs.mu.Unlock()
+	gauge("maxisd_graphs", "Dynamic graph handles currently stored.", graphs)
+	counter("maxisd_graph_mutations_total", "Graph PATCHes applied and journaled.", mutations)
+	counter("maxisd_invalidated_components_total", "Connected components whose cached answers a mutation evicted.", invalidatedComps)
+	counter("maxisd_healed_answers_total", "Answers healed onto a new graph version after a PATCH.", healed)
+
+	rep := srv.repairTier.Stats()
+	gauge("maxisd_repair_queue_depth", "Degraded answers waiting for the background repair tier.", int64(rep.QueueDepth))
+	counter("maxisd_repair_improved_total", "Answers upgraded to improved quality (greedy re-admission).", rep.Improved)
+	counter("maxisd_repair_upgrades_total", "Answers upgraded to full quality (background re-solve).", rep.Upgraded)
+	counter("maxisd_repair_dropped_total", "Upgrade tasks dropped by the bounded repair queue.", rep.Dropped)
+	gaugeF("maxisd_answer_staleness_seconds", "Age of the oldest degraded answer awaiting upgrade.", rep.OldestWaitSeconds)
 
 	if inj := srv.opts.Chaos; inj != nil {
 		st := inj.Stats()

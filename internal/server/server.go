@@ -15,6 +15,7 @@ import (
 	"distmwis/internal/graph"
 	"distmwis/internal/maxis"
 	"distmwis/internal/reliable"
+	"distmwis/internal/repair"
 )
 
 // Options configures a Server. The zero value is usable; every field has a
@@ -50,6 +51,15 @@ type Options struct {
 	// wraps the HTTP API and its job hook runs before every scheduled
 	// solve (see internal/chaos). Nil means no injection.
 	Chaos *chaos.Injector
+	// RepairInterval, RepairBudget and RepairQueueDepth configure the
+	// background repair tier that upgrades degraded graph_ref answers
+	// (defaults 50ms, 4096 admit-examinations per tick, 256 queued tasks;
+	// see internal/repair).
+	RepairInterval   time.Duration
+	RepairBudget     int
+	RepairQueueDepth int
+	// AnswerHistory bounds the GET /v1/answers registry (default 4096).
+	AnswerHistory int
 }
 
 func (o Options) withDefaults() Options {
@@ -83,6 +93,9 @@ func (o Options) withDefaults() Options {
 	if o.RestartBudget == 0 {
 		o.RestartBudget = 32
 	}
+	if o.AnswerHistory <= 0 {
+		o.AnswerHistory = 4096
+	}
 	return o
 }
 
@@ -99,6 +112,13 @@ type Server struct {
 	jobs     *jobStore
 	jobSeq   atomic.Int64
 	shutdown atomic.Bool
+
+	// The dynamic-graph subsystem: mutable graph handles (graphstore.go),
+	// the published-answer registry and the background repair tier that
+	// upgrades degraded answers (answers.go, internal/repair).
+	graphs     *graphStore
+	answers    *answerRegistry
+	repairTier *repair.Tier
 
 	// wal, when set via OpenJournal, durably records every accepted async
 	// job before the 202 is written and retires it when it reaches a
@@ -118,7 +138,15 @@ func New(opts Options) *Server {
 		bucket:  newTokenBucket(opts.Rate, opts.Burst),
 		metrics: newMetrics(),
 		jobs:    newJobStore(opts.JobHistory),
+		graphs:  newGraphStore(),
+		answers: newAnswerRegistry(opts.AnswerHistory),
 	}
+	s.repairTier = repair.New(repair.Options{
+		Budget:     opts.RepairBudget,
+		Interval:   opts.RepairInterval,
+		QueueDepth: opts.RepairQueueDepth,
+		Publish:    s.publishUpgrade,
+	})
 	if opts.Chaos != nil {
 		s.sched.hook = opts.Chaos.JobHook()
 	}
@@ -131,6 +159,10 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("PUT /v1/graph", s.handlePutGraph)
+	mux.HandleFunc("GET /v1/graph/{hash}", s.handleGetGraph)
+	mux.HandleFunc("PATCH /v1/graph/{hash}", s.handlePatchGraph)
+	mux.HandleFunc("GET /v1/answers/{key}", s.handleGetAnswer)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -177,19 +209,32 @@ func (s *Server) BeginShutdown() { s.shutdown.Store(true) }
 
 // Drain completes graceful shutdown: stops the worker pool after every
 // accepted job finished, or errors after the configured drain timeout.
+// The repair tier stops first — abandoning queued upgrades is safe (the
+// degraded answers stay served, and a future boot's solves re-derive the
+// full ones) while leaking its goroutine is not.
 func (s *Server) Drain() error {
 	s.BeginShutdown()
+	s.repairTier.Stop()
 	return s.sched.drain(s.opts.DrainTimeout)
 }
 
-// Close releases the journal (if open). Call after Drain; jobs completing
+// Close releases the journals (if open). Call after Drain; jobs completing
 // later will fail to commit and simply be re-run on the next boot, which
 // determinism makes harmless.
 func (s *Server) Close() error {
-	if s.wal == nil {
-		return nil
+	var err error
+	if s.wal != nil {
+		err = s.wal.Close()
 	}
-	return s.wal.Close()
+	s.graphs.mu.Lock()
+	gwal := s.graphs.wal
+	s.graphs.mu.Unlock()
+	if gwal != nil {
+		if gerr := gwal.Close(); err == nil {
+			err = gerr
+		}
+	}
+	return err
 }
 
 // ServiceStats is a point-in-time snapshot of the scheduler and journal
@@ -202,10 +247,20 @@ type ServiceStats struct {
 	WorkerPanics     int64 // jobs failed by a worker panic
 	WorkerRestarts   int64 // worker goroutines replaced after a panic
 	JournalRecovered int64 // jobs re-enqueued from the journal at boot
+
+	Mutations             int64 // graph PATCHes applied
+	InvalidatedComponents int64 // cached components evicted by mutations
+	RepairQueueDepth      int64 // degraded answers awaiting upgrade
+	RepairImproved        int64 // answers upgraded to improved quality
+	RepairUpgrades        int64 // answers upgraded to full quality
 }
 
 // Stats snapshots the service counters.
 func (s *Server) Stats() ServiceStats {
+	s.graphs.mu.Lock()
+	mutations, invalidated := s.graphs.mutations, s.graphs.invalidated
+	s.graphs.mu.Unlock()
+	rep := s.repairTier.Stats()
 	return ServiceStats{
 		JobsDone:         s.sched.done.Load(),
 		JobsExpired:      s.sched.expired.Load(),
@@ -214,6 +269,12 @@ func (s *Server) Stats() ServiceStats {
 		WorkerPanics:     s.sched.panics.Load(),
 		WorkerRestarts:   s.sched.restarts.Load(),
 		JournalRecovered: s.recovered.Load(),
+
+		Mutations:             mutations,
+		InvalidatedComponents: invalidated,
+		RepairQueueDepth:      int64(rep.QueueDepth),
+		RepairImproved:        rep.Improved,
+		RepairUpgrades:        rep.Upgraded,
 	}
 }
 
@@ -285,6 +346,11 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := req.normalize(); err != nil {
 		errorResponse(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Dynamic-graph solves take the component-wise incremental path.
+	if req.GraphRef != "" {
+		s.handleRefSolve(w, r, &req, start)
 		return
 	}
 	// Fast path: a repeat generator-spec request whose result is still
@@ -466,6 +532,15 @@ func (s *Server) execute(ctx context.Context, req *SolveRequest, p prepared, id 
 // times out the completed work is kept. A worker panic fails this job only:
 // the typed error surfaces here while the worker restarts.
 func (s *Server) runScheduled(ctx context.Context, req *SolveRequest, g *graph.Graph, cfg maxis.Config, key string) (*cacheEntry, error) {
+	return s.runScheduledFn(ctx, req.Priority, key, func() (*cacheEntry, error) {
+		return s.solve(req, g, cfg, key)
+	}, !req.NoCache)
+}
+
+// runScheduledFn is the scheduling core shared by the static and dynamic
+// solve paths: enqueue solve as one worker-pool job under key, cache its
+// entry on success when cacheResult is set, and wait.
+func (s *Server) runScheduledFn(ctx context.Context, priority, key string, solve func() (*cacheEntry, error), cacheResult bool) (*cacheEntry, error) {
 	type outcome struct {
 		entry *cacheEntry
 		err   error
@@ -473,13 +548,13 @@ func (s *Server) runScheduled(ctx context.Context, req *SolveRequest, g *graph.G
 	ch := make(chan outcome, 1)
 	j := &job{
 		id:       key,
-		priority: req.Priority,
+		priority: priority,
 		ctx:      ctx,
 		skipped:  make(chan struct{}),
 		failed:   make(chan error, 1),
 		run: func(context.Context) {
-			entry, err := s.solve(req, g, cfg, key)
-			if err == nil && !req.NoCache {
+			entry, err := solve()
+			if err == nil && cacheResult {
 				s.cache.put(entry)
 			}
 			ch <- outcome{entry, err}

@@ -145,7 +145,7 @@ func TestSolveInlineGraphAndCacheHit(t *testing.T) {
 	if fmt.Sprint(first.Set) != fmt.Sprint(second.Set) || first.Weight != second.Weight {
 		t.Fatal("cached result differs from the original solve")
 	}
-	hits, _, _, _, _, _ := s.cache.stats()
+	hits, _, _, _, _, _, _ := s.cache.stats()
 	if hits == 0 {
 		t.Fatal("cache hit counter not incremented")
 	}
