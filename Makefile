@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet lint build build-cmds test race fuzz experiments recovery-sweep serve loadtest smoke chaos-soak mutate-soak bench-serve bench-json bench-diff bench-scale clean
+.PHONY: all vet lint build build-cmds test race fuzz experiments recovery-sweep serve loadtest smoke chaos-soak mutate-soak cluster-soak bench-serve bench-json bench-diff bench-scale clean
 
 # PR number stamped into the bench-json report filename.
 PR ?= 6
@@ -66,6 +66,13 @@ chaos-soak:
 # Used by the CI chaos-smoke job.
 mutate-soak:
 	$(GO) test -race -run TestMutationSoak -count=1 -v ./internal/soak/
+
+# Deterministic sharded-serving soak: three chaos-injected backends behind
+# the cluster coordinator, one killed mid-run; asserts ≥99% availability,
+# verified answers, and the prober settling on the survivors.
+# Used by the CI chaos-smoke job.
+cluster-soak:
+	$(GO) test -race -run TestClusterSoak -count=1 -v ./internal/soak/
 
 # Serving-layer benchmarks: cache hit vs cold solve, scheduler overhead.
 bench-serve:

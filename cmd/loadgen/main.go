@@ -22,6 +22,13 @@
 // The report then breaks latency percentiles out per op type (solve vs
 // patch).
 //
+// With -targets U1,U2,... the generator drives a whole backend fleet:
+// each request routes over a consistent-hash ring keyed by its graph-spec
+// identity — the same discipline the cluster front tier uses — so repeat
+// content exercises per-backend caches instead of smearing across the
+// fleet. Mutation traffic (-mutate) stays pinned to the first target,
+// since dynamic handles are per-node state.
+//
 // Without -slo the exit code is non-zero if any request failed, which
 // makes a short loadgen burst a usable CI smoke assertion.
 package main
@@ -42,6 +49,7 @@ import (
 	"time"
 
 	"distmwis/internal/chaos"
+	"distmwis/internal/cluster"
 	"distmwis/internal/graph"
 	"distmwis/internal/graph/gen"
 	"distmwis/internal/server"
@@ -74,6 +82,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		addr        = fs.String("addr", "http://localhost:8080", "maxisd base URL")
+		targets     = fs.String("targets", "", "comma-separated maxisd base URLs; overrides -addr and routes each request over a consistent-hash ring, mirroring the cluster front tier")
 		rps         = fs.Float64("rps", 500, "target request rate (0 = as fast as the loop allows)")
 		concurrency = fs.Int("concurrency", 16, "closed-loop worker count")
 		duration    = fs.Duration("duration", 10*time.Second, "run length")
@@ -123,14 +132,42 @@ func run(args []string, stdout, stderr io.Writer) int {
 		kinds[i] = strings.TrimSpace(kinds[i])
 	}
 
-	cl := client.New(*addr, client.Options{
-		Timeout:          *timeout,
-		MaxRetries:       *retries,
-		HedgeAfter:       *hedge,
-		Seed:             *seed,
-		BreakerThreshold: *breaker,
-		BreakerCooldown:  *cooldown,
-	})
+	// One retrying client per target. With -targets, requests route over
+	// the same consistent-hash discipline the cluster front tier uses, so
+	// repeat content lands on the backend whose cache already holds it.
+	bases := []string{*addr}
+	if *targets != "" {
+		bases = bases[:0]
+		for _, u := range strings.Split(*targets, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				bases = append(bases, u)
+			}
+		}
+		if len(bases) == 0 {
+			fmt.Fprintln(stderr, "loadgen: -targets holds no URLs")
+			return 1
+		}
+	}
+	clients := make(map[string]*client.Client, len(bases))
+	for _, base := range bases {
+		clients[base] = client.New(base, client.Options{
+			Timeout:          *timeout,
+			MaxRetries:       *retries,
+			HedgeAfter:       *hedge,
+			Seed:             *seed,
+			BreakerThreshold: *breaker,
+			BreakerCooldown:  *cooldown,
+		})
+	}
+	ring := cluster.NewRing(128)
+	ring.Set(bases)
+	pick := func(key string) *client.Client {
+		member, _ := ring.Lookup(key) // ring is never empty here
+		return clients[member]
+	}
+	// Mutation traffic pins to one backend: the shared handle lives where
+	// it was PUT, and handles are per-node state, not fleet state.
+	cl := clients[bases[0]]
 	var t tally
 	// Dynamic-graph mode: all traffic targets one shared handle — the
 	// -mutate fraction PATCHes it with deterministic chaos storm batches,
@@ -259,7 +296,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 				if rng.Float64() < *batchFrac {
 					req.Priority = "batch"
 				}
-				issue(cl, req, &t)
+				// Route by the content key (spec identity) so repeats of a
+				// pooled seed always hit the same backend's cache.
+				issue(pick(fmt.Sprintf("%s|%d|%g|%s|%d", kind, gs.N, gs.P, gs.Weights, gs.Seed)), req, &t)
 			}
 		}(w)
 	}
@@ -267,7 +306,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	close(stopFill)
 	elapsed := time.Since(start)
 
-	report(stdout, &t, cl.Stats(), elapsed)
+	var cs client.Stats
+	for _, c := range clients {
+		s := c.Stats()
+		cs.Attempts += s.Attempts
+		cs.Retries += s.Retries
+		cs.Hedges += s.Hedges
+		cs.BreakerOpens += s.BreakerOpens
+		cs.Fallbacks += s.Fallbacks
+	}
+	report(stdout, &t, cs, elapsed)
 	sent, failed := t.sent.Load(), t.failed.Load()
 	if *slo > 0 {
 		ratio := 0.0

@@ -6,6 +6,7 @@
 // Endpoints:
 //
 //	POST  /v1/solve            solve a graph (sync, async, or by graph_ref)
+//	POST  /v1/cluster/solve    fan a solve out over the -backends fleet (with -cluster)
 //	GET   /v1/jobs/{id}        poll an async job
 //	PUT   /v1/graph            upload a dynamic graph handle
 //	GET   /v1/graph/{hash}     inspect a handle (any hash it has ever had)
@@ -28,6 +29,13 @@
 // tune the background tier that upgrades degraded answers. -chaos installs
 // the seeded fault injector of internal/chaos for soak testing.
 //
+// -cluster turns the node into a sharded-serving front tier: POST
+// /v1/cluster/solve partitions the request's graph (internal/partition),
+// fans the parts out over the -backends fleet, reconciles cut-edge
+// conflicts and returns a verified independent set with per-partition
+// provenance. The node's own single-node API stays fully available — the
+// front tier is an addition, not a mode switch.
+//
 // SIGINT and SIGTERM are equivalent: both start a graceful shutdown — new
 // requests get 503, accepted jobs finish, and the process exits within
 // -drain-timeout, logging the drain outcome.
@@ -42,12 +50,26 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"distmwis/internal/chaos"
+	"distmwis/internal/cluster"
 	"distmwis/internal/server"
 )
+
+// splitCSV splits a comma-separated list, trimming whitespace and dropping
+// empty entries.
+func splitCSV(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
@@ -75,6 +97,11 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		repairEvery  = fs.Duration("repair-interval", 0, "background repair tier tick interval (0 = default 50ms)")
 		repairBudget = fs.Int("repair-budget", 0, "re-admission examinations per repair tick (0 = default 4096)")
 		chaosSpec    = fs.String("chaos", "", "chaos schedule, e.g. seed=7,err=0.05,latency=0.1:20ms,panic-every=40 (empty disables)")
+		fsyncWindow  = fs.Duration("graph-fsync-window", 0, "graph journal group-commit window (0 = default 2ms, negative = sync per record)")
+		fsyncBatch   = fs.Int("graph-fsync-batch", 0, "graph journal records forcing an early group-commit sync (0 = default 32)")
+		clusterMode  = fs.Bool("cluster", false, "front a backend fleet: fan solves out over -backends via POST /v1/cluster/solve")
+		backendsCSV  = fs.String("backends", "", "comma-separated backend base URLs for -cluster, e.g. http://10.0.0.1:8080,http://10.0.0.2:8080")
+		partitions   = fs.Int("partitions", 0, "parts per fanned-out cluster solve (0 = backend count)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -85,6 +112,18 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	}
 	if *repairEvery < 0 || *repairBudget < 0 {
 		fmt.Fprintln(stderr, "maxisd: -repair-interval and -repair-budget must be non-negative")
+		return 1
+	}
+	if *clusterMode && *backendsCSV == "" {
+		fmt.Fprintln(stderr, "maxisd: -cluster requires -backends")
+		return 1
+	}
+	if !*clusterMode && (*backendsCSV != "" || *partitions != 0) {
+		fmt.Fprintln(stderr, "maxisd: -backends and -partitions require -cluster")
+		return 1
+	}
+	if *partitions < 0 {
+		fmt.Fprintln(stderr, "maxisd: -partitions must be non-negative")
 		return 1
 	}
 	var injector *chaos.Injector
@@ -98,20 +137,38 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		fmt.Fprintf(stdout, "maxisd: chaos injection armed (%s)\n", sched.String())
 	}
 
-	s := server.New(server.Options{
-		Workers:        *workers,
-		SolveWorkers:   *solveWorkers,
-		QueueDepth:     *queueDepth,
-		CacheBytes:     *cacheBytes,
-		Rate:           *rate,
-		Burst:          *burst,
-		ShedDepth:      *shedDepth,
-		DrainTimeout:   *drainTimeout,
-		RestartBudget:  *restarts,
-		Chaos:          injector,
-		RepairInterval: *repairEvery,
-		RepairBudget:   *repairBudget,
-	})
+	opts := server.Options{
+		Workers:                 *workers,
+		SolveWorkers:            *solveWorkers,
+		QueueDepth:              *queueDepth,
+		CacheBytes:              *cacheBytes,
+		Rate:                    *rate,
+		Burst:                   *burst,
+		ShedDepth:               *shedDepth,
+		DrainTimeout:            *drainTimeout,
+		RestartBudget:           *restarts,
+		Chaos:                   injector,
+		RepairInterval:          *repairEvery,
+		RepairBudget:            *repairBudget,
+		GraphJournalGroupWindow: *fsyncWindow,
+		GraphJournalGroupBatch:  *fsyncBatch,
+	}
+	var coord *cluster.Coordinator
+	if *clusterMode {
+		backends := splitCSV(*backendsCSV)
+		var err error
+		coord, err = cluster.New(backends, cluster.Options{Partitions: *partitions})
+		if err != nil {
+			fmt.Fprintf(stderr, "maxisd: cluster: %v\n", err)
+			return 1
+		}
+		opts.Cluster = coord.Handler()
+		opts.ClusterMetrics = coord.WriteMetrics
+		coord.Start()
+		defer coord.Stop()
+		fmt.Fprintf(stdout, "maxisd: cluster front tier armed (%d backends)\n", len(backends))
+	}
+	s := server.New(opts)
 	if *journal != "" {
 		recovered, err := s.OpenJournal(*journal)
 		if err != nil {

@@ -214,20 +214,23 @@ func TestDaemonGraphJournalSurvivesRestart(t *testing.T) {
 	if code, body = doReq("PATCH", base+"/v1/graph/"+put.Hash, `{"add_edges":[[1,2]]}`); code != http.StatusOK {
 		t.Fatalf("PATCH: code=%d body=%s", code, body)
 	}
+	stop(done, out)
+	// Read the output only after the daemon exited — the done channel is the
+	// happens-before edge; reading the shared buffer while the daemon can
+	// still write (its shutdown lines) is a data race.
 	if !strings.Contains(out.String(), "graph journal "+journal+" open, replayed 0 mutations") {
 		t.Fatalf("missing graph journal boot line:\n%s", out.String())
 	}
-	stop(done, out)
 
 	addr, out, done = boot()
-	if !strings.Contains(out.String(), "replayed 2 mutations") {
-		t.Fatalf("second boot did not replay the journal:\n%s", out.String())
-	}
 	code, body = doReq("GET", "http://"+addr+"/v1/graph/"+put.Hash, "")
 	if code != http.StatusOK || !strings.Contains(body, `"m":3`) || !strings.Contains(body, `"version":1`) {
 		t.Fatalf("restarted handle: code=%d body=%s", code, body)
 	}
 	stop(done, out)
+	if !strings.Contains(out.String(), "replayed 2 mutations") {
+		t.Fatalf("second boot did not replay the journal:\n%s", out.String())
+	}
 }
 
 func TestDaemonBadChaosSpec(t *testing.T) {

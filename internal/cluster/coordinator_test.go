@@ -1,0 +1,388 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"distmwis/internal/graph"
+	"distmwis/internal/server"
+	"distmwis/internal/server/client"
+)
+
+// testFleet is N real maxisd backends on httptest listeners.
+type testFleet struct {
+	servers []*server.Server
+	ts      []*httptest.Server
+	urls    []string
+}
+
+func newFleet(t *testing.T, n int) *testFleet {
+	t.Helper()
+	f := &testFleet{}
+	for i := 0; i < n; i++ {
+		s := server.New(server.Options{Workers: 2})
+		ts := httptest.NewServer(s.Handler())
+		f.servers = append(f.servers, s)
+		f.ts = append(f.ts, ts)
+		f.urls = append(f.urls, ts.URL)
+	}
+	t.Cleanup(func() {
+		for i := range f.servers {
+			f.ts[i].Close()
+			_ = f.servers[i].Close()
+		}
+	})
+	return f
+}
+
+func testOpts() Options {
+	return Options{
+		Partitions:    3,
+		ProbeInterval: -1, // tests drive ProbeOnce directly
+		Client:        client.Options{Timeout: 10 * time.Second, MaxRetries: 1, BackoffBase: time.Millisecond},
+	}
+}
+
+// verifySet rebuilds the request's graph and checks the response set is
+// independent in it, returning the set's weight.
+func verifySet(t *testing.T, req *server.SolveRequest, resp Response) int64 {
+	t.Helper()
+	g, err := req.BuildGraph()
+	if err != nil {
+		t.Fatalf("rebuild graph: %v", err)
+	}
+	set := make([]bool, g.N())
+	for _, v := range resp.Set {
+		set[v] = true
+	}
+	if !g.IsIndependentSet(set) {
+		t.Fatalf("response set is not independent")
+	}
+	if got := g.SetWeight(set); got != resp.Weight {
+		t.Fatalf("response weight %d, recomputed %d", resp.Weight, got)
+	}
+	return resp.Weight
+}
+
+// TestClusterPartitionedSolve is the tentpole acceptance test: a fan-out
+// solve over three backends returns a verified independent set at least as
+// heavy as the single-node degraded tier's answer on the same graph.
+func TestClusterPartitionedSolve(t *testing.T) {
+	fleet := newFleet(t, 3)
+	c, err := New(fleet.urls, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	for _, spec := range []server.GenSpec{
+		{Kind: "gnp", N: 240, P: 0.03, Weights: "uniform", Seed: 11},
+		{Kind: "grid", N: 16, Weights: "poly2", Seed: 3},
+		{Kind: "forests", N: 200, K: 4, Weights: "uniform", Seed: 5},
+	} {
+		req := &server.SolveRequest{Gen: &spec}
+		resp, err := c.Solve(context.Background(), req)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Kind, err)
+		}
+		if resp.Status != "done" || !resp.Verified {
+			t.Fatalf("%s: status=%q verified=%t", spec.Kind, resp.Status, resp.Verified)
+		}
+		if len(resp.Parts) != 3 {
+			t.Fatalf("%s: %d part reports, want 3", spec.Kind, len(resp.Parts))
+		}
+		weight := verifySet(t, req, resp)
+
+		g, _ := req.BuildGraph()
+		_, floor := server.GreedyDegraded(g)
+		if weight < floor {
+			t.Fatalf("%s: cluster weight %d below degraded-tier floor %d", spec.Kind, weight, floor)
+		}
+		for _, p := range resp.Parts {
+			if p.Local {
+				t.Fatalf("%s: part %d fell back locally with all backends alive", spec.Kind, p.Part)
+			}
+			if p.Backend == "" {
+				t.Fatalf("%s: part %d has no backend provenance", spec.Kind, p.Part)
+			}
+		}
+	}
+	st := c.Stats()
+	if st.Partitioned != 3 || st.PartSolves != 9 {
+		t.Fatalf("stats: partitioned=%d partSolves=%d", st.Partitioned, st.PartSolves)
+	}
+}
+
+// TestClusterWholeGraphRoute: small graphs skip partitioning and ride the
+// ring to one backend; the same graph routes to the same backend twice,
+// hitting its content-addressed cache.
+func TestClusterWholeGraphRoute(t *testing.T) {
+	fleet := newFleet(t, 3)
+	c, err := New(fleet.urls, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	req := &server.SolveRequest{Gen: &server.GenSpec{Kind: "cycle", N: 40}}
+	first, err := c.Solve(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Parts) != 1 || first.Parts[0].Backend == "" {
+		t.Fatalf("whole-graph route: parts=%v", first.Parts)
+	}
+	verifySet(t, req, first)
+
+	again, err := c.Solve(context.Background(), &server.SolveRequest{Gen: &server.GenSpec{Kind: "cycle", N: 40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Parts[0].Backend != first.Parts[0].Backend {
+		t.Fatalf("same content routed to %s then %s", first.Parts[0].Backend, again.Parts[0].Backend)
+	}
+	if !again.Parts[0].Cached {
+		t.Fatal("repeat solve missed the backend cache despite identical routing")
+	}
+	if st := c.Stats(); st.WholeGraph != 2 || st.Partitioned != 0 {
+		t.Fatalf("stats: wholeGraph=%d partitioned=%d", st.WholeGraph, st.Partitioned)
+	}
+}
+
+// TestClusterFailover: killing a backend mid-fleet must not fail solves —
+// the coordinator marks it dead on the first transient error and reroutes
+// along the ring.
+func TestClusterFailover(t *testing.T) {
+	fleet := newFleet(t, 3)
+	c, err := New(fleet.urls, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	fleet.ts[1].Close() // dies before any probe has run
+
+	for seed := uint64(1); seed <= 4; seed++ {
+		req := &server.SolveRequest{Gen: &server.GenSpec{Kind: "gnp", N: 150, P: 0.04, Weights: "uniform", Seed: seed}}
+		resp, err := c.Solve(context.Background(), req)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if resp.Status != "done" || !resp.Verified {
+			t.Fatalf("seed %d: status=%q verified=%t", seed, resp.Status, resp.Verified)
+		}
+		verifySet(t, req, resp)
+		for _, p := range resp.Parts {
+			if p.Backend == fleet.urls[1] {
+				t.Fatalf("seed %d: part %d reports the dead backend", seed, p.Part)
+			}
+		}
+	}
+	// The solve path marks the backend dead only if a part key routed to
+	// it; the prober detects the death regardless.
+	c.ProbeOnce(context.Background())
+	if st := c.Stats(); st.BackendsAlive != 2 {
+		t.Fatalf("BackendsAlive = %d after one death, want 2", st.BackendsAlive)
+	}
+}
+
+// TestClusterAllDeadFallback: with every backend gone the coordinator
+// answers from its own degraded tier rather than failing — the cluster
+// inherits the single node's availability-over-quality contract.
+func TestClusterAllDeadFallback(t *testing.T) {
+	fleet := newFleet(t, 2)
+	c, err := New(fleet.urls, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	fleet.ts[0].Close()
+	fleet.ts[1].Close()
+	c.ProbeOnce(context.Background())
+	if st := c.Stats(); st.BackendsAlive != 0 {
+		t.Fatalf("BackendsAlive = %d after probing a dead fleet", st.BackendsAlive)
+	}
+
+	req := &server.SolveRequest{Gen: &server.GenSpec{Kind: "grid", N: 12, Weights: "uniform", Seed: 2}}
+	resp, err := c.Solve(context.Background(), req)
+	if err != nil {
+		t.Fatalf("all-dead solve failed instead of degrading: %v", err)
+	}
+	if !resp.Degraded || !resp.Verified || resp.Status != "done" {
+		t.Fatalf("degraded=%t verified=%t status=%q", resp.Degraded, resp.Verified, resp.Status)
+	}
+	if len(resp.Parts) != 1 || !resp.Parts[0].Local {
+		t.Fatalf("parts=%v, want one local part", resp.Parts)
+	}
+	weight := verifySet(t, req, resp)
+	g, _ := req.BuildGraph()
+	if _, floor := server.GreedyDegraded(g); weight != floor {
+		t.Fatalf("local fallback weight %d != degraded tier %d", weight, floor)
+	}
+	if st := c.Stats(); st.Fallbacks != 1 {
+		t.Fatalf("Fallbacks = %d", st.Fallbacks)
+	}
+}
+
+// TestClusterProbeResurrection: ProbeOnce both kills and resurrects; a
+// recovered backend rejoins the ring without operator action.
+func TestClusterProbeResurrection(t *testing.T) {
+	fleet := newFleet(t, 2)
+	c, err := New(fleet.urls, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	// The solve path suspects backend 0 (as it would on a transient error)
+	// and removes it from the ring.
+	c.markDead(c.byName[fleet.urls[0]])
+	if got := c.ring.Members(); len(got) != 1 || got[0] != fleet.urls[1] {
+		t.Fatalf("members after suspected death = %v", got)
+	}
+
+	// The backend is actually healthy: the next probe clears the suspicion
+	// and rebalances it back in.
+	c.ProbeOnce(context.Background())
+	if got := c.ring.Size(); got != 2 {
+		t.Fatalf("ring size after resurrection = %d, want 2", got)
+	}
+	if st := c.Stats(); st.BackendsAlive != 2 {
+		t.Fatalf("BackendsAlive = %d", st.BackendsAlive)
+	}
+
+	// And a genuinely dead backend stays out across probes.
+	fleet.ts[0].Close()
+	c.ProbeOnce(context.Background())
+	c.ProbeOnce(context.Background())
+	if got := c.ring.Members(); len(got) != 1 || got[0] != fleet.urls[1] {
+		t.Fatalf("members after real death = %v", got)
+	}
+}
+
+// TestClusterRejectsUnsupported: graph_ref, async and fault-schedule
+// requests are caller errors at the cluster layer.
+func TestClusterRejectsUnsupported(t *testing.T) {
+	fleet := newFleet(t, 1)
+	c, err := New(fleet.urls, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	cases := []struct {
+		name string
+		req  server.SolveRequest
+	}{
+		{"graph_ref", server.SolveRequest{GraphRef: "sha256:deadbeef"}},
+		{"async", server.SolveRequest{Gen: &server.GenSpec{Kind: "cycle", N: 10}, Async: true}},
+		{"fault", server.SolveRequest{Gen: &server.GenSpec{Kind: "cycle", N: 10}, Fault: &server.FaultSpec{Loss: 0.1}}},
+	}
+	for _, tc := range cases {
+		_, err := c.Solve(context.Background(), &tc.req)
+		var reqErr *RequestError
+		if err == nil || !errors.As(err, &reqErr) {
+			t.Errorf("%s: err = %v, want RequestError", tc.name, err)
+		}
+	}
+}
+
+// TestClusterHandler drives the coordinator through its HTTP face the way
+// the front maxisd mounts it.
+func TestClusterHandler(t *testing.T) {
+	fleet := newFleet(t, 2)
+	c, err := New(fleet.urls, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	front := httptest.NewServer(c.Handler())
+	defer front.Close()
+
+	body, _ := json.Marshal(server.SolveRequest{Gen: &server.GenSpec{Kind: "gnp", N: 120, P: 0.05, Weights: "uniform", Seed: 9}})
+	hr, err := http.Post(front.URL, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", hr.StatusCode)
+	}
+	var resp Response
+	if err := json.NewDecoder(hr.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != "done" || !resp.Verified || len(resp.Set) == 0 {
+		t.Fatalf("handler response: status=%q verified=%t size=%d", resp.Status, resp.Verified, resp.Size)
+	}
+	if !strings.HasPrefix(resp.ID, "cl-") {
+		t.Fatalf("cluster response id %q", resp.ID)
+	}
+
+	// A GET is a method error; a bad body is a 400.
+	if gr, err := http.Get(front.URL); err == nil {
+		if gr.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("GET status %d", gr.StatusCode)
+		}
+		gr.Body.Close()
+	}
+	br, err := http.Post(front.URL, "application/json", strings.NewReader(`{"graph_ref":"x"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.StatusCode != http.StatusBadRequest {
+		t.Fatalf("graph_ref over HTTP: status %d, want 400", br.StatusCode)
+	}
+	br.Body.Close()
+
+	var buf bytes.Buffer
+	c.WriteMetrics(&buf)
+	for _, want := range []string{"cluster_solves_total 1", "cluster_backends_alive 2"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("metrics missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestReadmitMaximality: after forced withdrawals the re-admission pass
+// restores maximality deterministically without breaking independence.
+func TestReadmitMaximality(t *testing.T) {
+	b := graph.NewBuilder(5)
+	// A path 0-1-2-3-4 with heavy ends.
+	for v := 1; v < 5; v++ {
+		b.AddEdge(v-1, v)
+	}
+	for v := 0; v < 5; v++ {
+		b.SetWeight(v, int64(10-v))
+	}
+	g := b.MustBuild()
+	set := make([]bool, 5) // empty after hypothetical withdrawals
+	added := readmit(g, set)
+	if added == 0 {
+		t.Fatal("readmit added nothing to an empty set")
+	}
+	if !g.IsIndependentSet(set) {
+		t.Fatal("readmit broke independence")
+	}
+	for v := 0; v < 5; v++ {
+		if set[v] {
+			continue
+		}
+		free := true
+		for _, u := range g.Neighbors(v) {
+			if set[u] {
+				free = false
+			}
+		}
+		if free {
+			t.Fatalf("node %d admissible but not re-admitted", v)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Ring is a consistent-hash ring over backend names: each member owns a set
+// of virtual points on a 64-bit circle and a key belongs to the member
+// whose point follows the key's hash clockwise. The property the front
+// tier buys with this: membership changes move only the keys adjacent to
+// the changed member's points — about 1/N of the keyspace when one of N
+// members joins or leaves — so the content-addressed caches on the
+// surviving backends stay warm through a rebalance.
+//
+// Concurrency-safe; Set replaces the membership wholesale (the prober's
+// view of alive backends) and Lookup/Sequence are read-side.
+type Ring struct {
+	mu       sync.RWMutex
+	replicas int
+	points   []ringPoint // sorted by hash
+	members  []string    // sorted, deduplicated
+}
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// NewRing builds an empty ring with the given virtual points per member
+// (≤ 0 selects the default 128).
+func NewRing(replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = 128
+	}
+	return &Ring{replicas: replicas}
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// Set replaces the ring's membership. Order of members is irrelevant;
+// duplicates collapse. The point layout of a member depends only on its
+// own name, so members shared between two Set calls keep their exact
+// points — the stability guarantee everything else builds on.
+func (r *Ring) Set(members []string) {
+	uniq := make([]string, 0, len(members))
+	seen := make(map[string]bool, len(members))
+	for _, m := range members {
+		if !seen[m] {
+			seen[m] = true
+			uniq = append(uniq, m)
+		}
+	}
+	sort.Strings(uniq)
+	points := make([]ringPoint, 0, len(uniq)*r.replicas)
+	for _, m := range uniq {
+		for i := 0; i < r.replicas; i++ {
+			points = append(points, ringPoint{hash: hash64(m + "#" + strconv.Itoa(i)), member: m})
+		}
+	}
+	sort.Slice(points, func(a, b int) bool {
+		if points[a].hash != points[b].hash {
+			return points[a].hash < points[b].hash
+		}
+		return points[a].member < points[b].member
+	})
+	r.mu.Lock()
+	r.points = points
+	r.members = uniq
+	r.mu.Unlock()
+}
+
+// Members returns the current membership, sorted.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.members...)
+}
+
+// Size returns the current member count.
+func (r *Ring) Size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}
+
+// Lookup returns the member owning key, or false on an empty ring.
+func (r *Ring) Lookup(key string) (string, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return "", false
+	}
+	return r.points[r.searchLocked(key)].member, true
+}
+
+// Sequence returns every member in ring order starting from key's owner —
+// the deterministic failover order: if the owner is unreachable the next
+// distinct member clockwise takes the key, and so on.
+func (r *Ring) Sequence(key string) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(r.members))
+	seen := make(map[string]bool, len(r.members))
+	for i, start := 0, r.searchLocked(key); i < len(r.points) && len(out) < len(r.members); i++ {
+		m := r.points[(start+i)%len(r.points)].member
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// searchLocked finds the index of the first point at or clockwise-after
+// key's hash.
+func (r *Ring) searchLocked(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap around the circle
+	}
+	return i
+}

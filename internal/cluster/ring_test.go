@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	return keys
+}
+
+// TestRingSingleBackend: with one member, every key has exactly one owner
+// and the failover sequence is that member alone.
+func TestRingSingleBackend(t *testing.T) {
+	r := NewRing(128)
+	r.Set([]string{"http://a"})
+	for _, k := range ringKeys(1000) {
+		m, ok := r.Lookup(k)
+		if !ok || m != "http://a" {
+			t.Fatalf("Lookup(%q) = %q, %t; want the only member", k, m, ok)
+		}
+		seq := r.Sequence(k)
+		if len(seq) != 1 || seq[0] != "http://a" {
+			t.Fatalf("Sequence(%q) = %v", k, seq)
+		}
+	}
+}
+
+// TestRingEmpty: an empty ring owns nothing — the coordinator's cue to
+// fall back to its local degraded tier.
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(0)
+	if _, ok := r.Lookup("anything"); ok {
+		t.Fatal("empty ring claimed to own a key")
+	}
+	if seq := r.Sequence("anything"); seq != nil {
+		t.Fatalf("empty ring returned sequence %v", seq)
+	}
+	if r.Size() != 0 {
+		t.Fatalf("Size = %d", r.Size())
+	}
+	// Set then clear: back to empty.
+	r.Set([]string{"a", "b"})
+	r.Set(nil)
+	if _, ok := r.Lookup("anything"); ok {
+		t.Fatal("cleared ring claimed to own a key")
+	}
+}
+
+// TestRingStabilityOnRemove: removing one of N members must not move any
+// key owned by a survivor — the exact consistent-hashing invariant, not an
+// approximation, since surviving members keep their points.
+func TestRingStabilityOnRemove(t *testing.T) {
+	members := []string{"http://a", "http://b", "http://c", "http://d"}
+	r := NewRing(128)
+	r.Set(members)
+	keys := ringKeys(20000)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k], _ = r.Lookup(k)
+	}
+
+	r.Set([]string{"http://a", "http://b", "http://d"}) // c dies
+	moved := 0
+	for _, k := range keys {
+		after, _ := r.Lookup(k)
+		switch {
+		case before[k] == "http://c":
+			moved++
+			if after == "http://c" {
+				t.Fatalf("key %q still owned by removed member", k)
+			}
+		case after != before[k]:
+			t.Fatalf("key %q moved %s → %s though neither was removed", k, before[k], after)
+		}
+	}
+	// c owned roughly a quarter of the keyspace; its keys are the only
+	// movers.
+	if moved == 0 {
+		t.Fatal("removed member owned zero keys — vnode spread broken")
+	}
+	frac := float64(moved) / float64(len(keys))
+	if frac > 1.0/float64(len(members))+0.06 {
+		t.Fatalf("%.1f%% of keys moved on one removal; want about 1/N = 25%%", 100*frac)
+	}
+}
+
+// TestRingStabilityOnAdd: adding a member moves only keys that now belong
+// to it, about 1/N of the keyspace.
+func TestRingStabilityOnAdd(t *testing.T) {
+	r := NewRing(128)
+	r.Set([]string{"http://a", "http://b", "http://c"})
+	keys := ringKeys(20000)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k], _ = r.Lookup(k)
+	}
+
+	r.Set([]string{"http://a", "http://b", "http://c", "http://d"})
+	moved := 0
+	for _, k := range keys {
+		after, _ := r.Lookup(k)
+		if after == before[k] {
+			continue
+		}
+		if after != "http://d" {
+			t.Fatalf("key %q moved %s → %s, but only the new member may gain keys",
+				k, before[k], after)
+		}
+		moved++
+	}
+	frac := float64(moved) / float64(len(keys))
+	if frac == 0 {
+		t.Fatal("new member gained zero keys")
+	}
+	if frac > 0.25+0.06 {
+		t.Fatalf("%.1f%% of keys moved on one addition; want about 1/N = 25%%", 100*frac)
+	}
+}
+
+// TestRingSequenceDistinct: the failover sequence visits every member
+// exactly once, starting at the owner.
+func TestRingSequenceDistinct(t *testing.T) {
+	members := []string{"a", "b", "c", "d", "e"}
+	r := NewRing(64)
+	r.Set(members)
+	for _, k := range ringKeys(200) {
+		seq := r.Sequence(k)
+		if len(seq) != len(members) {
+			t.Fatalf("Sequence(%q) has %d members, want %d", k, len(seq), len(members))
+		}
+		owner, _ := r.Lookup(k)
+		if seq[0] != owner {
+			t.Fatalf("Sequence(%q) starts at %q, owner is %q", k, seq[0], owner)
+		}
+		seen := make(map[string]bool)
+		for _, m := range seq {
+			if seen[m] {
+				t.Fatalf("Sequence(%q) repeats %q", k, m)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+// TestRingBalance: with enough vnodes the keyspace spreads across members
+// without any member starving or hogging. (Balance tightens with vnode
+// count; 512 holds every member within roughly ±half of fair share.)
+func TestRingBalance(t *testing.T) {
+	members := []string{"http://10.0.0.1:8080", "http://10.0.0.2:8080", "http://10.0.0.3:8080", "http://10.0.0.4:8080"}
+	r := NewRing(512)
+	r.Set(members)
+	counts := make(map[string]int)
+	keys := ringKeys(40000)
+	for _, k := range keys {
+		m, _ := r.Lookup(k)
+		counts[m]++
+	}
+	for _, m := range members {
+		frac := float64(counts[m]) / float64(len(keys))
+		if frac < 0.10 || frac > 0.45 {
+			t.Errorf("member %s owns %.1f%% of keys; vnode spread is off", m, 100*frac)
+		}
+	}
+}
+
+// TestRingDuplicatesCollapse: Set with duplicates behaves as the dedup set.
+func TestRingDuplicatesCollapse(t *testing.T) {
+	r := NewRing(32)
+	r.Set([]string{"a", "b", "a", "b", "a"})
+	if r.Size() != 2 {
+		t.Fatalf("Size = %d after duplicated Set, want 2", r.Size())
+	}
+	if got := r.Members(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Members = %v", got)
+	}
+}

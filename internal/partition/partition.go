@@ -1,0 +1,243 @@
+// Package partition cuts a graph into k balanced node-disjoint parts for
+// distributed solving. The paper's CONGEST algorithms are inherently local,
+// so a large MWIS instance can be split, solved per part on independent
+// backends, and reconciled only along the cut: an edge inside a part is
+// handled by that part's solver, and only the edges crossing parts can
+// introduce conflicts between independently computed sets. The serving
+// tier's reconciler (internal/cluster) repairs exactly those edges with the
+// lower-weight-endpoint-withdraws rule, so the quality cost of sharding is
+// proportional to the cut weight — which is what this package minimises
+// heuristically.
+//
+// Two strategies, chosen automatically:
+//
+//   - component-aware fast path: when the graph has at least k connected
+//     components and they bin-pack under the balance cap, whole components
+//     are distributed and the cut is empty. Sharded solves of such graphs
+//     are exact relative to single-node solves, and each part's content
+//     hash equals the component fingerprints the dynamic-graph cache
+//     already keys by (PR 8), so part answers share those cache lines.
+//   - BFS greedy growing: parts grow breadth-first from lowest-index
+//     seeds, each bounded by an even quota of the remaining nodes. BFS
+//     locality keeps neighbours co-located where the graph has any, which
+//     is what bounds the cut on meshes, trees and other sparse topologies.
+//
+// Both paths are deterministic: the same graph and options always produce
+// the identical partition, which the serving tier relies on for
+// content-addressed routing and cache reuse of per-part answers.
+package partition
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"distmwis/internal/graph"
+)
+
+// Options configures Split.
+type Options struct {
+	// Parts is the requested part count k (required, ≥ 1). Clamped to the
+	// node count; a graph never splits into more parts than nodes.
+	Parts int
+	// Balance caps part sizes at ceil(Balance·n/k) nodes (default 1.2,
+	// must be ≥ 1). The BFS path is exactly balanced (≤ ceil(n/k)) by
+	// construction; the cap governs how uneven the component fast path may
+	// bin-pack before Split falls back to BFS growing.
+	Balance float64
+	// DisableComponents forces the BFS path even when the component fast
+	// path would apply (used by tests and cut-sensitivity experiments).
+	DisableComponents bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Balance == 0 {
+		o.Balance = 1.2
+	}
+	return o
+}
+
+// Partition is the result of one Split: a k-way node partition with the
+// induced part subgraphs and the cut.
+type Partition struct {
+	// K is the actual part count (≤ Options.Parts when the graph is small).
+	K int
+	// Assignment maps each node to its part index in [0, K).
+	Assignment []int32
+	// Parts holds the induced subgraph of each part; Parts[p].ToParent maps
+	// part-local node indices back to the original graph.
+	Parts []*graph.Subgraph
+	// CutEdges lists every edge whose endpoints lie in different parts, as
+	// original-graph index pairs with u < v, sorted ascending. These are
+	// the only edges no part solver sees — the reconciliation frontier.
+	CutEdges [][2]int32
+}
+
+// Split partitions g into opts.Parts balanced parts. Deterministic.
+func Split(g *graph.Graph, opts Options) (*Partition, error) {
+	opts = opts.withDefaults()
+	if opts.Parts < 1 {
+		return nil, fmt.Errorf("partition: Parts must be ≥ 1, got %d", opts.Parts)
+	}
+	if opts.Balance < 1 {
+		return nil, fmt.Errorf("partition: Balance must be ≥ 1, got %g", opts.Balance)
+	}
+	n := g.N()
+	if n == 0 {
+		return &Partition{K: 0, Assignment: []int32{}}, nil
+	}
+	k := opts.Parts
+	if k > n {
+		k = n
+	}
+	capSize := int(math.Ceil(opts.Balance * float64(n) / float64(k)))
+	if min := (n + k - 1) / k; capSize < min {
+		capSize = min
+	}
+
+	var assign []int32
+	if !opts.DisableComponents && k > 1 {
+		assign = componentAssign(g, k, capSize)
+	}
+	if assign == nil {
+		assign = bfsAssign(g, k)
+	}
+	return assemble(g, k, assign), nil
+}
+
+// componentAssign is the fast path: whole connected components bin-packed
+// into parts, giving an empty cut. Returns nil when it does not apply —
+// fewer components than parts (some part would be empty, or a component
+// would need splitting anyway) or packing that breaks the balance cap.
+func componentAssign(g *graph.Graph, k, capSize int) []int32 {
+	comp, count := g.Components()
+	if count < k {
+		return nil
+	}
+	sizes := make([]int, count)
+	first := make([]int32, count) // lowest node index per component
+	for i := range first {
+		first[i] = -1
+	}
+	for v, c := range comp {
+		sizes[c]++
+		if first[c] == -1 {
+			first[c] = int32(v)
+		}
+	}
+	// Largest components first; equal sizes ordered by first node index so
+	// the packing is deterministic.
+	order := make([]int, count)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := order[a], order[b]
+		if sizes[ca] != sizes[cb] {
+			return sizes[ca] > sizes[cb]
+		}
+		return first[ca] < first[cb]
+	})
+	partSize := make([]int, k)
+	compPart := make([]int32, count)
+	for _, c := range order {
+		// Greedy: place into the currently smallest part (lowest index on
+		// ties).
+		best := 0
+		for p := 1; p < k; p++ {
+			if partSize[p] < partSize[best] {
+				best = p
+			}
+		}
+		if partSize[best]+sizes[c] > capSize {
+			return nil // packing too uneven for the balance cap
+		}
+		compPart[c] = int32(best)
+		partSize[best] += sizes[c]
+	}
+	assign := make([]int32, g.N())
+	for v, c := range comp {
+		assign[v] = compPart[c]
+	}
+	return assign
+}
+
+// bfsAssign grows k parts breadth-first. Part p receives an even quota
+// ceil(remaining/(k-p)) of the unassigned nodes, grown from lowest-index
+// seeds; when a region's frontier is exhausted before the quota fills, the
+// next unassigned seed continues the part. Every node is assigned and no
+// part exceeds ceil(n/k).
+func bfsAssign(g *graph.Graph, k int) []int32 {
+	n := g.N()
+	assign := make([]int32, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	cursor := 0 // lowest possibly-unassigned node index
+	queue := make([]int32, 0, n/k+1)
+	assigned := 0
+	for p := 0; p < k; p++ {
+		remaining := n - assigned
+		quota := (remaining + (k - p) - 1) / (k - p)
+		size := 0
+		queue = queue[:0]
+		head := 0
+		for size < quota {
+			if head == len(queue) {
+				for cursor < n && assign[cursor] != -1 {
+					cursor++
+				}
+				if cursor == n {
+					break
+				}
+				assign[cursor] = int32(p)
+				size++
+				assigned++
+				queue = append(queue, int32(cursor))
+				continue
+			}
+			v := queue[head]
+			head++
+			for _, u := range g.Neighbors(int(v)) {
+				if size >= quota {
+					break
+				}
+				if assign[u] == -1 {
+					assign[u] = int32(p)
+					size++
+					assigned++
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	return assign
+}
+
+// assemble builds the Partition value from a complete assignment.
+func assemble(g *graph.Graph, k int, assign []int32) *Partition {
+	n := g.N()
+	p := &Partition{K: k, Assignment: assign, Parts: make([]*graph.Subgraph, k)}
+	keep := make([]bool, n)
+	for part := 0; part < k; part++ {
+		for v := 0; v < n; v++ {
+			keep[v] = assign[v] == int32(part)
+		}
+		p.Parts[part] = g.Induce(keep)
+	}
+	for v := 0; v < n; v++ {
+		for _, un := range g.Neighbors(v) {
+			u := int(un)
+			if u > v && assign[v] != assign[u] {
+				p.CutEdges = append(p.CutEdges, [2]int32{int32(v), un})
+			}
+		}
+	}
+	sort.Slice(p.CutEdges, func(a, b int) bool {
+		if p.CutEdges[a][0] != p.CutEdges[b][0] {
+			return p.CutEdges[a][0] < p.CutEdges[b][0]
+		}
+		return p.CutEdges[a][1] < p.CutEdges[b][1]
+	})
+	return p
+}

@@ -1,0 +1,260 @@
+package partition
+
+import (
+	"testing"
+
+	"distmwis/internal/graph"
+	"distmwis/internal/graph/gen"
+)
+
+// corpus is the property-check graph zoo: topologies with locality (grid,
+// cycle, tree), without it (gnp), and with many components (forests).
+func corpus() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"gnp":     gen.Weighted(gen.GNP(120, 0.05, 7), gen.PolyWeights(2), 7),
+		"grid":    gen.Grid(12, 12),
+		"cycle":   gen.Cycle(97),
+		"tree":    gen.RandomTree(150, 3),
+		"forests": gen.Weighted(gen.UnionOfForests(140, 6, 5), gen.UniformWeights(100), 5),
+		"clique":  gen.Clique(20),
+		"single":  gen.Path(1),
+	}
+}
+
+// checkInvariants asserts the structural contract of a Partition: complete
+// assignment, consistent induced parts, exact cut, balance.
+func checkInvariants(t *testing.T, g *graph.Graph, p *Partition, k int, balance float64) {
+	t.Helper()
+	n := g.N()
+	if len(p.Assignment) != n {
+		t.Fatalf("assignment covers %d of %d nodes", len(p.Assignment), n)
+	}
+	wantK := k
+	if wantK > n {
+		wantK = n
+	}
+	if n == 0 {
+		wantK = 0
+	}
+	if p.K != wantK {
+		t.Fatalf("K = %d, want %d", p.K, wantK)
+	}
+	if len(p.Parts) != p.K {
+		t.Fatalf("%d part subgraphs for K=%d", len(p.Parts), p.K)
+	}
+
+	// Every node in exactly one part, and Parts agrees with Assignment.
+	seen := make([]bool, n)
+	partNodes := 0
+	for pi, sub := range p.Parts {
+		if sub.G.N() == 0 {
+			t.Errorf("part %d is empty", pi)
+		}
+		partNodes += sub.G.N()
+		for i, parent := range sub.ToParent {
+			if seen[parent] {
+				t.Fatalf("node %d appears in two parts", parent)
+			}
+			seen[parent] = true
+			if p.Assignment[parent] != int32(pi) {
+				t.Fatalf("node %d: Assignment says %d, Parts say %d", parent, p.Assignment[parent], pi)
+			}
+			if sub.G.Weight(i) != g.Weight(int(parent)) || sub.G.ID(i) != g.ID(int(parent)) {
+				t.Fatalf("node %d: weight/id not carried into part %d", parent, pi)
+			}
+		}
+	}
+	if partNodes != n {
+		t.Fatalf("parts hold %d nodes, graph has %d", partNodes, n)
+	}
+
+	// Balance: no part beyond ceil(balance·n/k), and the BFS path promises
+	// ceil(n/k); assert the cap the options guarantee.
+	if p.K > 0 {
+		cap := int(balance*float64(n))/p.K + 2 // ceil slack
+		for pi, sub := range p.Parts {
+			if sub.G.N() > cap {
+				t.Errorf("part %d has %d nodes, balance cap ≈%d", pi, sub.G.N(), cap)
+			}
+		}
+	}
+
+	// The cut is exactly the set of cross-part edges, and part-internal
+	// edges plus cut edges account for every edge of g.
+	cut := make(map[[2]int32]bool, len(p.CutEdges))
+	for i, e := range p.CutEdges {
+		if e[0] >= e[1] {
+			t.Fatalf("cut edge %v not normalised u<v", e)
+		}
+		if p.Assignment[e[0]] == p.Assignment[e[1]] {
+			t.Fatalf("cut edge %v has both endpoints in part %d", e, p.Assignment[e[0]])
+		}
+		if !g.HasEdge(int(e[0]), int(e[1])) {
+			t.Fatalf("cut edge %v not in graph", e)
+		}
+		if i > 0 {
+			prev := p.CutEdges[i-1]
+			if prev[0] > e[0] || (prev[0] == e[0] && prev[1] >= e[1]) {
+				t.Fatalf("cut edges not sorted ascending: %v after %v", e, prev)
+			}
+		}
+		cut[e] = true
+	}
+	internal := 0
+	for _, sub := range p.Parts {
+		internal += sub.G.M()
+	}
+	if internal+len(cut) != g.M() {
+		t.Fatalf("edges: %d internal + %d cut != %d total", internal, len(cut), g.M())
+	}
+	for v := 0; v < n; v++ {
+		for _, un := range g.Neighbors(v) {
+			u := int(un)
+			if u > v && p.Assignment[v] != p.Assignment[un] && !cut[[2]int32{int32(v), un}] {
+				t.Fatalf("cross-part edge (%d,%d) missing from cut", v, u)
+			}
+		}
+	}
+}
+
+func TestSplitProperties(t *testing.T) {
+	for name, g := range corpus() {
+		for _, k := range []int{1, 2, 3, 5, 8} {
+			p, err := Split(g, Options{Parts: k})
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", name, k, err)
+			}
+			checkInvariants(t, g, p, k, 1.2)
+		}
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	for name, g := range corpus() {
+		a, err := Split(g, Options{Parts: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, _ := Split(g, Options{Parts: 4})
+		if len(a.Assignment) != len(b.Assignment) {
+			t.Fatalf("%s: nondeterministic size", name)
+		}
+		for v := range a.Assignment {
+			if a.Assignment[v] != b.Assignment[v] {
+				t.Fatalf("%s: node %d assigned to %d then %d", name, v, a.Assignment[v], b.Assignment[v])
+			}
+		}
+		if len(a.CutEdges) != len(b.CutEdges) {
+			t.Fatalf("%s: nondeterministic cut", name)
+		}
+	}
+}
+
+// manyComponents builds a disjoint union of 12 paths of varying length —
+// a graph the component fast path must shard with an empty cut.
+func manyComponents() *graph.Graph {
+	b := graph.NewBuilder(126)
+	v := 0
+	for c := 0; c < 12; c++ {
+		size := 5 + c // 5..16 nodes per component
+		for i := 1; i < size; i++ {
+			b.AddEdge(v+i-1, v+i)
+		}
+		for i := 0; i < size; i++ {
+			b.SetWeight(v+i, int64(1+(v+i)%9))
+		}
+		v += size
+	}
+	return b.MustBuild()
+}
+
+// TestSplitComponentFastPath: a disjoint union has many components, so a
+// split into fewer parts than components must place whole components and
+// produce an empty cut.
+func TestSplitComponentFastPath(t *testing.T) {
+	g := manyComponents()
+	p, err := Split(g, Options{Parts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.CutEdges) != 0 {
+		t.Fatalf("component-aware split produced %d cut edges, want 0", len(p.CutEdges))
+	}
+	comp, _ := g.Components()
+	for v := 1; v < g.N(); v++ {
+		for u := 0; u < v; u++ {
+			if comp[u] == comp[v] && p.Assignment[u] != p.Assignment[v] {
+				t.Fatalf("component of nodes %d,%d split across parts %d,%d",
+					u, v, p.Assignment[u], p.Assignment[v])
+			}
+		}
+	}
+
+	// Forcing the BFS path on the same graph still satisfies every
+	// invariant — just with a (possibly) non-empty cut.
+	forced, err := Split(g, Options{Parts: 4, DisableComponents: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInvariants(t, g, forced, 4, 1.2)
+}
+
+// TestSplitBFSBalance: the BFS path promises parts within ceil(n/k) even
+// on a connected graph where components cannot help.
+func TestSplitBFSBalance(t *testing.T) {
+	g := gen.Grid(20, 20)
+	for _, k := range []int{2, 3, 7} {
+		p, err := Split(g, Options{Parts: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ceil := (g.N() + k - 1) / k
+		for pi, sub := range p.Parts {
+			if sub.G.N() > ceil {
+				t.Errorf("k=%d: part %d has %d nodes > ceil(n/k)=%d", k, pi, sub.G.N(), ceil)
+			}
+		}
+	}
+}
+
+// TestSplitLocality: on a grid, BFS growing must beat a striped assignment
+// on cut size by a wide margin — the point of growing regions.
+func TestSplitLocality(t *testing.T) {
+	g := gen.Grid(16, 16)
+	p, err := Split(g, Options{Parts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 16×16 grid has 480 edges; round-robin striping cuts nearly all of
+	// them, BFS regions should cut well under half.
+	if len(p.CutEdges) > g.M()/2 {
+		t.Fatalf("grid cut %d of %d edges; BFS growing found no locality", len(p.CutEdges), g.M())
+	}
+}
+
+func TestSplitErrors(t *testing.T) {
+	g := gen.Cycle(10)
+	if _, err := Split(g, Options{Parts: 0}); err == nil {
+		t.Error("Parts=0 accepted")
+	}
+	if _, err := Split(g, Options{Parts: 2, Balance: 0.5}); err == nil {
+		t.Error("Balance<1 accepted")
+	}
+	// k > n clamps, single-node parts.
+	p, err := Split(gen.Path(3), Options{Parts: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K != 3 {
+		t.Fatalf("K=%d for n=3, want 3", p.K)
+	}
+	// Empty graph.
+	empty := graph.NewBuilder(0).MustBuild()
+	p, err = Split(empty, Options{Parts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K != 0 || len(p.Parts) != 0 {
+		t.Fatalf("empty graph: K=%d parts=%d", p.K, len(p.Parts))
+	}
+}

@@ -1,0 +1,192 @@
+package reliable
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWALGroupCommitAmortisesSyncs: N concurrent appends under group
+// commit must complete with far fewer fsyncs than appends, and every
+// record must still be on disk when its append returns.
+func TestWALGroupCommitAmortisesSyncs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	w, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	w.SetGroupCommit(5*time.Millisecond, 16)
+
+	const appends = 64
+	var wg sync.WaitGroup
+	errs := make([]error, appends)
+	for i := 0; i < appends; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = w.Apply("gc", map[string]int{"i": i})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+
+	// Every returned append is durable: the file holds all records.
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadWAL(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != appends {
+		t.Fatalf("%d records on disk, want %d", len(recs), appends)
+	}
+
+	// The whole point: far fewer syncs than appends. 64 appends racing a
+	// 16-record batch trigger can need at most ~appends/2 syncs even under
+	// worst-case scheduling; without batching it would be exactly 64.
+	if syncs := w.Syncs(); syncs >= appends/2 {
+		t.Fatalf("%d syncs for %d appends — group commit not amortising", syncs, appends)
+	} else if syncs == 0 {
+		t.Fatal("zero syncs recorded")
+	}
+}
+
+// TestWALGroupCommitWindowFlush: a single append must not wait for a full
+// batch — the window timer flushes it.
+func TestWALGroupCommitWindowFlush(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	w, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	w.SetGroupCommit(2*time.Millisecond, 1<<20) // batch trigger unreachable
+
+	start := time.Now()
+	if err := w.Begin("solo", map[string]string{"k": "v"}); err != nil {
+		t.Fatal(err)
+	}
+	if waited := time.Since(start); waited > time.Second {
+		t.Fatalf("lone append waited %v for a batch that never fills", waited)
+	}
+	if w.Syncs() != 1 {
+		t.Fatalf("Syncs = %d after one append", w.Syncs())
+	}
+}
+
+// TestWALGroupCommitCloseFlushes: Close with a batch pending must sync it
+// and release the waiter rather than hang or drop the record.
+func TestWALGroupCommitCloseFlushes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	w, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetGroupCommit(10*time.Second, 1<<20) // neither trigger can fire
+
+	done := make(chan error, 1)
+	go func() { done <- w.Begin("pending", nil) }()
+	// Wait until the append has joined the batch, then Close underneath it.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		w.mu.Lock()
+		joined := w.batch != nil
+		w.mu.Unlock()
+		if joined {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("append never joined a batch")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("append failed across Close: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("append hung after Close")
+	}
+	f, _ := os.Open(path)
+	recs, err := ReadWAL(f)
+	f.Close()
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("recs=%d err=%v; the pre-Close append must be durable", len(recs), err)
+	}
+}
+
+// TestWALGroupCommitRewriteFlushes: Rewrite must flush the open batch
+// before swapping files, releasing waiters with a successful sync.
+func TestWALGroupCommitRewriteFlushes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	w, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	w.SetGroupCommit(10*time.Second, 1<<20)
+
+	done := make(chan error, 1)
+	go func() { done <- w.Apply("state", map[string]int{"x": 1}) }()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		w.mu.Lock()
+		joined := w.batch != nil
+		w.mu.Unlock()
+		if joined {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("append never joined a batch")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := w.Rewrite(nil); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("append failed across Rewrite: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("append hung across Rewrite")
+	}
+	// Appends still work after the rewrite reopened the file.
+	if err := w.Commit("state"); err != nil {
+		t.Fatalf("append after Rewrite: %v", err)
+	}
+}
+
+// TestWALSyncPerAppendDefault: without SetGroupCommit every append costs
+// its own fsync — the pre-batching behaviour, still the default.
+func TestWALSyncPerAppendDefault(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	w, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for i := 0; i < 5; i++ {
+		if err := w.Commit("x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Syncs() != 5 {
+		t.Fatalf("Syncs = %d for 5 unbatched appends", w.Syncs())
+	}
+}

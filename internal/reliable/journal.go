@@ -9,6 +9,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // This file exports the write-ahead journal the serving tier uses for
@@ -46,15 +48,57 @@ type WALRecord struct {
 	Data json.RawMessage `json:"data,omitempty"`
 }
 
-// WAL is an append-only, fsync-per-record write-ahead journal of
+// WAL is an append-only, fsync-before-return write-ahead journal of
 // begin/commit records. Concurrency-safe; every append is durable before
 // the method returns, so a record present in memory is present on disk —
 // the invariant crash recovery builds on.
+//
+// By default each append issues its own fsync. SetGroupCommit enables
+// group commit: appends arriving within a small window share one fsync,
+// which turns a mutation storm's per-record fsync cost into one sync per
+// batch without weakening the contract — each append still blocks until
+// the sync covering its record has completed.
 type WAL struct {
 	mu   sync.Mutex
 	path string
 	f    *os.File
+
+	// Group-commit state (all guarded by mu). window <= 0 means each
+	// append syncs individually.
+	window   time.Duration
+	maxBatch int
+	batch    *walBatch // open batch collecting unsynced appends, or nil
+	timer    *time.Timer
+	syncs    atomic.Int64
 }
+
+// walBatch is one group of appends sharing an fsync. Waiters block on done
+// and read err afterwards.
+type walBatch struct {
+	done    chan struct{}
+	err     error
+	pending int
+}
+
+// SetGroupCommit enables batched fsyncs: a sync is issued when the oldest
+// unsynced record has waited window, or when maxBatch records are pending,
+// whichever comes first (maxBatch <= 0 selects 32). window <= 0 restores
+// sync-per-append. Safe to call on a live WAL; in-flight batches flush
+// under their original settings.
+func (w *WAL) SetGroupCommit(window time.Duration, maxBatch int) {
+	if maxBatch <= 0 {
+		maxBatch = 32
+	}
+	w.mu.Lock()
+	w.window = window
+	w.maxBatch = maxBatch
+	w.mu.Unlock()
+}
+
+// Syncs reports how many fsyncs the WAL has issued through append paths —
+// the observable group-commit amortisation (Rewrite/compaction syncs are
+// not counted).
+func (w *WAL) Syncs() int64 { return w.syncs.Load() }
 
 // OpenWAL opens (creating if needed) the journal at path, returning the
 // retained records: begins recorded without a matching commit plus every
@@ -178,6 +222,9 @@ func (w *WAL) Rewrite(recs []WALRecord) error {
 	if w.f == nil {
 		return fmt.Errorf("reliable: wal rewrite after Close")
 	}
+	// A pending group-commit batch must reach disk (and release its
+	// waiters) before the file is swapped out from under it.
+	w.flushLocked()
 	if err := w.f.Close(); err != nil {
 		w.f = nil
 		return fmt.Errorf("reliable: wal rewrite: %w", err)
@@ -208,26 +255,81 @@ func (w *WAL) append(rec WALRecord) error {
 	}
 	line = append(line, '\n')
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	if w.f == nil {
+		w.mu.Unlock()
 		return fmt.Errorf("reliable: wal append after Close")
 	}
 	if _, err := w.f.Write(line); err != nil {
+		w.mu.Unlock()
 		return fmt.Errorf("reliable: wal append: %w", err)
 	}
-	if err := w.f.Sync(); err != nil {
-		return fmt.Errorf("reliable: wal sync: %w", err)
+	if w.window <= 0 {
+		// Sync-per-append: durable before return, no sharing.
+		err := w.f.Sync()
+		w.syncs.Add(1)
+		w.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("reliable: wal sync: %w", err)
+		}
+		return nil
+	}
+	// Group commit: join (or open) the current batch, then wait for the
+	// sync that covers this record. The record is on the OS side of the
+	// file already; only its durability point is shared.
+	if w.batch == nil {
+		b := &walBatch{done: make(chan struct{})}
+		w.batch = b
+		w.timer = time.AfterFunc(w.window, func() {
+			w.mu.Lock()
+			if w.batch == b { // still open — not already flushed by maxBatch
+				w.flushLocked()
+			}
+			w.mu.Unlock()
+		})
+	}
+	b := w.batch
+	b.pending++
+	if b.pending >= w.maxBatch {
+		w.flushLocked()
+	}
+	w.mu.Unlock()
+	<-b.done
+	if b.err != nil {
+		return fmt.Errorf("reliable: wal sync: %w", b.err)
 	}
 	return nil
 }
 
-// Close releases the journal file. Appends after Close fail.
+// flushLocked syncs and releases the open batch. Caller holds w.mu and has
+// checked w.batch != nil (or calls only when it is).
+func (w *WAL) flushLocked() {
+	b := w.batch
+	if b == nil {
+		return
+	}
+	w.batch = nil
+	if w.timer != nil {
+		w.timer.Stop()
+		w.timer = nil
+	}
+	if w.f == nil {
+		b.err = fmt.Errorf("wal closed before batch sync")
+	} else {
+		b.err = w.f.Sync()
+		w.syncs.Add(1)
+	}
+	close(b.done)
+}
+
+// Close releases the journal file, first flushing any pending group-commit
+// batch so no waiter hangs. Appends after Close fail.
 func (w *WAL) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.f == nil {
 		return nil
 	}
+	w.flushLocked()
 	err := w.f.Close()
 	w.f = nil
 	return err

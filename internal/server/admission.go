@@ -53,14 +53,14 @@ func (b *tokenBucket) allow() bool {
 	return true
 }
 
-// greedyDegraded is the load-shedding tier: a host-side weight-ordered
+// GreedyDegraded is the load-shedding tier: a host-side weight-ordered
 // greedy (heaviest node first, identifier ascending as the tie break). It
 // is the classic Δ+1-approximation — every rejected node charges its weight
 // to a heavier chosen neighbour, and a node has at most Δ neighbours — and
 // costs O(n log n + m) with no CONGEST simulation at all, so a saturated
 // server can still answer every request with a valid independent set. The
 // order is deterministic, keeping even degraded responses reproducible.
-func greedyDegraded(g *graph.Graph) ([]bool, int64) {
+func GreedyDegraded(g *graph.Graph) ([]bool, int64) {
 	n := g.N()
 	order := make([]int32, n)
 	for v := range order {

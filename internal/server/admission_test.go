@@ -57,7 +57,7 @@ func TestTokenBucketDisabled(t *testing.T) {
 func TestGreedyDegradedIsIndependentAndMaximal(t *testing.T) {
 	for seed := uint64(1); seed <= 5; seed++ {
 		g := gen.Weighted(gen.GNP(300, 0.05, seed), gen.PolyWeights(2), seed)
-		set, weight := greedyDegraded(g)
+		set, weight := GreedyDegraded(g)
 		if !g.IsIndependentSet(set) {
 			t.Fatalf("seed %d: degraded set not independent", seed)
 		}
@@ -74,7 +74,7 @@ func TestGreedyDegradedGuarantee(t *testing.T) {
 	// Weight-ordered greedy is a (Δ+1)-approximation; since OPT ≤ w(V),
 	// w(greedy) ≥ w(V)/(Δ+1) is the checkable relaxation.
 	g := gen.Weighted(gen.GNP(500, 0.02, 3), gen.UniformWeights(1000), 3)
-	_, weight := greedyDegraded(g)
+	_, weight := GreedyDegraded(g)
 	bound := float64(g.TotalWeight()) / float64(g.MaxDegree()+1)
 	if float64(weight) < bound {
 		t.Fatalf("greedy weight %d below w(V)/(Δ+1) = %.1f", weight, bound)
@@ -83,8 +83,8 @@ func TestGreedyDegradedGuarantee(t *testing.T) {
 
 func TestGreedyDegradedDeterministic(t *testing.T) {
 	g := gen.Weighted(gen.GNP(200, 0.05, 9), gen.UniformWeights(50), 9)
-	a, _ := greedyDegraded(g)
-	b, _ := greedyDegraded(g)
+	a, _ := GreedyDegraded(g)
+	b, _ := GreedyDegraded(g)
 	if !graph.SameSet(a, b) {
 		t.Fatal("degraded greedy must be deterministic")
 	}

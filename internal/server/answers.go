@@ -133,7 +133,7 @@ func (s *Server) publishUpgrade(key string, a repair.Answer) {
 // node renumbering changes the randomness), so the two worlds never share
 // cache lines.
 func (s *Server) refCacheKey(g *graph.Graph, req *SolveRequest) string {
-	return cacheKey(g.Canonical(), "inc|"+req.fingerprint())
+	return cacheKey(g.Canonical(), "inc|"+req.Fingerprint())
 }
 
 // componentCache adapts the result cache to maxis.SolveByComponent for one
@@ -158,7 +158,7 @@ func (s *Server) componentCache(fp string) maxis.ComponentCache {
 
 // solveComponents runs the component-wise solve for a graph_ref request.
 func (s *Server) solveComponents(req *SolveRequest, g *graph.Graph, cfg maxis.Config) (*maxis.Result, maxis.ComponentStats, error) {
-	return maxis.SolveByComponent(req.Alg, g, req.Eps, req.Alpha, cfg, s.componentCache("inc|"+req.fingerprint()))
+	return maxis.SolveByComponent(req.Alg, g, req.Eps, req.Alpha, cfg, s.componentCache("inc|"+req.Fingerprint()))
 }
 
 // handleRefSolve is the graph_ref branch of POST /v1/solve: resolve the
@@ -212,7 +212,7 @@ func (s *Server) handleRefSolve(w http.ResponseWriter, r *http.Request, req *Sol
 	// is recoverable: publish it, queue the upgrade, tell the client where
 	// to watch.
 	if req.Degraded || s.sched.depth() >= s.opts.ShedDepth {
-		set, weight := greedyDegraded(g)
+		set, weight := GreedyDegraded(g)
 		s.metrics.shed.Add(1)
 		s.answers.put(&storedAnswer{
 			Key:       key,

@@ -148,8 +148,8 @@ type SolveResponse struct {
 	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
-// normalize fills defaults and validates the request shape.
-func (r *SolveRequest) normalize() error {
+// Normalize fills defaults and validates the request shape.
+func (r *SolveRequest) Normalize() error {
 	sources := 0
 	if r.Graph != nil {
 		sources++
@@ -217,9 +217,9 @@ func (r *SolveRequest) normalize() error {
 	return nil
 }
 
-// buildGraph materialises the request's graph. The generator vocabulary is
+// BuildGraph materialises the request's graph. The generator vocabulary is
 // deliberately identical to cmd/maxis so loadgen mixes and CLI runs agree.
-func (r *SolveRequest) buildGraph() (*graph.Graph, error) {
+func (r *SolveRequest) BuildGraph() (*graph.Graph, error) {
 	if r.Graph != nil {
 		g, err := graph.ReadJSON(bytes.NewReader(r.Graph))
 		if err != nil {
@@ -321,10 +321,10 @@ func (r *SolveRequest) maxisConfig(solveWorkers int) (maxis.Config, error) {
 	return cfg, nil
 }
 
-// fingerprint is the config part of the cache key: every field that can
+// Fingerprint is the config part of the cache key: every field that can
 // change the output set must appear here. The graph itself is covered by
 // its canonical hash.
-func (r *SolveRequest) fingerprint() string {
+func (r *SolveRequest) Fingerprint() string {
 	var f FaultSpec
 	if r.Fault != nil {
 		f = *r.Fault
@@ -341,5 +341,5 @@ func (r *SolveRequest) fingerprint() string {
 func (r *SolveRequest) specFingerprint() string {
 	g := r.Gen
 	return fmt.Sprintf("gen|kind=%s|n=%d|p=%g|k=%d|w=%s|maxw=%d|gseed=%d|%s",
-		g.Kind, g.N, g.P, g.K, g.Weights, g.MaxW, g.Seed, r.fingerprint())
+		g.Kind, g.N, g.P, g.K, g.Weights, g.MaxW, g.Seed, r.Fingerprint())
 }

@@ -1,0 +1,122 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"distmwis/internal/graph"
+)
+
+// patchGraphCAS issues a conditional PATCH over raw HTTP.
+func patchGraphCAS(t *testing.T, ts *httptest.Server, hash, prevHash string, edit graph.Edit) (int, PatchGraphResponse) {
+	t.Helper()
+	body, err := json.Marshal(struct {
+		graph.Edit
+		PrevHash string `json:"prev_hash"`
+	}{Edit: edit, PrevHash: prevHash})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPatch, ts.URL+"/v1/graph/"+hash, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	var resp PatchGraphResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	return httpResp.StatusCode, resp
+}
+
+// TestPatchCAS: a conditional PATCH applies when prev_hash names the
+// current state and fails with 409 + the current hash when it does not.
+func TestPatchCAS(t *testing.T) {
+	s := New(Options{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer func() { ts.Close(); _ = s.Close() }()
+
+	put := putGraph(t, ts, twoIslandGraph(t, 3, 6))
+
+	// CAS against the current hash applies.
+	code, ok1 := patchGraphCAS(t, ts, put.Hash, put.Hash, graph.Edit{AddEdges: [][2]int32{{0, 2}}})
+	if code != http.StatusOK || ok1.Conflict {
+		t.Fatalf("matching CAS: %d %+v", code, ok1)
+	}
+	if ok1.Hash == put.Hash {
+		t.Fatal("hash did not advance")
+	}
+
+	// CAS against the now-stale hash conflicts, reporting the current one.
+	code, conflict := patchGraphCAS(t, ts, put.Hash, put.Hash, graph.Edit{AddEdges: [][2]int32{{0, 4}}})
+	if code != http.StatusConflict || !conflict.Conflict {
+		t.Fatalf("stale CAS: %d %+v", code, conflict)
+	}
+	if conflict.Hash != ok1.Hash {
+		t.Fatalf("conflict reports hash %s, current is %s", conflict.Hash, ok1.Hash)
+	}
+	if conflict.PrevHash != put.Hash {
+		t.Fatalf("conflict echoes prev_hash %s, sent %s", conflict.PrevHash, put.Hash)
+	}
+
+	// Rebasing onto the reported hash succeeds — the retry loop clients run.
+	code, ok2 := patchGraphCAS(t, ts, conflict.Hash, conflict.Hash, graph.Edit{AddEdges: [][2]int32{{0, 4}}})
+	if code != http.StatusOK || ok2.Conflict {
+		t.Fatalf("rebased CAS: %d %+v", code, ok2)
+	}
+
+	// An unconditional PATCH through a stale alias still works (last write
+	// wins), so CAS is opt-in per request, not a mode switch.
+	code, resp := patchGraph(t, ts, put.Hash, graph.Edit{Weights: []graph.WeightUpdate{{V: 1, W: 9}}})
+	if code != http.StatusOK {
+		t.Fatalf("unconditional PATCH via alias: %d %s", code, resp.Error)
+	}
+}
+
+// TestPatchCASSerialisesWriters: N writers racing CAS PATCHes from the
+// same base hash — exactly one wins, the rest observe a conflict. The
+// winner count is the mutation count.
+func TestPatchCASSerialisesWriters(t *testing.T) {
+	s := New(Options{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer func() { ts.Close(); _ = s.Close() }()
+
+	put := putGraph(t, ts, twoIslandGraph(t, 4, 8))
+	const writers = 8
+	codes := make([]int, writers)
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i], _ = patchGraphCAS(t, ts, put.Hash, put.Hash,
+				graph.Edit{AddEdges: [][2]int32{{0, int32(2 + i%5)}}})
+		}(i)
+	}
+	wg.Wait()
+	wins, conflicts := 0, 0
+	for _, code := range codes {
+		switch code {
+		case http.StatusOK:
+			wins++
+		case http.StatusConflict:
+			conflicts++
+		default:
+			t.Fatalf("unexpected status %d", code)
+		}
+	}
+	if wins != 1 || conflicts != writers-1 {
+		t.Fatalf("%d wins, %d conflicts; want exactly 1 winner", wins, conflicts)
+	}
+	if got := s.graphs.casConflicts; got != int64(conflicts) {
+		t.Fatalf("casConflicts counter = %d, want %d", got, conflicts)
+	}
+}

@@ -1,0 +1,68 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"distmwis/internal/graph"
+	"distmwis/internal/graph/gen"
+	"distmwis/internal/server"
+)
+
+// TestPatchGraphCAS drives the optimistic-concurrency loop against a real
+// server: apply, lose a race, observe ErrCASConflict with the current
+// hash, rebase, win.
+func TestPatchGraphCAS(t *testing.T) {
+	s := server.New(server.Options{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer func() { ts.Close(); _ = s.Close() }()
+	c := New(ts.URL, Options{Timeout: 5 * time.Second, MaxRetries: 1, BackoffBase: time.Millisecond})
+	ctx := context.Background()
+
+	var buf bytes.Buffer
+	if err := gen.Path(6).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	put, err := c.PutGraph(ctx, buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First CAS writer wins.
+	win, err := c.PatchGraphCAS(ctx, put.Hash, put.Hash, graph.Edit{AddEdges: [][2]int32{{0, 2}}})
+	if err != nil {
+		t.Fatalf("matching CAS failed: %v", err)
+	}
+
+	// Second writer still holding the old hash loses, learns the current
+	// one from the error's response, rebases, wins.
+	_, err = c.PatchGraphCAS(ctx, put.Hash, put.Hash, graph.Edit{AddEdges: [][2]int32{{0, 3}}})
+	if !errors.Is(err, ErrCASConflict) {
+		t.Fatalf("stale CAS error = %v, want ErrCASConflict", err)
+	}
+	lost, err2 := c.PatchGraphCAS(ctx, put.Hash, put.Hash, graph.Edit{AddEdges: [][2]int32{{0, 3}}})
+	if !errors.Is(err2, ErrCASConflict) {
+		t.Fatalf("repeat stale CAS error = %v", err2)
+	}
+	if lost.Hash != win.Hash {
+		t.Fatalf("conflict response hash %s, current %s", lost.Hash, win.Hash)
+	}
+	rebased, err := c.PatchGraphCAS(ctx, lost.Hash, lost.Hash, graph.Edit{AddEdges: [][2]int32{{0, 3}}})
+	if err != nil {
+		t.Fatalf("rebased CAS failed: %v", err)
+	}
+	if rebased.EdgesAdded != 1 {
+		t.Fatalf("rebased edit applied %d edges", rebased.EdgesAdded)
+	}
+
+	// A CAS conflict is terminal, not retryable: the client must not have
+	// burned its retry budget re-sending a request that can only conflict
+	// again.
+	if Retryable(err2) {
+		t.Fatal("CAS conflict classified retryable")
+	}
+}

@@ -158,6 +158,13 @@ func retryable(err error) bool {
 	return errors.As(err, &r)
 }
 
+// Retryable reports whether err is a transient failure this client already
+// retried through (transport error, injected reset, 5xx, 429). A cluster
+// coordinator uses the distinction to fail the backend over — a terminal
+// error is the request's fault and follows it to any backend, a retryable
+// one indicts the node.
+func Retryable(err error) bool { return retryable(err) }
+
 // Solve sends one solve request, absorbing transient faults per Options.
 // When the breaker is open, the request is re-routed to the server's
 // degraded greedy tier (SolveRequest.Degraded) instead of failing fast —

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
@@ -11,6 +12,11 @@ import (
 	"distmwis/internal/graph"
 	"distmwis/internal/server"
 )
+
+// ErrCASConflict reports a conditional PATCH that lost its race: the
+// prev_hash it named is no longer the handle's current state. The returned
+// PatchGraphResponse carries the current hash to rebase onto.
+var ErrCASConflict = errors.New("client: graph state changed since prev_hash (CAS conflict)")
 
 // PutGraph uploads a graph document (the graph JSON wire format) and
 // returns its handle. PUT is idempotent on the server — re-uploading bytes
@@ -34,6 +40,29 @@ func (c *Client) PatchGraph(ctx context.Context, hash string, edit graph.Edit) (
 	}
 	var resp server.PatchGraphResponse
 	err = c.doJSON(ctx, http.MethodPatch, "/v1/graph/"+hash, body, &resp)
+	return resp, err
+}
+
+// PatchGraphCAS applies edit only if the handle's current hash is still
+// prevHash — optimistic concurrency for multi-writer mutation. On a lost
+// race it returns ErrCASConflict with the current hash in resp.Hash; the
+// caller re-reads, rebases its edit and retries with the new hash. Unlike
+// PatchGraph, a CAS retry after a lost acknowledgement is self-fencing:
+// if the first attempt actually applied, the handle's hash moved and the
+// retry conflicts instead of double-applying.
+func (c *Client) PatchGraphCAS(ctx context.Context, hash, prevHash string, edit graph.Edit) (server.PatchGraphResponse, error) {
+	body, err := json.Marshal(struct {
+		graph.Edit
+		PrevHash string `json:"prev_hash"`
+	}{Edit: edit, PrevHash: prevHash})
+	if err != nil {
+		return server.PatchGraphResponse{}, fmt.Errorf("client: encode edit: %w", err)
+	}
+	var resp server.PatchGraphResponse
+	err = c.doJSON(ctx, http.MethodPatch, "/v1/graph/"+hash, body, &resp)
+	if err != nil && resp.Conflict {
+		return resp, fmt.Errorf("%w: current hash %s", ErrCASConflict, resp.Hash)
+	}
 	return resp, err
 }
 
@@ -94,6 +123,10 @@ func (c *Client) onceJSON(ctx context.Context, method, path string, body []byte,
 	case hr.StatusCode == http.StatusTooManyRequests || hr.StatusCode >= 500:
 		return errRetryable{fmt.Errorf("client: server status %d: %s", hr.StatusCode, msg.Error)}
 	default:
+		// Terminal responses still decode into out where possible: a CAS
+		// conflict's 409 body carries the current hash the caller rebases
+		// onto.
+		_ = json.Unmarshal(raw, out)
 		return fmt.Errorf("client: server status %d: %s", hr.StatusCode, msg.Error)
 	}
 }

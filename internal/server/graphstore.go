@@ -74,9 +74,18 @@ type graphStore struct {
 	seq    int
 	wal    *reliable.WAL
 
-	mutations   int64
-	invalidated int64
-	healed      int64
+	mutations    int64
+	invalidated  int64
+	healed       int64
+	casConflicts int64
+}
+
+// short abbreviates a content hash for error messages.
+func short(h string) string {
+	if len(h) > 19 {
+		return h[:19] + "…"
+	}
+	return h
 }
 
 func newGraphStore() *graphStore {
@@ -159,6 +168,20 @@ func (s *Server) OpenGraphJournal(path string) (int, error) {
 	wal, retained, err := reliable.OpenWAL(path)
 	if err != nil {
 		return 0, err
+	}
+	// Mutation storms ack at fsync cadence, so the graph WAL group-commits:
+	// appends landing within the window share one sync, still blocking the
+	// acknowledgement until their record is durable.
+	window := s.opts.GraphJournalGroupWindow
+	if window == 0 {
+		window = 2 * time.Millisecond
+	}
+	if window > 0 {
+		batch := s.opts.GraphJournalGroupBatch
+		if batch <= 0 {
+			batch = 32
+		}
+		wal.SetGroupCommit(window, batch)
 	}
 	replayed := 0
 	for _, rec := range reliable.ApplyWAL(retained) {
@@ -280,6 +303,10 @@ type PatchGraphResponse struct {
 	WeightsSet   int `json:"weights_set"`
 	Noops        int `json:"noops"`
 	Components   int `json:"components"`
+	// Conflict reports a compare-and-swap failure: the request named a
+	// prev_hash that is not the handle's current hash. Hash carries the
+	// current hash so the caller can re-read, rebase and retry.
+	Conflict bool `json:"conflict,omitempty"`
 	// InvalidatedComponents counts components of the previous version whose
 	// cached answers were evicted because their content no longer exists.
 	InvalidatedComponents int `json:"invalidated_components"`
@@ -366,11 +393,17 @@ func (s *Server) handlePatchGraph(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, PatchGraphResponse{Error: "server is draining"})
 		return
 	}
-	var edit graph.Edit
-	if err := json.NewDecoder(r.Body).Decode(&edit); err != nil {
+	var body struct {
+		graph.Edit
+		// PrevHash, when set, makes the PATCH conditional: it applies only
+		// if the handle's current hash equals PrevHash (compare-and-swap).
+		PrevHash string `json:"prev_hash,omitempty"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
 		writeJSON(w, http.StatusBadRequest, PatchGraphResponse{Error: fmt.Sprintf("bad request body: %v", err)})
 		return
 	}
+	edit := body.Edit
 	if edit.Empty() {
 		writeJSON(w, http.StatusBadRequest, PatchGraphResponse{Error: "empty edit"})
 		return
@@ -387,7 +420,24 @@ func (s *Server) handlePatchGraph(w http.ResponseWriter, r *http.Request) {
 	// The edit always applies to the handle's CURRENT state, whatever hash
 	// named it: concurrent mutators serialize here, last write wins, and
 	// each acknowledgement returns the hash its writer actually produced.
+	// A prev_hash makes the write conditional instead: it must name the
+	// current state exactly (an alias is not enough — an alias by
+	// definition means someone else wrote in between), or the PATCH fails
+	// with 409 and the current hash to rebase onto.
 	prev := h.hash
+	if body.PrevHash != "" && body.PrevHash != prev {
+		version := h.version
+		gs.casConflicts++
+		gs.mu.Unlock()
+		writeJSON(w, http.StatusConflict, PatchGraphResponse{
+			PrevHash: body.PrevHash,
+			Hash:     prev,
+			Version:  version,
+			Conflict: true,
+			Error:    fmt.Sprintf("prev_hash %s is not the current state %s", short(body.PrevHash), short(prev)),
+		})
+		return
+	}
 	ng, rep, err := h.g.ApplyEdit(edit)
 	if err != nil {
 		gs.mu.Unlock()

@@ -81,7 +81,7 @@ func (s *Server) OpenJournal(path string) (int, error) {
 // replay runs without one; shedding is disabled so the replay is a full
 // solve, exactly as accepted.
 func (s *Server) recoverJob(id string, req SolveRequest) error {
-	if err := req.normalize(); err != nil {
+	if err := req.Normalize(); err != nil {
 		return err
 	}
 	p, err := s.prepare(&req)

@@ -235,7 +235,7 @@ func TestJournalCrashRecovery(t *testing.T) {
 // prepareAndSolveForTest runs a request synchronously through the full
 // pipeline, bypassing HTTP — the reference result for replay comparisons.
 func (s *Server) prepareAndSolveForTest(req SolveRequest) (SolveResponse, error) {
-	if err := req.normalize(); err != nil {
+	if err := req.Normalize(); err != nil {
 		return SolveResponse{}, err
 	}
 	req.Async = false

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -60,6 +61,27 @@ type Options struct {
 	RepairQueueDepth int
 	// AnswerHistory bounds the GET /v1/answers registry (default 4096).
 	AnswerHistory int
+	// Cluster, when non-nil, mounts a cluster coordinator's handler at
+	// POST /v1/cluster/solve — the front-tier composition: this node keeps
+	// its full single-node API and additionally fans solves out over a
+	// backend fleet (see internal/cluster; wired by cmd/maxisd -cluster).
+	// The server takes an http.Handler rather than a coordinator to keep
+	// the dependency arrow pointing cluster→server.
+	Cluster http.Handler
+	// ClusterMetrics, when non-nil, is appended to the /metrics exposition
+	// so the coordinator's counters share the node's scrape endpoint.
+	ClusterMetrics func(io.Writer)
+	// GraphJournalGroupWindow and GraphJournalGroupBatch configure
+	// group-commit fsync batching on the graph mutation journal opened by
+	// OpenGraphJournal: an fsync is issued when the oldest unsynced record
+	// has waited GroupWindow, or when GroupBatch records are pending,
+	// whichever comes first. Every PATCH still blocks until its record is
+	// synced — fsync-before-ack is preserved, the syncs are just shared.
+	// Zero values select 2ms and 32; negative GroupWindow disables
+	// batching (every record syncs individually, the pre-batching
+	// behaviour).
+	GraphJournalGroupWindow time.Duration
+	GraphJournalGroupBatch  int
 }
 
 func (o Options) withDefaults() Options {
@@ -170,7 +192,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		s.metrics.write(w, s)
+		if s.opts.ClusterMetrics != nil {
+			s.opts.ClusterMetrics(w)
+		}
 	})
+	if s.opts.Cluster != nil {
+		mux.Handle("POST /v1/cluster/solve", s.opts.Cluster)
+	}
 	if s.opts.Chaos != nil {
 		return s.opts.Chaos.Middleware(mux)
 	}
@@ -302,7 +330,7 @@ type prepared struct {
 // prepare materialises the graph, assembles the solve config and computes
 // the cache key for a normalized request.
 func (s *Server) prepare(req *SolveRequest) (prepared, error) {
-	g, err := req.buildGraph()
+	g, err := req.BuildGraph()
 	if err != nil {
 		return prepared{}, fmt.Errorf("graph: %w", err)
 	}
@@ -324,7 +352,7 @@ func (s *Server) prepare(req *SolveRequest) (prepared, error) {
 			cfg.MaxWeight = 1000
 		}
 	}
-	key := cacheKey(g.Canonical(), req.fingerprint()+fmt.Sprintf("|W=%d", cfg.MaxWeight))
+	key := cacheKey(g.Canonical(), req.Fingerprint()+fmt.Sprintf("|W=%d", cfg.MaxWeight))
 	return prepared{g: g, cfg: cfg, key: key, hash: g.HashString()}, nil
 }
 
@@ -344,7 +372,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		errorResponse(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	if err := req.normalize(); err != nil {
+	if err := req.Normalize(); err != nil {
 		errorResponse(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -393,7 +421,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// scheduler, no cache, no simulator, deterministic. Always synchronous,
 	// even with Async set: the answer is cheaper than the bookkeeping.
 	if req.Degraded {
-		set, weight := greedyDegraded(p.g)
+		set, weight := GreedyDegraded(p.g)
 		s.metrics.shed.Add(1)
 		s.metrics.latency.observe("degraded", time.Since(start).Seconds())
 		writeJSON(w, http.StatusOK, SolveResponse{
@@ -483,7 +511,7 @@ func (s *Server) execute(ctx context.Context, req *SolveRequest, p prepared, id 
 	// Load shedding: past the queue-depth threshold, answer with the cheap
 	// deterministic greedy tier instead of queueing a full solve.
 	if allowShed && s.sched.depth() >= s.opts.ShedDepth {
-		set, weight := greedyDegraded(p.g)
+		set, weight := GreedyDegraded(p.g)
 		s.metrics.shed.Add(1)
 		s.metrics.latency.observe("degraded", time.Since(start).Seconds())
 		return finish(SolveResponse{

@@ -1,0 +1,217 @@
+package soak
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"distmwis/internal/chaos"
+	"distmwis/internal/cluster"
+	"distmwis/internal/graph/gen"
+	"distmwis/internal/server"
+	"distmwis/internal/server/client"
+)
+
+// TestClusterSoak is the sharded serving tier's availability audit: three
+// chaos-injected backends behind a coordinator front tier, a mixed
+// fan-out/whole-graph workload over HTTP, and one backend killed outright
+// mid-run. The fleet must hold ≥99% availability, every published answer
+// must carry the coordinator's independence verification, and the prober
+// must settle on exactly two alive members.
+func TestClusterSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	baseline := runtime.NumGoroutine()
+
+	// Three backends, each with a pinned mild-chaos schedule: injected 500s
+	// and resets that the per-backend client mostly absorbs, plus scheduled
+	// worker panics so backend-side restarts happen under cluster load.
+	const backendCount = 3
+	backends := make([]*server.Server, backendCount)
+	bts := make([]*httptest.Server, backendCount)
+	injectors := make([]*chaos.Injector, backendCount)
+	for i := range backends {
+		injectors[i] = chaos.NewInjector(chaos.Schedule{
+			Seed:       soakSeed + uint64(i),
+			ErrorP:     0.03,
+			ResetP:     0.02,
+			SlowP:      0.2,
+			Slow:       2 * time.Millisecond,
+			PanicEvery: 40,
+		})
+		backends[i] = server.New(server.Options{Workers: 2, Chaos: injectors[i]})
+		bts[i] = httptest.NewServer(backends[i].Handler())
+	}
+	defer func() {
+		for i := range backends {
+			bts[i].Close()
+			_ = backends[i].Drain()
+			_ = backends[i].Close()
+		}
+	}()
+	urls := []string{bts[0].URL, bts[1].URL, bts[2].URL}
+
+	coord, err := cluster.New(urls, cluster.Options{
+		Partitions:    backendCount,
+		ProbeInterval: 50 * time.Millisecond,
+		ProbeTimeout:  time.Second,
+		Client: client.Options{
+			Timeout:     5 * time.Second,
+			MaxRetries:  2,
+			BackoffBase: 2 * time.Millisecond,
+			BackoffCap:  50 * time.Millisecond,
+			Seed:        soakSeed,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.Start()
+	defer coord.Stop()
+
+	// The front tier is itself a maxisd with the coordinator mounted — the
+	// exact composition cmd/maxisd -cluster runs.
+	front := server.New(server.Options{
+		Workers:        1,
+		Cluster:        coord.Handler(),
+		ClusterMetrics: coord.WriteMetrics,
+	})
+	fts := httptest.NewServer(front.Handler())
+	defer func() {
+		fts.Close()
+		_ = front.Drain()
+		_ = front.Close()
+	}()
+
+	const (
+		workers     = 6
+		perWorker   = 40
+		total       = workers * perWorker
+		killAfter   = total / 3 // SIGKILL backend 2 a third of the way in
+		wantSuccess = 0.99
+	)
+	var issued, ok, failed, verifiedMisses atomic.Int64
+	var killOnce sync.Once
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if issued.Add(1) == killAfter {
+					killOnce.Do(func() {
+						t.Logf("killing backend 2 (%s) after %d requests", urls[2], killAfter)
+						bts[2].Close()
+					})
+				}
+				// Deterministic mix over a 16-seed pool: gnp n=240 fans out
+				// over all three parts, cycle n=60 stays under MinFanoutNodes
+				// and routes whole to its ring owner — both paths must ride
+				// out the death.
+				seed := uint64(1 + (w*perWorker+i)%16)
+				req := server.SolveRequest{
+					Gen:  &server.GenSpec{Kind: "gnp", N: 240, P: 0.03, Weights: "poly2", Seed: seed},
+					Alg:  "goodnodes",
+					Seed: seed,
+				}
+				fanout := (w+i)%2 == 0
+				if !fanout {
+					req.Gen = &server.GenSpec{Kind: "cycle", N: 60, Weights: "poly2", Seed: seed}
+				}
+				body, _ := json.Marshal(req)
+				httpResp, err := http.Post(fts.URL+"/v1/cluster/solve", "application/json", bytes.NewReader(body))
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				var resp cluster.Response
+				err = json.NewDecoder(httpResp.Body).Decode(&resp)
+				httpResp.Body.Close()
+				if err != nil || httpResp.StatusCode != http.StatusOK || resp.Status != "done" {
+					failed.Add(1)
+					continue
+				}
+				if !resp.Verified {
+					verifiedMisses.Add(1)
+				}
+				// End-to-end spot check: the coordinator claims verification;
+				// rebuild the graph here and hold it to that claim.
+				if fanout && i%8 == 0 {
+					g := gen.Weighted(gen.GNP(240, 0.03, seed), gen.PolyWeights(2), seed)
+					set := make([]bool, g.N())
+					for _, v := range resp.Set {
+						set[v] = true
+					}
+					if !g.IsIndependentSet(set) {
+						t.Errorf("seed %d: published set is not independent", seed)
+					}
+				}
+				ok.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	ratio := float64(ok.Load()) / float64(total)
+	st := coord.Stats()
+	t.Logf("availability: %d/%d ok (%.4f), coordinator %+v", ok.Load(), total, ratio, st)
+	for i, inj := range injectors {
+		t.Logf("backend %d chaos: %+v", i, inj.Stats())
+	}
+	if ratio < wantSuccess {
+		t.Fatalf("success ratio %.4f below SLO %.2f (%d failures)", ratio, wantSuccess, failed.Load())
+	}
+	if n := verifiedMisses.Load(); n != 0 {
+		t.Fatalf("%d done answers arrived without the verified flag", n)
+	}
+	// Both routing paths must actually have run, or the SLO is vacuous.
+	if st.Partitioned == 0 || st.WholeGraph == 0 {
+		t.Fatalf("workload mix did not exercise both paths: %+v", st)
+	}
+	// The chaos must have fired somewhere.
+	fired := false
+	for _, inj := range injectors {
+		if s := inj.Stats(); s.Errors > 0 || s.Resets > 0 || s.Panics > 0 {
+			fired = true
+		}
+	}
+	if !fired {
+		t.Fatal("no chaos fired on any backend — the soak tested nothing")
+	}
+
+	// The prober must have confirmed the death: exactly two members left,
+	// and the killed backend stays out across further probes.
+	coord.ProbeOnce(context.Background())
+	coord.ProbeOnce(context.Background())
+	if st := coord.Stats(); st.BackendsAlive != backendCount-1 || st.BackendsTotal != backendCount {
+		t.Fatalf("fleet did not settle at %d/%d alive: %+v", backendCount-1, backendCount, st)
+	}
+
+	// Everything spawned — backends, coordinator prober, retries — must be
+	// gone once the deferred teardown runs. Poll from a cleanup so it runs
+	// after the defers above.
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if runtime.NumGoroutine() <= baseline+4 {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Errorf("goroutine leak: %d now vs %d at start\n%s",
+					runtime.NumGoroutine(), baseline, buf[:n])
+				return
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	})
+}
