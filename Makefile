@@ -36,6 +36,8 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzChecksumBurst -fuzztime=10s ./internal/wire/
 	$(GO) test -run='^$$' -fuzz=FuzzInjectorCorruptDetect -fuzztime=10s ./internal/fault/
 	$(GO) test -run='^$$' -fuzz=FuzzEngineFaultDeterminism -fuzztime=10s ./internal/fault/
+	$(GO) test -run='^$$' -fuzz=FuzzParamsNormalize -fuzztime=10s ./internal/maxis/
+	$(GO) test -run='^$$' -fuzz=FuzzChoose -fuzztime=10s ./internal/plan/
 
 build-cmds:
 	$(GO) build -o bin/ ./cmd/...

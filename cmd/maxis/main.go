@@ -24,6 +24,7 @@ import (
 	"distmwis/internal/graph"
 	"distmwis/internal/graph/gen"
 	"distmwis/internal/maxis"
+	"distmwis/internal/plan"
 	"distmwis/internal/protocol"
 	"distmwis/internal/trace"
 
@@ -41,21 +42,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("maxis", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		graphKind = fs.String("graph", "gnp", "cycle|path|clique|star|grid|torus|gnp|tree|forests|apollonian|caterpillar|coc")
-		n         = fs.Int("n", 1000, "number of nodes (or per-dimension size)")
-		p         = fs.Float64("p", 0.05, "edge probability for gnp")
-		k         = fs.Int("k", 2, "forest count for -graph forests / legs for caterpillar / n1 for coc")
-		weights   = fs.String("weights", "unit", "unit|uniform|poly2|poly3|expspread|skewed")
-		maxW      = fs.Int64("maxw", 1000, "max weight for -weights uniform")
-		algName   = fs.String("alg", "theorem2", strings.Join(maxis.AlgorithmNames(), "|"))
-		eps       = fs.Float64("eps", 0.5, "epsilon for boosted algorithms")
-		alpha     = fs.Int("alpha", 0, "arboricity bound for theorem3 (0 = degeneracy)")
-		seed      = fs.Uint64("seed", 1, "random seed")
-		misName   = fs.String("mis", "luby", "MIS black box: "+strings.Join(protocol.Names(protocol.KindMIS), "|"))
-		local     = fs.Bool("local", false, "LOCAL model (no bandwidth bound)")
-		showOpt   = fs.Bool("opt", false, "also compute exact OPT (small graphs only)")
-		doTrace   = fs.Bool("trace", false, "record a per-round trace and print the phase timeline")
-		traceOut  = fs.String("trace-out", "", "write the per-round trace to a file (.csv → CSV, else JSON lines); implies -trace")
+		graphKind  = fs.String("graph", "gnp", "cycle|path|clique|star|grid|torus|gnp|tree|forests|apollonian|caterpillar|coc")
+		n          = fs.Int("n", 1000, "number of nodes (or per-dimension size)")
+		p          = fs.Float64("p", 0.05, "edge probability for gnp")
+		k          = fs.Int("k", 2, "forest count for -graph forests / legs for caterpillar / n1 for coc")
+		weights    = fs.String("weights", "unit", "unit|uniform|poly2|poly3|expspread|skewed")
+		maxW       = fs.Int64("maxw", 1000, "max weight for -weights uniform")
+		algName    = fs.String("alg", "theorem2", "auto|"+strings.Join(maxis.AlgorithmNames(), "|"))
+		eps        = fs.Float64("eps", 0.5, "epsilon for boosted algorithms")
+		alpha      = fs.Int("alpha", 0, "arboricity bound for theorem3 (0 = degeneracy)")
+		deadlineMS = fs.Int64("deadline-ms", 0, "work budget for -alg auto as a deadline (0 = unlimited)")
+		seed       = fs.Uint64("seed", 1, "random seed")
+		misName    = fs.String("mis", "luby", "MIS black box: "+strings.Join(protocol.Names(protocol.KindMIS), "|"))
+		local      = fs.Bool("local", false, "LOCAL model (no bandwidth bound)")
+		showOpt    = fs.Bool("opt", false, "also compute exact OPT (small graphs only)")
+		doTrace    = fs.Bool("trace", false, "record a per-round trace and print the phase timeline")
+		traceOut   = fs.String("trace-out", "", "write the per-round trace to a file (.csv → CSV, else JSON lines); implies -trace")
 
 		faultRate    = fs.Float64("fault-rate", 0, "per-message loss probability (enables fault injection)")
 		faultDup     = fs.Float64("fault-dup", 0, "per-message duplication probability")
@@ -97,6 +99,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	cfg := maxis.Config{Seed: *seed, MIS: misAlg, Local: *local}
+	// -alg auto resolves through the planner against the -deadline-ms
+	// budget; the decision line shows what was picked and why it fits.
+	if *algName == plan.Auto {
+		d, err := plan.Choose(plan.Request{
+			Profile:    protocol.ProfileOf(g),
+			Params:     protocol.Params{Eps: *eps, Alpha: *alpha},
+			Budget:     plan.ForDeadline(*deadlineMS, 0),
+			MIS:        misAlg,
+			AllowLocal: *local,
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "maxis: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "planner: %s\n", d)
+		*algName = d.Alg
+	}
 	// The uniform and skewed generators bound their weights by -maxw, so
 	// the runtime can skip its own weight scan.
 	if *weights == "uniform" || *weights == "skewed" {
@@ -249,6 +268,10 @@ func validateFlags(v flagValues) error {
 	// Per-algorithm parameter rules live with the algorithm's registry
 	// entry, not here: whatever Normalize rejects is surfaced as a flag
 	// error, with the parameter name rendered as the flag that carries it.
+	// "auto" defers the choice (and its parameter check) to the planner.
+	if v.alg == plan.Auto {
+		return nil
+	}
 	solver, err := protocol.SolverByName(v.alg)
 	if err != nil {
 		return err

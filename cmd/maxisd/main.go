@@ -99,6 +99,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		chaosSpec    = fs.String("chaos", "", "chaos schedule, e.g. seed=7,err=0.05,latency=0.1:20ms,panic-every=40 (empty disables)")
 		fsyncWindow  = fs.Duration("graph-fsync-window", 0, "graph journal group-commit window (0 = default 2ms, negative = sync per record)")
 		fsyncBatch   = fs.Int("graph-fsync-batch", 0, "graph journal records forcing an early group-commit sync (0 = default 32)")
+		planOpsPerMS = fs.Int64("plan-ops-per-ms", 0, "planner work-unit throughput for alg=auto deadline budgets (0 = default)")
 		clusterMode  = fs.Bool("cluster", false, "front a backend fleet: fan solves out over -backends via POST /v1/cluster/solve")
 		backendsCSV  = fs.String("backends", "", "comma-separated backend base URLs for -cluster, e.g. http://10.0.0.1:8080,http://10.0.0.2:8080")
 		partitions   = fs.Int("partitions", 0, "parts per fanned-out cluster solve (0 = backend count)")
@@ -145,6 +146,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		Rate:                    *rate,
 		Burst:                   *burst,
 		ShedDepth:               *shedDepth,
+		PlannerOpsPerMS:         *planOpsPerMS,
 		DrainTimeout:            *drainTimeout,
 		RestartBudget:           *restarts,
 		Chaos:                   injector,

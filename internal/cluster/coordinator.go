@@ -123,6 +123,21 @@ type Coordinator struct {
 	readmitted  atomic.Int64
 	floorWins   atomic.Int64
 	idSeq       atomic.Int64
+
+	// fanoutOverheadUS is an EWMA (α = 1/8) of the fan-out overhead per
+	// partitioned solve — total wall time minus the slowest part's solve
+	// time, in microseconds. Per-part deadlines are the request deadline
+	// minus this estimate, so backends plan against the time they will
+	// actually get, not the time the client granted the coordinator.
+	fanoutOverheadUS atomic.Int64
+
+	// Partition-quality gauges, refreshed by every partitioned solve: how
+	// many edges the cut crossed, and the max/mean imbalance of part node
+	// counts and part weights (×1000, so 1000 = perfectly balanced).
+	lastCutEdges            atomic.Int64
+	lastPartSizeImbalance   atomic.Int64
+	lastPartWeightImbalance atomic.Int64
+	cutEdgesTotal           atomic.Int64
 }
 
 // Stats is a point-in-time snapshot of the coordinator counters.
@@ -140,6 +155,17 @@ type Stats struct {
 	FloorWins     int64 // answers where the degraded floor beat the merge
 	BackendsAlive int
 	BackendsTotal int
+
+	// FanoutOverheadUS is the EWMA fan-out overhead estimate (µs) deducted
+	// from per-part deadlines.
+	FanoutOverheadUS int64
+	// CutEdgesTotal accumulates cut edges over all partitioned solves;
+	// LastCutEdges and the imbalance gauges describe the most recent one
+	// (imbalance = max part / mean part, ×1000).
+	CutEdgesTotal           int64
+	LastCutEdges            int64
+	LastPartSizeImbalance   int64
+	LastPartWeightImbalance int64
 }
 
 // New builds a Coordinator over the given backend base URLs (e.g.
@@ -270,6 +296,12 @@ func (c *Coordinator) Stats() Stats {
 		FloorWins:     c.floorWins.Load(),
 		BackendsAlive: alive,
 		BackendsTotal: len(c.backends),
+
+		FanoutOverheadUS:        c.fanoutOverheadUS.Load(),
+		CutEdgesTotal:           c.cutEdgesTotal.Load(),
+		LastCutEdges:            c.lastCutEdges.Load(),
+		LastPartSizeImbalance:   c.lastPartSizeImbalance.Load(),
+		LastPartWeightImbalance: c.lastPartWeightImbalance.Load(),
 	}
 }
 
@@ -427,7 +459,65 @@ type partOutcome struct {
 	rounds   int
 	messages int64
 	bits     int64
+	elapsed  time.Duration
 	err      error
+}
+
+// recordPartitionQuality refreshes the partition-quality gauges from one
+// Split result: cut-edge count and the max/mean imbalance of part node
+// counts and part weights (×1000).
+func (c *Coordinator) recordPartitionQuality(part *partition.Partition) {
+	c.cutEdgesTotal.Add(int64(len(part.CutEdges)))
+	c.lastCutEdges.Store(int64(len(part.CutEdges)))
+	var totalN, maxN, totalW, maxW int64
+	for _, sub := range part.Parts {
+		pn := int64(sub.G.N())
+		var pw int64
+		for v := 0; v < sub.G.N(); v++ {
+			pw += sub.G.Weight(v)
+		}
+		totalN += pn
+		totalW += pw
+		if pn > maxN {
+			maxN = pn
+		}
+		if pw > maxW {
+			maxW = pw
+		}
+	}
+	k := int64(len(part.Parts))
+	if k > 0 && totalN > 0 {
+		c.lastPartSizeImbalance.Store(maxN * k * 1000 / totalN)
+	}
+	if k > 0 && totalW > 0 {
+		c.lastPartWeightImbalance.Store(maxW * k * 1000 / totalW)
+	}
+}
+
+// partDeadline budgets one part's DeadlineMS: the request deadline minus
+// the EWMA fan-out overhead, floored at 1ms so a nearly-spent deadline
+// still reaches the backend (whose planner will pick its cheapest rung)
+// instead of silently becoming unlimited.
+func (c *Coordinator) partDeadline(reqDeadlineMS int64) int64 {
+	if reqDeadlineMS <= 0 {
+		return 0
+	}
+	d := reqDeadlineMS - c.fanoutOverheadUS.Load()/1000
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// observeFanout folds one partitioned solve's overhead — total wall time
+// minus the slowest part — into the EWMA (α = 1/8).
+func (c *Coordinator) observeFanout(total, maxPart time.Duration) {
+	overhead := (total - maxPart).Microseconds()
+	if overhead < 0 {
+		overhead = 0
+	}
+	prev := c.fanoutOverheadUS.Load()
+	c.fanoutOverheadUS.Store(prev + (overhead-prev)/8)
 }
 
 // solvePartitioned fans the solve out over an edge-cut partition and
@@ -438,17 +528,27 @@ func (c *Coordinator) solvePartitioned(ctx context.Context, req *server.SolveReq
 		return Response{}, badRequest("partition: %v", err)
 	}
 	c.partitioned.Add(1)
+	c.recordPartitionQuality(part)
 
+	fanoutStart := time.Now()
+	partDeadlineMS := c.partDeadline(req.DeadlineMS)
 	outcomes := make([]partOutcome, part.K)
 	var wg sync.WaitGroup
 	for i := 0; i < part.K; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			outcomes[i] = c.solvePart(ctx, req, part.Parts[i], i)
+			outcomes[i] = c.solvePart(ctx, req, part.Parts[i], i, partDeadlineMS)
 		}(i)
 	}
 	wg.Wait()
+	var maxPart time.Duration
+	for i := range outcomes {
+		if outcomes[i].elapsed > maxPart {
+			maxPart = outcomes[i].elapsed
+		}
+	}
+	c.observeFanout(time.Since(fanoutStart), maxPart)
 
 	resp := Response{CutEdges: len(part.CutEdges)}
 	n := g.N()
@@ -531,7 +631,11 @@ func (c *Coordinator) solvePartitioned(ctx context.Context, req *server.SolveReq
 
 // solvePart solves one partition on its ring owner, failing over clockwise
 // and degrading to a coordinator-local greedy answer when no backend can.
-func (c *Coordinator) solvePart(ctx context.Context, req *server.SolveRequest, sub *graph.Subgraph, idx int) partOutcome {
+// deadlineMS is the budgeted per-part deadline (see partDeadline) — tighter
+// than the request's, so an alg=auto part re-plans against the time left
+// after fan-out overhead.
+func (c *Coordinator) solvePart(ctx context.Context, req *server.SolveRequest, sub *graph.Subgraph, idx int, deadlineMS int64) partOutcome {
+	partStart := time.Now()
 	hash := sub.G.HashString()
 	report := PartReport{Part: idx, GraphHash: hash, N: sub.G.N(), M: sub.G.M()}
 
@@ -547,7 +651,7 @@ func (c *Coordinator) solvePart(ctx context.Context, req *server.SolveRequest, s
 		Seed:            req.Seed,
 		MIS:             req.MIS,
 		Priority:        req.Priority,
-		DeadlineMS:      req.DeadlineMS,
+		DeadlineMS:      deadlineMS,
 		NoCache:         req.NoCache,
 		Reliable:        req.Reliable,
 		CheckpointEvery: req.CheckpointEvery,
@@ -563,11 +667,12 @@ func (c *Coordinator) solvePart(ctx context.Context, req *server.SolveRequest, s
 		report.Size = resp.Size
 		report.Weight = resp.Weight
 		return partOutcome{report: report, set: resp.Set,
-			rounds: resp.Rounds, messages: resp.Messages, bits: resp.Bits}
+			rounds: resp.Rounds, messages: resp.Messages, bits: resp.Bits,
+			elapsed: time.Since(partStart)}
 	}
 	var reqErr *RequestError
 	if errors.As(err, &reqErr) {
-		return partOutcome{err: err}
+		return partOutcome{err: err, elapsed: time.Since(partStart)}
 	}
 	// Every backend failed this part: answer it from the local degraded
 	// tier so one part's bad luck does not fail the whole solve.
@@ -577,7 +682,7 @@ func (c *Coordinator) solvePart(ctx context.Context, req *server.SolveRequest, s
 	report.Degraded = true
 	report.Size = graph.SetSize(set)
 	report.Weight = weight
-	return partOutcome{report: report, set: indices(set)}
+	return partOutcome{report: report, set: indices(set), elapsed: time.Since(partStart)}
 }
 
 // solveOn routes one request along the ring sequence for key: the owner
@@ -682,4 +787,3 @@ func boolsFrom(set []int32, n int) []bool {
 	}
 	return out
 }
-

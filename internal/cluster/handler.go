@@ -65,4 +65,9 @@ func (c *Coordinator) WriteMetrics(w io.Writer) {
 	fmt.Fprintf(w, "# TYPE cluster_floor_wins_total counter\ncluster_floor_wins_total %d\n", s.FloorWins)
 	fmt.Fprintf(w, "# TYPE cluster_backends_alive gauge\ncluster_backends_alive %d\n", s.BackendsAlive)
 	fmt.Fprintf(w, "# TYPE cluster_backends_total gauge\ncluster_backends_total %d\n", s.BackendsTotal)
+	fmt.Fprintf(w, "# TYPE cluster_fanout_overhead_us gauge\ncluster_fanout_overhead_us %d\n", s.FanoutOverheadUS)
+	fmt.Fprintf(w, "# TYPE cluster_cut_edges_total counter\ncluster_cut_edges_total %d\n", s.CutEdgesTotal)
+	fmt.Fprintf(w, "# TYPE cluster_partition_cut_edges gauge\ncluster_partition_cut_edges %d\n", s.LastCutEdges)
+	fmt.Fprintf(w, "# TYPE cluster_partition_size_imbalance_permille gauge\ncluster_partition_size_imbalance_permille %d\n", s.LastPartSizeImbalance)
+	fmt.Fprintf(w, "# TYPE cluster_partition_weight_imbalance_permille gauge\ncluster_partition_weight_imbalance_permille %d\n", s.LastPartWeightImbalance)
 }

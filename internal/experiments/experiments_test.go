@@ -8,10 +8,10 @@ import (
 
 func TestIDsOrderedAndComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 20 {
-		t.Fatalf("registry has %d experiments, want 20", len(ids))
+	if len(ids) != 21 {
+		t.Fatalf("registry has %d experiments, want 21", len(ids))
 	}
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21"}
 	for i, id := range want {
 		if ids[i] != id {
 			t.Errorf("IDs()[%d] = %s, want %s", i, ids[i], id)

@@ -23,4 +23,5 @@ var registry = map[string]entry{
 	"E18": {title: "Graceful degradation under fault injection", run: runE18},
 	"E19": {title: "Round-resolved bit profiles (trace layer)", run: runE19},
 	"E20": {title: "Reliable transport vs passive degradation (recovery sweep)", run: runE20},
+	"E21": {title: "Algorithm portfolio head-to-head: rounds vs retention", run: runE21},
 }

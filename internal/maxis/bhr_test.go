@@ -1,0 +1,89 @@
+package maxis
+
+import (
+	"testing"
+
+	"distmwis/internal/graph/gen"
+)
+
+func TestBHROneRoundIndependence(t *testing.T) {
+	for name, g := range propertySuite(t) {
+		for _, seed := range []uint64{1, 2, 3, 11} {
+			res, err := BHROneRound(g, Config{Seed: seed})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", name, seed, err)
+			}
+			if !g.IsIndependentSet(res.Set) {
+				t.Fatalf("%s seed %d: dependent set", name, seed)
+			}
+		}
+	}
+}
+
+func TestBHRTruncatedKeysKeepIndependence(t *testing.T) {
+	// Bandwidth truncation shortens every race key identically; equal
+	// truncated keys make both endpoints abstain, so independence survives
+	// any key width — only weight is at risk.
+	g := gen.Weighted(gen.GNP(80, 0.1, 4), gen.PolyWeights(2), 4)
+	for _, factor := range []int{1, 2, 4} {
+		res, err := BHROneRound(g, Config{Seed: 5, BandwidthFactor: factor})
+		if err != nil {
+			t.Fatalf("factor %d: %v", factor, err)
+		}
+		if !g.IsIndependentSet(res.Set) {
+			t.Fatalf("factor %d: dependent set under truncated keys", factor)
+		}
+	}
+}
+
+// TestBHRExpectationBound samples the one-round race over many seeds and
+// checks the mean against E[w(I)] ≥ w(V)/(Δ+1). The guarantee holds only in
+// expectation (the planner's ExpectationOnly flag), so the test asserts the
+// empirical mean clears 85% of the bound — far enough below to be stable,
+// close enough to catch a broken race.
+func TestBHRExpectationBound(t *testing.T) {
+	g := gen.Weighted(gen.GNP(120, 0.06, 7), gen.PolyWeights(2), 7)
+	const trials = 200
+	var sum float64
+	for seed := uint64(1); seed <= trials; seed++ {
+		res, err := BHROneRound(g, Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += float64(res.Weight)
+	}
+	mean := sum / trials
+	bound := float64(g.TotalWeight()) / float64(g.MaxDegree()+1)
+	if mean < 0.85*bound {
+		t.Errorf("mean weight %.1f below 0.85·w(V)/(Δ+1) = %.1f", mean, 0.85*bound)
+	}
+}
+
+func TestBHRFewRoundBeatsOneRound(t *testing.T) {
+	// Re-racing the residual graph can only add weight: the few-round mean
+	// must dominate the one-round mean on the same seeds.
+	g := gen.Weighted(gen.GNP(100, 0.08, 3), gen.PolyWeights(2), 3)
+	const trials = 50
+	var one, few float64
+	for seed := uint64(1); seed <= trials; seed++ {
+		r1, err := BHROneRound(g, Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rf, err := BHR(g, BHRFewRoundPhases, Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.IsIndependentSet(rf.Set) {
+			t.Fatalf("seed %d: few-round dependent set", seed)
+		}
+		if rf.Weight < r1.Weight {
+			t.Fatalf("seed %d: few-round weight %d below its own first race %d", seed, rf.Weight, r1.Weight)
+		}
+		one += float64(r1.Weight)
+		few += float64(rf.Weight)
+	}
+	if few <= one {
+		t.Errorf("few-round mean %.1f did not beat one-round mean %.1f", few/trials, one/trials)
+	}
+}

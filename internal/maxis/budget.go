@@ -64,6 +64,15 @@ func DeltaHBound(n int, lambda float64) int {
 	return int(math.Ceil(4 * lambda * math.Log2(float64(n))))
 }
 
+// BudgetLocalRatio is the unscaled local-ratio bound O(MIS(n,Δ)·Δ): at
+// most Δ+1 MIS phases on the positive-residual subgraph (see LocalRatio's
+// termination argument) plus reductions and pops. The complement of
+// BudgetBarYehuda — cheaper exactly when Δ < log W.
+func BudgetLocalRatio(alg mis.Algorithm, n, delta int) int {
+	phases := delta + 1
+	return phases*(alg.RoundBudget(n, delta)+3) + phases
+}
+
 // BudgetBarYehuda is the [8] baseline bound O(MIS(n,Δ)·log W): one MIS per
 // weight scale plus reductions and pops.
 func BudgetBarYehuda(alg mis.Algorithm, n, delta int, maxW int64) int {

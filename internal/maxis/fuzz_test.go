@@ -1,0 +1,47 @@
+package maxis
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"distmwis/internal/protocol"
+)
+
+// FuzzParamsNormalize hammers every registered solver's Normalize with
+// arbitrary parameters. The contract under test: Normalize never panics,
+// rejects parameters only with *protocol.ParamError, and is idempotent —
+// re-normalizing an accepted Params must be a no-op (the server normalizes
+// once at admission and again inside Solve).
+func FuzzParamsNormalize(f *testing.F) {
+	f.Add(uint8(0), 0.0, 0)
+	f.Add(uint8(3), 0.5, 1)
+	f.Add(uint8(7), 1.5, -4)
+	f.Add(uint8(11), math.Inf(1), 1<<20)
+	f.Add(uint8(13), math.NaN(), 0)
+	solvers := protocol.Solvers()
+	if len(solvers) == 0 {
+		f.Fatal("no solvers registered")
+	}
+	f.Fuzz(func(t *testing.T, algIdx uint8, eps float64, alpha int) {
+		s := solvers[int(algIdx)%len(solvers)]
+		p, err := s.Normalize(protocol.Params{Eps: eps, Alpha: alpha})
+		if err != nil {
+			var perr *protocol.ParamError
+			if !errors.As(err, &perr) {
+				t.Fatalf("%s: non-ParamError rejection %T: %v", s.Name(), err, err)
+			}
+			return
+		}
+		p2, err := s.Normalize(p)
+		if err != nil {
+			t.Fatalf("%s: normalized params rejected on re-normalize: %v", s.Name(), err)
+		}
+		// Solvers that ignore ε pass it through untouched — including NaN —
+		// so compare ε as bit patterns, not with !=.
+		sameEps := p2.Eps == p.Eps || (math.IsNaN(p2.Eps) && math.IsNaN(p.Eps))
+		if !sameEps || p2.Alpha != p.Alpha {
+			t.Fatalf("%s: Normalize not idempotent: %+v then %+v", s.Name(), p, p2)
+		}
+	})
+}

@@ -1,0 +1,116 @@
+package maxis
+
+import (
+	"testing"
+
+	"distmwis/internal/exact"
+	"distmwis/internal/graph"
+	"distmwis/internal/graph/gen"
+)
+
+// propertySuite extends smallSuite with a power-law graph: the local-ratio
+// family's Δ+1-phase bound is only interesting when degrees are skewed, and
+// power-law degree sequences are the canonical skew.
+func propertySuite(tb testing.TB) map[string]*graph.Graph {
+	tb.Helper()
+	out := smallSuite(tb)
+	out["powerlaw"] = gen.Weighted(gen.PowerLaw(48, 2.5, 12, 9), gen.UniformWeights(300), 9)
+	return out
+}
+
+func TestLocalRatioDeltaApprox(t *testing.T) {
+	for name, g := range propertySuite(t) {
+		for _, seed := range []uint64{1, 2, 7} {
+			res, err := LocalRatio(g, Config{Seed: seed})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", name, seed, err)
+			}
+			if !g.IsIndependentSet(res.Set) {
+				t.Fatalf("%s seed %d: dependent set", name, seed)
+			}
+			delta := g.MaxDegree()
+			if delta == 0 {
+				delta = 1
+			}
+			assertRatio(t, g, res.Weight, float64(delta), name)
+		}
+	}
+}
+
+func TestLocalRatioPhasesBoundedByDelta(t *testing.T) {
+	// The termination argument: each MIS phase permanently zeroes every
+	// active node or one of its neighbours, so at most Δ+1 phases run —
+	// independent of the weight range W.
+	for name, g := range propertySuite(t) {
+		res, err := LocalRatio(g, Config{Seed: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if phases := int(res.Extra["phases"]); phases > g.MaxDegree()+1 {
+			t.Errorf("%s: %d phases > Δ+1 = %d", name, phases, g.MaxDegree()+1)
+		}
+	}
+}
+
+func TestLocalRatioPhasesIndependentOfW(t *testing.T) {
+	// The complement of TestBarYehudaRoundsGrowWithLogW: the plain
+	// local-ratio phase count must NOT grow when W explodes.
+	g := gen.GNP(120, 0.04, 6)
+	small, err := LocalRatio(gen.Weighted(g, gen.UniformWeights(2), 6), Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := LocalRatio(gen.Weighted(g, gen.UniformWeights(1<<20), 6), Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp, sp := int(large.Extra["phases"]), int(small.Extra["phases"]); lp > sp+2 {
+		t.Errorf("phases grew with W: W=2 → %d, W=2^20 → %d", sp, lp)
+	}
+}
+
+func TestLocalRatioEpsBound(t *testing.T) {
+	for name, g := range propertySuite(t) {
+		for _, eps := range []float64{0.5, 0.25} {
+			res, err := LocalRatioEps(g, eps, Config{Seed: 4})
+			if err != nil {
+				t.Fatalf("%s eps %g: %v", name, eps, err)
+			}
+			if !g.IsIndependentSet(res.Set) {
+				t.Fatalf("%s eps %g: dependent set", name, eps)
+			}
+			opt, _, err := exact.MWIS(g)
+			if err != nil {
+				t.Fatalf("%s: exact: %v", name, err)
+			}
+			delta := g.MaxDegree()
+			if delta == 0 {
+				delta = 1
+			}
+			// w(I) ≥ (1−ε)·OPT/Δ: quantisation forfeits at most ε·maxW ≤ ε·OPT.
+			if float64(res.Weight)*float64(delta) < (1-eps)*float64(opt)-1e-9 {
+				t.Errorf("%s eps %g: weight %d·Δ=%d below (1−ε)·OPT = %.1f",
+					name, eps, res.Weight, delta, (1-eps)*float64(opt))
+			}
+		}
+	}
+}
+
+func TestLocalRatioEpsScalesBounded(t *testing.T) {
+	// Quantisation decouples the scale count from W: with unit = ⌊ε·maxW/n⌋
+	// the quantised weights are ≤ n/ε, so ≤ log₂(n/ε)+O(1) scales run even
+	// when W is astronomically larger.
+	g := gen.Weighted(gen.GNP(100, 0.05, 8), gen.ExponentialSpreadWeights(40), 8)
+	res, err := LocalRatioEps(g, 0.5, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := float64(g.N())
+	bound := 0
+	for lim := 1.0; lim < n/0.5; lim *= 2 {
+		bound++
+	}
+	if phases := int(res.Extra["phases"]); phases > bound+2 {
+		t.Errorf("%d scales exceed log₂(n/ε)+2 = %d despite quantisation", phases, bound+2)
+	}
+}

@@ -1,0 +1,35 @@
+package maxis
+
+import (
+	"distmwis/internal/dist"
+	"distmwis/internal/graph"
+	"distmwis/internal/localapprox"
+)
+
+// LocalApprox adapts the internal/localapprox LOCAL-model pipeline —
+// Miller–Peng–Xu low-diameter decomposition plus per-cluster exact solves
+// — to the registry's Solver surface, so the (1+ε) expectation guarantee
+// is reachable from the CLI, the server API and the parity goldens like
+// every CONGEST pipeline. The simulator is not involved: the decomposition
+// is computed host-side and billed at its LOCAL round cost (2·radius+2),
+// with zero CONGEST messages (its messages would not fit in B bits —
+// that's what makes it LOCAL).
+func LocalApprox(g *graph.Graph, eps float64, cfg Config) (*Result, error) {
+	cfg = cfg.Normalized(g)
+	res, err := localapprox.Approximate(g, localapprox.Options{Epsilon: eps, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	var acc dist.Accumulator
+	acc.Rounds = res.Rounds
+	set := res.Set
+	if set == nil {
+		set = make([]bool, g.N())
+	}
+	return finish(g, set, cfg, acc, "localapprox", map[string]float64{
+		"clusters":        float64(res.Clusters),
+		"cut_nodes":       float64(res.CutNodes),
+		"exact_clusters":  float64(res.ExactClusters),
+		"greedy_clusters": float64(res.GreedyClusters),
+	})
+}

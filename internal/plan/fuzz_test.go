@@ -1,0 +1,56 @@
+package plan_test
+
+import (
+	"testing"
+
+	"distmwis/internal/plan"
+	"distmwis/internal/protocol"
+
+	_ "distmwis/internal/maxis"
+	_ "distmwis/internal/mis"
+)
+
+// FuzzChoose throws arbitrary (profile, budget) shapes at the planner. The
+// journal-replay contract under test: Choose never panics, always names a
+// registered solver, reports Fits consistently with the budget, and is a
+// pure function (same request twice → identical decision).
+func FuzzChoose(f *testing.F) {
+	f.Add(uint16(60), uint16(10), uint16(180), uint8(12), false, int64(0), false)
+	f.Add(uint16(400), uint16(8), uint16(674), uint8(26), false, int64(1_250_000), false)
+	f.Add(uint16(1), uint16(0), uint16(0), uint8(1), true, int64(10), true)
+	f.Add(uint16(5000), uint16(64), uint16(40000), uint8(40), true, int64(-7), false)
+	f.Fuzz(func(t *testing.T, n, deg, m uint16, logW uint8, unit bool, budget int64, det bool) {
+		prof := protocol.Profile{
+			N:           int(n)%5000 + 1,
+			M:           int(m),
+			MaxDegree:   int(deg),
+			LogW:        int(logW),
+			UnitWeights: unit,
+		}
+		if prof.MaxDegree >= prof.N {
+			prof.MaxDegree = prof.N - 1
+		}
+		prof.Degeneracy = prof.MaxDegree
+		req := plan.Request{
+			Profile:              prof,
+			Budget:               plan.Budget{WorkUnits: budget},
+			RequireDeterministic: det,
+		}
+		d, err := plan.Choose(req)
+		if err != nil {
+			return // no admissible solver is a legal outcome, not a crash
+		}
+		if _, serr := protocol.SolverByName(d.Alg); serr != nil {
+			t.Fatalf("chose unregistered solver %q", d.Alg)
+		}
+		if d.Rounds <= 0 || d.Work <= 0 {
+			t.Fatalf("non-positive cost prediction: %+v", d)
+		}
+		if d.Fits && budget > 0 && d.Work > budget {
+			t.Fatalf("Fits=true but work %d exceeds budget %d", d.Work, budget)
+		}
+		if again, err2 := plan.Choose(req); err2 != nil || again != d {
+			t.Fatalf("Choose impure: %+v / %v then %+v", d, err, again)
+		}
+	})
+}

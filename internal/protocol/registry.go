@@ -89,6 +89,10 @@ type Solver interface {
 	// given instance; res is the completed run (some guarantees report
 	// run-dependent bounds). May return "" when no closed form applies.
 	Guarantee(g *graph.Graph, p Params, res *Result) string
+	// Meta reports the solver's cost/guarantee metadata for the planner
+	// layer. Returning the zero Meta opts out of planning (the solver stays
+	// addressable by name only).
+	Meta() Meta
 }
 
 // Proto is a registered single-protocol algorithm — one congest process

@@ -32,6 +32,10 @@ func (toySolver) Guarantee(*graph.Graph, protocol.Params, *protocol.Result) stri
 	return "none (test fixture)"
 }
 
+// Meta returns the zero value: the toy solver opts out of the planner and
+// stays addressable by name only — the minimal registration contract.
+func (toySolver) Meta() protocol.Meta { return protocol.Meta{} }
+
 func (toySolver) Run(g *graph.Graph, _ protocol.Params, _ protocol.Config) (*protocol.Result, error) {
 	res := &protocol.Result{Set: make([]bool, g.N())}
 	for v := 0; v < g.N(); v++ {

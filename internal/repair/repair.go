@@ -50,6 +50,22 @@ type Answer struct {
 	Weight int64
 	// Quality is QualityImproved or QualityFull.
 	Quality string
+	// Alg names what produced the set: "greedy-improved" for the budgeted
+	// admit pass, a rung's name for ladder publishes, the task's FullAlg
+	// for the final solve.
+	Alg string
+}
+
+// Rung is one intermediate step of a task's promotion ladder: a bounded
+// solve (typically a cheap planner-chosen algorithm) between the greedy
+// improved answer and the full-quality solve. Rungs run one per tick and
+// publish only when they beat the best weight so far, so the published
+// sequence is monotone in weight as well as quality rank.
+type Rung struct {
+	// Name is the algorithm name recorded in the published answer.
+	Name string
+	// Run computes the rung's candidate set on the task's graph snapshot.
+	Run func() (set []bool, weight int64, err error)
 }
 
 // Task is one degraded answer awaiting upgrade.
@@ -63,15 +79,25 @@ type Task struct {
 	G *graph.Graph
 	// Start is the degraded set to upgrade. The tier takes ownership.
 	Start []bool
+	// Rungs is the promotion ladder run between the greedy improved answer
+	// and Full: one rung per tick, ascending quality (see plan.Ladder). A
+	// rung that errors or fails to beat the best published weight is
+	// skipped silently — the ladder is best-effort refinement, never a
+	// regression.
+	Rungs []Rung
+	// FullAlg names the algorithm Full runs, for the published answer.
+	FullAlg string
 	// Full optionally computes the final answer (a real solve of G). It
 	// runs on the tier's goroutine after the improved publish; nil stops
 	// the task at QualityImproved.
 	Full func() (set []bool, weight int64, err error)
 
-	enqueued time.Time
-	order    []int32 // descending-weight admit order, built lazily
-	pos      int     // next order index to examine
-	improved bool    // greedy pass done, improved answer published
+	enqueued   time.Time
+	order      []int32 // descending-weight admit order, built lazily
+	pos        int     // next order index to examine
+	improved   bool    // greedy pass done, improved answer published
+	rung       int     // next Rungs index to run
+	bestWeight int64   // best weight published so far (rung adoption bar)
 }
 
 // Options configures a Tier. Zero values select the defaults noted.
@@ -97,6 +123,9 @@ type Stats struct {
 	Enqueued, Dropped, Deduped int64
 	// Improved and Upgraded count publishes at each quality.
 	Improved, Upgraded int64
+	// RungsRun counts ladder rungs executed; RungsAdopted counts the ones
+	// whose answer beat the best weight and was published.
+	RungsRun, RungsAdopted int64
 	// OldestWaitSeconds is the age of the oldest queued task (0 if empty):
 	// the staleness bound on published degraded answers.
 	OldestWaitSeconds float64
@@ -275,14 +304,37 @@ func (t *Tier) advance(task *Task) bool {
 			return false // budget exhausted; resume next tick
 		}
 		task.improved = true
+		task.bestWeight = g.SetWeight(task.Start)
 		t.publish(task.Key, Answer{
 			Set:     append([]bool(nil), task.Start...),
-			Weight:  g.SetWeight(task.Start),
+			Weight:  task.bestWeight,
 			Quality: QualityImproved,
+			Alg:     "greedy-improved",
 		}, &t.stats.Improved)
-		// The full solve gets its own tick so one task never holds the
-		// queue for a greedy pass AND a solve in a single step.
-		return task.Full == nil
+		// Ladder rungs and the full solve each get their own tick so one
+		// task never holds the queue for more than one solve per step.
+		return len(task.Rungs) == 0 && task.Full == nil
+	}
+
+	// Promotion ladder: one rung per tick, adopted only when it strictly
+	// improves on the best published weight.
+	if task.rung < len(task.Rungs) {
+		r := task.Rungs[task.rung]
+		task.rung++
+		t.mu.Lock()
+		t.stats.RungsRun++
+		t.mu.Unlock()
+		set, weight, err := r.Run()
+		if err == nil && weight > task.bestWeight && len(set) == g.N() {
+			task.bestWeight = weight
+			t.publish(task.Key, Answer{
+				Set:     append([]bool(nil), set...),
+				Weight:  weight,
+				Quality: QualityImproved,
+				Alg:     r.Name,
+			}, &t.stats.RungsAdopted)
+		}
+		return task.rung >= len(task.Rungs) && task.Full == nil
 	}
 
 	set, weight, err := task.Full()
@@ -291,7 +343,7 @@ func (t *Tier) advance(task *Task) bool {
 		// the task there.
 		return true
 	}
-	t.publish(task.Key, Answer{Set: set, Weight: weight, Quality: QualityFull}, &t.stats.Upgraded)
+	t.publish(task.Key, Answer{Set: set, Weight: weight, Quality: QualityFull, Alg: task.FullAlg}, &t.stats.Upgraded)
 	return true
 }
 

@@ -11,6 +11,8 @@ import (
 
 	"distmwis/internal/graph"
 	"distmwis/internal/maxis"
+	"distmwis/internal/plan"
+	"distmwis/internal/protocol"
 	"distmwis/internal/repair"
 )
 
@@ -46,7 +48,10 @@ type storedAnswer struct {
 	Weight    int64   `json:"weight"`
 	// Quality is degraded|improved|full; degraded and improved answers are
 	// upgraded in place by the background repair tier.
-	Quality string    `json:"quality"`
+	Quality string `json:"quality"`
+	// Alg names the algorithm that produced the current set — the repair
+	// ladder rewrites it as the answer climbs rungs.
+	Alg     string    `json:"alg,omitempty"`
 	Updated time.Time `json:"updated"`
 	Error   string    `json:"error,omitempty"`
 }
@@ -120,10 +125,11 @@ func (s *Server) publishUpgrade(key string, a repair.Answer) {
 		Set:       set,
 		Weight:    a.Weight,
 		Quality:   a.Quality,
+		Alg:       a.Alg,
 		Updated:   time.Now().UTC(),
 	})
 	if a.Quality == qualityFull {
-		s.cache.put(&cacheEntry{key: key, set: set, weight: a.Weight, tag: hash})
+		s.cache.put(&cacheEntry{key: key, set: set, weight: a.Weight, alg: a.Alg, tag: hash})
 	}
 }
 
@@ -183,6 +189,19 @@ func (s *Server) handleRefSolve(w http.ResponseWriter, r *http.Request, req *Sol
 			return
 		}
 	}
+	// Planner resolution happens before refCacheKey for the same reason as
+	// prepare(): the answer key must name the concrete algorithm, so a tight
+	// deadline and a loose one address different answers.
+	if req.Alg == plan.Auto {
+		d, derr := plan.For(g, protocol.Params{Eps: req.Eps, Alpha: req.Alpha},
+			plan.ForDeadline(req.DeadlineMS, s.opts.PlannerOpsPerMS), cfg.MIS)
+		if derr != nil {
+			errorResponse(w, http.StatusBadRequest, "plan: %v", derr)
+			return
+		}
+		req.Alg = d.Alg
+		s.metrics.planned.Add(1)
+	}
 	cfg.Tracer = s.metrics.engine
 	cfg.TraceLabel = req.Alg
 	s.metrics.requests.Add(1)
@@ -220,17 +239,20 @@ func (s *Server) handleRefSolve(w http.ResponseWriter, r *http.Request, req *Sol
 			Set:       boolsToIndices(set),
 			Weight:    weight,
 			Quality:   qualityDegraded,
+			Alg:       "greedy-degraded",
 			Updated:   time.Now().UTC(),
 		})
 		s.enqueueUpgrade(key, hash, g, set, req)
 		s.metrics.latency.observe("degraded", time.Since(start).Seconds())
 		writeJSON(w, http.StatusOK, finish(SolveResponse{
-			Status:   "done",
-			Set:      setIndices(set),
-			Size:     graph.SetSize(set),
-			Weight:   weight,
-			Degraded: true,
-			Quality:  qualityDegraded,
+			Status:    "done",
+			Set:       setIndices(set),
+			Size:      graph.SetSize(set),
+			Weight:    weight,
+			Degraded:  true,
+			Quality:   qualityDegraded,
+			Alg:       "greedy-degraded",
+			Guarantee: greedyGuarantee(g),
 		}))
 		return
 	}
@@ -249,13 +271,15 @@ func (s *Server) handleRefSolve(w http.ResponseWriter, r *http.Request, req *Sol
 				return nil, err
 			}
 			return &cacheEntry{
-				key:      key,
-				set:      boolsToIndices(res.Set),
-				weight:   res.Weight,
-				rounds:   res.Metrics.Rounds,
-				messages: res.Metrics.Messages,
-				bits:     res.Metrics.Bits,
-				tag:      hash,
+				key:       key,
+				set:       boolsToIndices(res.Set),
+				weight:    res.Weight,
+				rounds:    res.Metrics.Rounds,
+				messages:  res.Metrics.Messages,
+				bits:      res.Metrics.Bits,
+				alg:       req.Alg,
+				guarantee: maxis.GuaranteeString(req.Alg, g, req.Eps, req.Alpha, res),
+				tag:       hash,
 			}, nil
 		}, !req.NoCache)
 	})
@@ -278,6 +302,7 @@ func (s *Server) handleRefSolve(w http.ResponseWriter, r *http.Request, req *Sol
 		Set:       entry.set,
 		Weight:    entry.weight,
 		Quality:   qualityFull,
+		Alg:       entry.alg,
 		Updated:   time.Now().UTC(),
 	})
 	s.graphs.recordFull(hash, req, entry.set, g.N())

@@ -31,6 +31,7 @@ import (
 	"distmwis/internal/graph"
 	"distmwis/internal/graph/gen"
 	"distmwis/internal/maxis"
+	"distmwis/internal/plan"
 	"distmwis/internal/protocol"
 
 	// Imported for its registry side effects: the MIS black boxes the API
@@ -139,6 +140,11 @@ type SolveResponse struct {
 	// Degraded reports the admission layer downgraded this request to the
 	// greedy Δ+1-approximation instead of the requested algorithm.
 	Degraded bool `json:"degraded,omitempty"`
+	// Alg is the algorithm that actually produced the set — the planner's
+	// choice when the request said "auto", "greedy-degraded" on the shed
+	// tier. Guarantee renders its approximation bound for this instance.
+	Alg       string `json:"alg,omitempty"`
+	Guarantee string `json:"guarantee,omitempty"`
 	// Quality tags graph_ref answers: "degraded" answers are queued for the
 	// background repair tier, which republishes them as "improved" then
 	// "full"; poll GET /v1/answers/{answer_key} to watch the upgrade.
@@ -210,9 +216,13 @@ func (r *SolveRequest) Normalize() error {
 	}
 	// Algorithm vocabulary comes from the protocol registry: any solver
 	// registered there — including ones from outside internal/maxis — is
-	// accepted here without edits.
-	if _, err := protocol.SolverByName(r.Alg); err != nil {
-		return err
+	// accepted here without edits. "auto" is the planner's name, not a
+	// solver's: prepare() resolves it to a concrete registry entry before
+	// any cache key is computed.
+	if r.Alg != plan.Auto {
+		if _, err := protocol.SolverByName(r.Alg); err != nil {
+			return err
+		}
 	}
 	return nil
 }

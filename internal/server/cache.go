@@ -19,6 +19,11 @@ type cacheEntry struct {
 	messages int64
 	bits     int64
 	degraded bool
+	// alg is the registry name of the solver that produced the set (the
+	// planner's concrete choice, never "auto"); guarantee is its rendered
+	// approximation bound for this instance.
+	alg       string
+	guarantee string
 	// tag groups entries for bulk invalidation: dynamic-graph entries carry
 	// the content hash of the graph (or connected component) they answer
 	// for, so a mutation can evict exactly the subgraphs it changed.
@@ -35,10 +40,11 @@ type cacheEntry struct {
 // list.Element ≈ 96 B). Undercounting here let used drift past budget
 // exactly when entries were largest.
 func (e *cacheEntry) bytes() int64 {
-	const fixed = 16 + 16 + 24 + // key, tag and set headers
+	const fixed = 16 + 16 + 16 + 16 + 24 + // key, tag, alg, guarantee and set headers
 		8 + 8 + 8 + 8 + 8 + // weight, rounds, messages, bits, degraded (padded)
 		96 // map entry + list.Element overhead
-	return int64(len(e.key)) + int64(len(e.tag)) + int64(4*cap(e.set)) + fixed
+	return int64(len(e.key)) + int64(len(e.tag)) + int64(len(e.alg)) + int64(len(e.guarantee)) +
+		int64(4*cap(e.set)) + fixed
 }
 
 // resultCache is a content-addressed LRU with a byte budget and

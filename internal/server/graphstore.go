@@ -10,6 +10,9 @@ import (
 	"time"
 
 	"distmwis/internal/graph"
+	"distmwis/internal/maxis"
+	"distmwis/internal/plan"
+	"distmwis/internal/protocol"
 	"distmwis/internal/reliable"
 	"distmwis/internal/repair"
 )
@@ -510,6 +513,7 @@ func (s *Server) healAnswer(ng *graph.Graph, hash string, req *SolveRequest, pre
 		Set:       boolsToIndices(set),
 		Weight:    ng.SetWeight(set),
 		Quality:   qualityDegraded,
+		Alg:       "healed",
 		Updated:   time.Now().UTC(),
 	})
 	s.enqueueUpgrade(key, hash, ng, set, req)
@@ -520,6 +524,13 @@ func (s *Server) healAnswer(ng *graph.Graph, hash string, req *SolveRequest, pre
 // snapshots the graph version it answers for; the Full callback re-solves
 // component-wise through the same cache adapters as foreground ref solves,
 // so the final answer is bit-identical to an unshedded solve.
+//
+// Between the greedy improved answer and the full solve the task climbs the
+// planner's promotion ladder: one cheap whole-graph solve per budget step
+// (16 then 256 rounds' worth of work), each published only if it beats the
+// best weight so far. The ladder turns the degraded→full cliff into a
+// staircase — clients polling the answer key see quality climb in steps
+// whose cost the planner chose, not one long silence.
 func (s *Server) enqueueUpgrade(key, hash string, g *graph.Graph, set []bool, req *SolveRequest) {
 	cfg, err := req.maxisConfig(s.opts.SolveWorkers)
 	if err != nil {
@@ -527,10 +538,33 @@ func (s *Server) enqueueUpgrade(key, hash string, g *graph.Graph, set []bool, re
 	}
 	cfg.Tracer = s.metrics.engine
 	cfg.TraceLabel = req.Alg
+	prof := protocol.ProfileOf(g)
+	unit := int64(prof.N + 2*prof.M + 1)
+	ladder := plan.Ladder(plan.Request{
+		Profile: prof,
+		Params:  protocol.Params{Eps: req.Eps, Alpha: req.Alpha},
+		MIS:     cfg.MIS,
+	}, []int64{16 * unit, 256 * unit})
+	var rungs []repair.Rung
+	for _, d := range ladder {
+		if d.Alg == req.Alg {
+			continue // the Full callback already computes exactly this
+		}
+		alg := d.Alg
+		rungs = append(rungs, repair.Rung{Name: alg, Run: func() ([]bool, int64, error) {
+			res, rerr := maxis.Solve(alg, g, req.Eps, req.Alpha, cfg)
+			if rerr != nil {
+				return nil, 0, rerr
+			}
+			return res.Set, res.Weight, nil
+		}})
+	}
 	s.repairTier.Enqueue(repair.Task{
-		Key:   key,
-		G:     g,
-		Start: append([]bool(nil), set...),
+		Key:     key,
+		G:       g,
+		Start:   append([]bool(nil), set...),
+		Rungs:   rungs,
+		FullAlg: req.Alg,
 		Full: func() ([]bool, int64, error) {
 			res, _, err := s.solveComponents(req, g, cfg)
 			if err != nil {

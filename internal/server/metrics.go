@@ -91,6 +91,7 @@ type metrics struct {
 	shed      atomic.Int64 // degraded (greedy) responses
 	failures  atomic.Int64 // solves that returned an error
 	deadlines atomic.Int64 // jobs expired before or during solve wait
+	planned   atomic.Int64 // alg=auto requests resolved by the planner
 
 	latency *latencySampler
 	engine  *trace.Totals
@@ -121,6 +122,7 @@ func (m *metrics) write(w io.Writer, srv *Server) {
 	counter("maxisd_degraded_total", "Requests answered by the degraded greedy tier.", m.shed.Load())
 	counter("maxisd_failures_total", "Solves that returned an error.", m.failures.Load())
 	counter("maxisd_deadline_total", "Jobs that missed their deadline.", m.deadlines.Load())
+	counter("maxisd_planner_auto_total", "alg=auto requests resolved through the planner.", m.planned.Load())
 
 	hits, misses, evictions, dedups, invalidations, used, entries := srv.cache.stats()
 	counter("maxisd_cache_hits_total", "Content-addressed cache hits.", hits)

@@ -1,0 +1,98 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// plannerSpec is a 400-node sparse weighted instance where the planner's
+// tiers separate cleanly: Δ=8 keeps the local-ratio phase bound (Δ+1) far
+// below the baseline's scale bound (log W+1 = 27), and the full-quality
+// work estimate (~1.8M units) overshoots a 25ms deadline budget but fits a
+// loose one.
+func plannerSpec() *GenSpec {
+	return &GenSpec{Kind: "gnp", N: 400, P: 0.008, Weights: "poly3", Seed: 1}
+}
+
+// A tight deadline with alg=auto must come back as a planner-selected
+// few-round answer carrying its guarantee — not a blanket greedy degrade.
+func TestPlannerAutoTightDeadline(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	code, resp := postSolve(t, ts, SolveRequest{
+		Gen: plannerSpec(), Alg: "auto", DeadlineMS: 25,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %+v", code, resp)
+	}
+	if resp.Alg != "bhr-fewround" {
+		t.Errorf("tight deadline planned %q, want bhr-fewround", resp.Alg)
+	}
+	if resp.Degraded {
+		t.Error("planner answer flagged degraded; budget-aware planning should replace blanket degradation")
+	}
+	if resp.Guarantee == "" || !strings.Contains(resp.Guarantee, "Δ+1") {
+		t.Errorf("guarantee %q does not state the few-round expectation bound", resp.Guarantee)
+	}
+	if resp.Weight <= 0 || len(resp.Set) == 0 {
+		t.Errorf("planned answer empty: weight=%d |set|=%d", resp.Weight, len(resp.Set))
+	}
+}
+
+// A loose (or absent) deadline resolves auto to the full-quality tier.
+func TestPlannerAutoLooseDeadline(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	for _, deadline := range []int64{0, 60_000} {
+		code, resp := postSolve(t, ts, SolveRequest{
+			Gen: plannerSpec(), Alg: "auto", DeadlineMS: deadline,
+		})
+		if code != http.StatusOK {
+			t.Fatalf("deadline %d: status %d: %+v", deadline, code, resp)
+		}
+		if resp.Alg != "localratio" {
+			t.Errorf("deadline %d planned %q, want localratio", deadline, resp.Alg)
+		}
+		if resp.Guarantee == "" {
+			t.Errorf("deadline %d: missing guarantee string", deadline)
+		}
+	}
+}
+
+// Distinct deadlines are distinct cache entries: auto is resolved before
+// the cache key is computed, so a tight-deadline answer can never be served
+// to a loose-deadline request (or vice versa).
+func TestPlannerAutoDeadlinesCacheSeparately(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	_, tight := postSolve(t, ts, SolveRequest{Gen: plannerSpec(), Alg: "auto", DeadlineMS: 25})
+	_, loose := postSolve(t, ts, SolveRequest{Gen: plannerSpec(), Alg: "auto"})
+	if tight.Alg == loose.Alg {
+		t.Fatalf("both deadlines planned %q; expected distinct tiers", tight.Alg)
+	}
+	if loose.Weight < tight.Weight {
+		t.Errorf("full-quality weight %d below few-round weight %d", loose.Weight, tight.Weight)
+	}
+	// Replaying the tight request must hit the cache and return the same
+	// planned algorithm, not the loose entry.
+	_, again := postSolve(t, ts, SolveRequest{Gen: plannerSpec(), Alg: "auto", DeadlineMS: 25})
+	if again.Alg != tight.Alg || again.Weight != tight.Weight {
+		t.Errorf("replay planned %q weight %d, want %q weight %d", again.Alg, again.Weight, tight.Alg, tight.Weight)
+	}
+	if !again.Cached {
+		t.Error("replayed auto request missed the cache")
+	}
+}
+
+// An explicit algorithm bypasses the planner and is echoed back unchanged.
+func TestExplicitAlgBypassesPlanner(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 2})
+	code, resp := postSolve(t, ts, SolveRequest{Gen: plannerSpec(), Alg: "baseline"})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %+v", code, resp)
+	}
+	if resp.Alg != "baseline" {
+		t.Errorf("alg echoed as %q, want baseline", resp.Alg)
+	}
+	if planned := s.metrics.planned.Load(); planned != 0 {
+		t.Errorf("planner counter %d after an explicit-alg request", planned)
+	}
+}

@@ -15,6 +15,8 @@ import (
 	"distmwis/internal/chaos"
 	"distmwis/internal/graph"
 	"distmwis/internal/maxis"
+	"distmwis/internal/plan"
+	"distmwis/internal/protocol"
 	"distmwis/internal/reliable"
 	"distmwis/internal/repair"
 )
@@ -39,6 +41,11 @@ type Options struct {
 	// ShedDepth is the queued-job count beyond which new requests are
 	// downgraded to the degraded greedy tier (default QueueDepth/2).
 	ShedDepth int
+	// PlannerOpsPerMS calibrates the planner's deadline→work conversion for
+	// alg=auto requests: how many work units (one unit ≈ one message handler
+	// or delivery) this host sustains per millisecond (default
+	// plan.DefaultOpsPerMS; see cmd/maxisd -plan-ops-per-ms).
+	PlannerOpsPerMS int64
 	// DrainTimeout bounds graceful shutdown (default 30s).
 	DrainTimeout time.Duration
 	// JobHistory bounds the GET /v1/jobs records kept (default 4096).
@@ -105,6 +112,9 @@ func (o Options) withDefaults() Options {
 		if o.ShedDepth < 1 {
 			o.ShedDepth = 1
 		}
+	}
+	if o.PlannerOpsPerMS <= 0 {
+		o.PlannerOpsPerMS = plan.DefaultOpsPerMS
 	}
 	if o.DrainTimeout <= 0 {
 		o.DrainTimeout = 30 * time.Second
@@ -352,6 +362,19 @@ func (s *Server) prepare(req *SolveRequest) (prepared, error) {
 			cfg.MaxWeight = 1000
 		}
 	}
+	// "auto" resolves through the planner here — before the cache key is
+	// computed and before async journalling — so the key and the journal
+	// always name a concrete algorithm: two auto requests with different
+	// deadlines can cache distinct answers, and replay is bit-identical.
+	if req.Alg == plan.Auto {
+		d, err := plan.For(g, protocol.Params{Eps: req.Eps, Alpha: req.Alpha},
+			plan.ForDeadline(req.DeadlineMS, s.opts.PlannerOpsPerMS), cfg.MIS)
+		if err != nil {
+			return prepared{}, fmt.Errorf("plan: %w", err)
+		}
+		req.Alg = d.Alg
+		s.metrics.planned.Add(1)
+	}
 	key := cacheKey(g.Canonical(), req.Fingerprint()+fmt.Sprintf("|W=%d", cfg.MaxWeight))
 	return prepared{g: g, cfg: cfg, key: key, hash: g.HashString()}, nil
 }
@@ -387,7 +410,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// is advisory: on any miss (either level) we fall through to the full
 	// build-hash-lookup path below.
 	var specKey string
-	if req.Gen != nil && !req.NoCache && !req.Degraded {
+	if req.Gen != nil && !req.NoCache && !req.Degraded && req.Alg != plan.Auto {
 		specKey = req.specFingerprint()
 		if !req.Async {
 			if t, ok := s.specs.get(specKey); ok {
@@ -432,6 +455,8 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			Weight:    weight,
 			GraphHash: p.hash,
 			Degraded:  true,
+			Alg:       "greedy-degraded",
+			Guarantee: greedyGuarantee(p.g),
 			ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
 		})
 		return
@@ -515,11 +540,13 @@ func (s *Server) execute(ctx context.Context, req *SolveRequest, p prepared, id 
 		s.metrics.shed.Add(1)
 		s.metrics.latency.observe("degraded", time.Since(start).Seconds())
 		return finish(SolveResponse{
-			Status:   "done",
-			Set:      setIndices(set),
-			Size:     graph.SetSize(set),
-			Weight:   weight,
-			Degraded: true,
+			Status:    "done",
+			Set:       setIndices(set),
+			Size:      graph.SetSize(set),
+			Weight:    weight,
+			Degraded:  true,
+			Alg:       "greedy-degraded",
+			Guarantee: greedyGuarantee(p.g),
 		})
 	}
 
@@ -613,28 +640,39 @@ func (s *Server) solve(req *SolveRequest, g *graph.Graph, cfg maxis.Config, key 
 		return nil, err
 	}
 	return &cacheEntry{
-		key:      key,
-		set:      boolsToIndices(res.Set),
-		weight:   res.Weight,
-		rounds:   res.Metrics.Rounds,
-		messages: res.Metrics.Messages,
-		bits:     res.Metrics.Bits,
+		key:       key,
+		set:       boolsToIndices(res.Set),
+		weight:    res.Weight,
+		rounds:    res.Metrics.Rounds,
+		messages:  res.Metrics.Messages,
+		bits:      res.Metrics.Bits,
+		alg:       req.Alg,
+		guarantee: maxis.GuaranteeString(req.Alg, g, req.Eps, req.Alpha, res),
 	}, nil
 }
 
 func entryResponse(e *cacheEntry, cached, shared bool) SolveResponse {
 	return SolveResponse{
-		Status:   "done",
-		Set:      e.set,
-		Size:     len(e.set),
-		Weight:   e.weight,
-		Rounds:   e.rounds,
-		Messages: e.messages,
-		Bits:     e.bits,
-		Cached:   cached,
-		Shared:   shared,
-		Degraded: e.degraded,
+		Status:    "done",
+		Set:       e.set,
+		Size:      len(e.set),
+		Weight:    e.weight,
+		Rounds:    e.rounds,
+		Messages:  e.messages,
+		Bits:      e.bits,
+		Cached:    cached,
+		Shared:    shared,
+		Degraded:  e.degraded,
+		Alg:       e.alg,
+		Guarantee: e.guarantee,
 	}
+}
+
+// greedyGuarantee renders the degraded tier's bound: the host-side greedy
+// pass is the sequential (Δ+1)-approximation of the Bar-Yehuda et al.
+// cheap tier.
+func greedyGuarantee(g *graph.Graph) string {
+	return fmt.Sprintf("(Δ+1)-approximation = %d (host-side greedy, degraded tier)", g.MaxDegree()+1)
 }
 
 func boolsToIndices(set []bool) []int32 {
